@@ -1,0 +1,14 @@
+"""Small rendering helpers shared by the benchmark modules."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+
+def print_table(title: str, header: str, rows: Iterable[str]) -> None:
+    """Print a paper-style table (shown with ``-s`` / in captured output)."""
+    print("\n" + title)
+    print("-" * max(len(title), len(header)))
+    print(header)
+    for row in rows:
+        print(row)

@@ -1,0 +1,160 @@
+"""ABL — ablations of the QR2 design choices (not a paper figure).
+
+The ICDE'18 paper attributes QR2's practicality to four engineering choices on
+top of the VLDB'16 algorithms: parallel query processing, the per-session
+seen-tuple cache, on-the-fly dense-region indexing, and operating under the
+web database's fixed ``system-k``.  Each ablation below switches one of them
+off (or sweeps it) and reports the impact on query cost and processing time
+for a fixed reference request.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks._tables import print_table
+from repro.config import RerankConfig
+from repro.core.functions import LinearRankingFunction
+from repro.core.normalization import MinMaxNormalizer
+from repro.core.reranker import Algorithm, QueryReranker
+from repro.dataset.diamonds import DiamondCatalogConfig, diamond_schema, generate_diamond_catalog
+from repro.webdb.database import HiddenWebDatabase
+from repro.webdb.latency import LatencyModel
+from repro.webdb.query import SearchQuery
+from repro.webdb.ranking import FeaturedScoreRanking
+
+
+def _reference_request(environment):
+    """The fixed request used by the on/off ablations: the paper's 2D Blue
+    Nile function over the whole catalog."""
+    schema = environment.diamond_schema
+    ranking = LinearRankingFunction(
+        {"price": 1.0, "carat": -0.5},
+        normalizer=MinMaxNormalizer.from_schema(schema, ["price", "carat"]),
+    )
+    return SearchQuery.everything(), ranking
+
+
+def _run(environment, config, depth):
+    query, ranking = _reference_request(environment)
+    reranker = QueryReranker(environment.database("bluenile"), config=config)
+    stream = reranker.rerank(query, ranking, algorithm=Algorithm.RERANK)
+    stream.top(depth)
+    return stream.statistics.snapshot()
+
+
+@pytest.mark.benchmark(group="ablations")
+@pytest.mark.parametrize("parallel", [True, False], ids=["parallel-on", "parallel-off"])
+def test_ablation_parallel_processing(benchmark, environment, depth, parallel):
+    """Parallel query processing mostly buys wall-clock time (round trips are
+    overlapped), at an essentially unchanged query cost."""
+    config = RerankConfig(enable_parallel=parallel)
+    snapshot = benchmark.pedantic(lambda: _run(environment, config, depth), rounds=1, iterations=1)
+    benchmark.extra_info.update(
+        {
+            "parallel": parallel,
+            "external_queries": snapshot["external_queries"],
+            "processing_seconds": round(snapshot["processing_seconds"], 2),
+        }
+    )
+    print_table(
+        f"ABL parallel={'on' if parallel else 'off'}",
+        f"{'external queries':>18s} {'processing s':>13s}",
+        [f"{snapshot['external_queries']:>18d} {snapshot['processing_seconds']:>13.1f}"],
+    )
+    assert snapshot["tuples_returned"] == depth
+
+
+@pytest.mark.benchmark(group="ablations")
+@pytest.mark.parametrize("cache", [True, False], ids=["session-cache-on", "session-cache-off"])
+def test_ablation_session_cache(benchmark, environment, depth, cache):
+    """The session cache accelerates deep paging: without it every Get-Next
+    call re-covers the space from scratch."""
+    config = RerankConfig(enable_session_cache=cache)
+    snapshot = benchmark.pedantic(lambda: _run(environment, config, depth), rounds=1, iterations=1)
+    benchmark.extra_info.update(
+        {
+            "session_cache": cache,
+            "external_queries": snapshot["external_queries"],
+            "cache_hits": snapshot["cache_hits"],
+        }
+    )
+    print_table(
+        f"ABL session-cache={'on' if cache else 'off'}",
+        f"{'external queries':>18s} {'cache hits':>11s}",
+        [f"{snapshot['external_queries']:>18d} {snapshot['cache_hits']:>11d}"],
+    )
+    assert snapshot["tuples_returned"] == depth
+
+
+@pytest.mark.benchmark(group="ablations")
+@pytest.mark.parametrize("system_k", [10, 20, 50], ids=lambda k: f"k={k}")
+def test_ablation_system_k(benchmark, depth, bench_scale, system_k):
+    """A larger ``system-k`` lets every query observe more tuples, so the
+    reranking needs fewer of them (the web database, not QR2, controls this)."""
+    config = DiamondCatalogConfig(size=max(int(4000 * bench_scale), 200), seed=2018)
+    database = HiddenWebDatabase(
+        generate_diamond_catalog(config),
+        diamond_schema(config),
+        FeaturedScoreRanking("price", boost_weight=2500.0),
+        system_k=system_k,
+        latency=LatencyModel.accounted(1.0),
+        name=f"bluenile-k{system_k}",
+    )
+    schema = diamond_schema(config)
+    ranking = LinearRankingFunction(
+        {"price": 1.0, "carat": -0.5},
+        normalizer=MinMaxNormalizer.from_schema(schema, ["price", "carat"]),
+    )
+
+    def run():
+        reranker = QueryReranker(database, config=RerankConfig())
+        stream = reranker.rerank(SearchQuery.everything(), ranking, algorithm=Algorithm.RERANK)
+        stream.top(depth)
+        return stream.statistics.snapshot()
+
+    snapshot = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info.update(
+        {"system_k": system_k, "external_queries": snapshot["external_queries"]}
+    )
+    print_table(
+        f"ABL system-k={system_k}",
+        f"{'external queries':>18s}",
+        [f"{snapshot['external_queries']:>18d}"],
+    )
+    assert snapshot["tuples_returned"] == depth
+
+
+@pytest.mark.benchmark(group="ablations")
+@pytest.mark.parametrize("dense_depth", [6, 12, 40], ids=lambda d: f"dense-depth={d}")
+def test_ablation_dense_split_depth(benchmark, environment, depth, dense_depth):
+    """Sweep of the dense-region trigger: crawling earlier (small depth) costs
+    more up front but fills the shared index faster; a huge depth effectively
+    disables on-the-fly indexing for this workload."""
+    from repro.core.functions import SingleAttributeRanking
+
+    config = RerankConfig(dense_split_depth=dense_depth)
+    database = environment.database("bluenile")
+    ranking = SingleAttributeRanking("length_width_ratio", ascending=True)
+    query = SearchQuery.build(ranges={"length_width_ratio": (0.995, 1.6)})
+
+    def run():
+        reranker = QueryReranker(database, config=config)
+        cold = reranker.rerank(query, ranking, algorithm=Algorithm.RERANK)
+        cold.top(depth)
+        warm = reranker.rerank(query, ranking, algorithm=Algorithm.RERANK)
+        warm.top(depth)
+        return {
+            "cold": cold.statistics.external_queries,
+            "warm": warm.statistics.external_queries,
+            "regions": reranker.dense_index.region_count(),
+        }
+
+    payload = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info.update({"dense_split_depth": dense_depth, **payload})
+    print_table(
+        f"ABL dense-split-depth={dense_depth}",
+        f"{'cold queries':>13s} {'warm queries':>13s} {'regions':>8s}",
+        [f"{payload['cold']:>13d} {payload['warm']:>13d} {payload['regions']:>8d}"],
+    )
+    assert payload["warm"] <= payload["cold"]

@@ -1,0 +1,66 @@
+"""SC-BW — the paper's best-case and worst-case ranking functions.
+
+Worst case: ``price + length_width_ratio`` on Blue Nile.  About 20 % of the
+stones share ``length_width_ratio = 1.0`` — far more than ``system-k`` — so
+walking the answer requires crawling that value group; thanks to on-the-fly
+indexing the cost collapses on subsequent requests.
+
+Best case: ``price + squarefeet`` on Zillow.  The function is positively
+correlated both with the data and with the hidden ranking, so a handful of
+queries suffices.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks._tables import print_table
+from repro.workloads.experiments import run_best_worst_cases
+
+
+@pytest.mark.benchmark(group="best-worst-cases")
+def test_best_versus_worst_case(benchmark, environment, depth):
+    """Query cost of the best-case and worst-case functions (cold and warm)."""
+
+    def run():
+        return run_best_worst_cases(environment, depth=depth)
+
+    payload = benchmark.pedantic(run, rounds=1, iterations=1)
+    worst, best = payload["worst_case"], payload["best_case"]
+
+    benchmark.extra_info.update(
+        {
+            "worst_ranking": worst["ranking"],
+            "worst_ta_cold_queries": worst["ta_cold"]["queries"],
+            "worst_ta_warm_queries": worst["ta_warm"]["queries"],
+            "worst_rerank_queries": worst["rerank"]["queries"],
+            "lwr_cluster_size": worst["lwr_cluster_size"],
+            "best_ranking": best["ranking"],
+            "best_ta_queries": best["ta"]["queries"],
+            "best_rerank_queries": best["rerank"]["queries"],
+        }
+    )
+    print_table(
+        f"SC-BW — best vs. worst case (top-{depth})",
+        f"{'case':>38s} {'queries':>8s} {'seconds':>8s}",
+        [
+            f"{'worst (price+lwr), MD-TA cold':>38s} {worst['ta_cold']['queries']:8d} "
+            f"{worst['ta_cold']['seconds']:8.1f}",
+            f"{'worst (price+lwr), MD-TA warm':>38s} {worst['ta_warm']['queries']:8d} "
+            f"{worst['ta_warm']['seconds']:8.1f}",
+            f"{'worst (price+lwr), MD-RERANK':>38s} {worst['rerank']['queries']:8d} "
+            f"{worst['rerank']['seconds']:8.1f}",
+            f"{'best (price+sqft), MD-TA':>38s} {best['ta']['queries']:8d} "
+            f"{best['ta']['seconds']:8.1f}",
+            f"{'best (price+sqft), MD-RERANK':>38s} {best['rerank']['queries']:8d} "
+            f"{best['rerank']['seconds']:8.1f}",
+        ],
+    )
+    print(
+        f"\n  length_width_ratio = 1.0 cluster: {worst['lwr_cluster_size']} tuples "
+        f"({worst['lwr_cluster_fraction']:.0%} of the catalog), system-k = "
+        f"{environment.system_k}"
+    )
+    # The paper's qualitative claims.
+    assert worst["ta_cold"]["queries"] > best["ta"]["queries"]
+    assert worst["ta_warm"]["queries"] < worst["ta_cold"]["queries"]

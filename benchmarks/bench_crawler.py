@@ -1,0 +1,71 @@
+"""Substrate benchmark: cost of the hidden-database crawler.
+
+The crawler is QR2's fallback for general-positioning violations (value groups
+larger than ``system-k``) and the workhorse of on-the-fly indexing, so its
+query cost directly bounds the worst-case behaviour of the service.  This
+bench crawls the Blue Nile ``length_width_ratio = 1.0`` value group and the
+whole low-price region and reports queries per retrieved tuple.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks._tables import print_table
+from repro.crawl.crawler import HiddenDatabaseCrawler, crawl_value_group
+from repro.webdb.query import SearchQuery
+
+
+@pytest.mark.benchmark(group="crawler")
+def test_crawl_lwr_value_group(benchmark, environment):
+    """Crawl every stone with length_width_ratio = 1.0 (the worst-case group)."""
+    database = environment.database("bluenile")
+
+    def run():
+        return crawl_value_group(database, SearchQuery.everything(), "length_width_ratio", 1.0)
+
+    rows, stats = benchmark.pedantic(run, rounds=1, iterations=1)
+    queries_per_tuple = stats.queries_issued / max(len(rows), 1)
+    benchmark.extra_info.update(
+        {
+            "tuples": len(rows),
+            "queries": stats.queries_issued,
+            "queries_per_tuple": round(queries_per_tuple, 3),
+            "max_depth": stats.max_depth,
+        }
+    )
+    print_table(
+        "Crawler — length_width_ratio = 1.0 value group",
+        f"{'tuples':>8s} {'queries':>8s} {'queries/tuple':>14s} {'max depth':>10s}",
+        [
+            f"{len(rows):>8d} {stats.queries_issued:>8d} {queries_per_tuple:>14.2f} "
+            f"{stats.max_depth:>10d}"
+        ],
+    )
+    assert len(rows) > database.system_k
+    # The crawl should stay within a small constant factor of the optimal
+    # ceil(n/k) queries.
+    assert stats.queries_issued <= 12 * (len(rows) / database.system_k + 1)
+
+
+@pytest.mark.benchmark(group="crawler")
+def test_crawl_low_price_region(benchmark, environment):
+    """Crawl the cheapest slice of the catalog (a wide, populous region)."""
+    database = environment.database("bluenile")
+    query = SearchQuery.build(ranges={"price": (300.0, 1500.0)})
+
+    def run():
+        crawler = HiddenDatabaseCrawler(database)
+        return crawler.crawl(query)
+
+    rows, stats = benchmark.pedantic(run, rounds=1, iterations=1)
+    truth = database.count_matches(query)
+    benchmark.extra_info.update(
+        {"tuples": len(rows), "expected": truth, "queries": stats.queries_issued}
+    )
+    print_table(
+        "Crawler — price in [300, 1500]",
+        f"{'tuples':>8s} {'queries':>8s} {'leaves':>8s}",
+        [f"{len(rows):>8d} {stats.queries_issued:>8d} {stats.leaves:>8d}"],
+    )
+    assert len(rows) == truth

@@ -1,0 +1,51 @@
+"""FIG2 — parallel processed queries per iteration (paper Fig. 2).
+
+The paper reports that, while answering reranking queries on Blue Nile with
+MD-RERANK, more than 90 % of the search queries were issued in parallel for a
+3D ranking function and about 97 % (44 of 45) for a 2D function.  This bench
+reruns both functions on the simulated Blue Nile and reports the same two
+fractions (per-iteration and per-query).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks._tables import print_table
+from repro.workloads.experiments import run_fig2_parallelism
+
+
+@pytest.mark.benchmark(group="fig2-parallelism")
+@pytest.mark.parametrize("label", ["3d", "2d"])
+def test_fig2_parallel_fraction(benchmark, environment, depth, label):
+    """Measure the parallel fraction for one of the paper's two functions."""
+
+    def run():
+        return run_fig2_parallelism(environment, depth=depth)[label]
+
+    payload = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    paper = {"3d": 0.90, "2d": 0.97}
+    benchmark.extra_info.update(
+        {
+            "ranking": payload["ranking"],
+            "iterations": payload["iterations"],
+            "external_queries": payload["queries"],
+            "parallel_iteration_fraction": round(payload["parallel_fraction"], 3),
+            "parallel_query_fraction": round(payload["parallel_query_fraction"], 3),
+            "paper_parallel_query_fraction": paper[label],
+        }
+    )
+    print_table(
+        f"FIG2 ({label}) — {payload['ranking']}",
+        f"{'metric':>34s} {'measured':>10s} {'paper':>10s}",
+        [
+            f"{'parallel iterations':>34s} {payload['parallel_fraction']:>10.0%} {'-':>10s}",
+            f"{'queries issued in parallel':>34s} "
+            f"{payload['parallel_query_fraction']:>10.0%} {paper[label]:>10.0%}",
+            f"{'total external queries':>34s} {payload['queries']:>10d} {'-':>10s}",
+        ],
+    )
+    # The qualitative claim of the figure: the overwhelming majority of the
+    # queries go out in parallel groups.
+    assert payload["parallel_query_fraction"] > 0.5

@@ -1,0 +1,46 @@
+"""FIG4 — the statistics panel of a Zillow reranking request (paper Fig. 4).
+
+The paper's screenshot reports that reranking Zillow by
+``price - 0.3 squarefeet`` issued 27 queries to the Zillow server and took 33
+seconds.  This bench runs the same request against the simulated Zillow
+(~1 s of accounted latency per query) and reports the same two numbers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks._tables import print_table
+from repro.workloads.experiments import run_fig4_statistics
+
+
+@pytest.mark.benchmark(group="fig4-statistics")
+def test_fig4_statistics_panel(benchmark, environment, depth):
+    """Query cost and processing time of the Fig. 4 request."""
+
+    def run():
+        return run_fig4_statistics(environment, page_size=depth)
+
+    payload = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    benchmark.extra_info.update(
+        {
+            "ranking": payload["ranking"],
+            "external_queries": payload["external_queries"],
+            "processing_seconds": round(payload["processing_seconds"], 2),
+            "paper_external_queries": payload["paper_reference"]["external_queries"],
+            "paper_processing_seconds": payload["paper_reference"]["processing_seconds"],
+        }
+    )
+    print_table(
+        f"FIG4 — {payload['ranking']} ({payload['rows_returned']} results)",
+        f"{'metric':>24s} {'measured':>10s} {'paper':>10s}",
+        [
+            f"{'external queries':>24s} {payload['external_queries']:>10d} "
+            f"{payload['paper_reference']['external_queries']:>10d}",
+            f"{'processing seconds':>24s} {payload['processing_seconds']:>10.1f} "
+            f"{payload['paper_reference']['processing_seconds']:>10.1f}",
+        ],
+    )
+    # Same order of magnitude as the paper: tens of queries, not hundreds.
+    assert payload["external_queries"] < 200

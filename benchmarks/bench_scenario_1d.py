@@ -1,0 +1,62 @@
+"""SC-1D — the "1D" demonstration scenario.
+
+The demo plan runs 1D reranking on both web databases, for several filter
+predicates, in both ascending and descending order, so that the user ranking
+is positively correlated, negatively correlated, or independent with respect
+to the hidden system ranking.  The headline comparison is the number of
+queries each algorithm (1D-BASELINE / 1D-BINARY / 1D-RERANK) issues.
+"""
+
+from __future__ import annotations
+
+import statistics as pystats
+
+import pytest
+
+from benchmarks._tables import print_table
+from repro.core.reranker import Algorithm
+from repro.workloads.experiments import (
+    default_1d_scenarios,
+    run_scenario_suite,
+    summarize_by_correlation,
+)
+
+ALGORITHMS = [Algorithm.BASELINE, Algorithm.BINARY, Algorithm.RERANK]
+
+
+@pytest.mark.benchmark(group="scenario-1d")
+@pytest.mark.parametrize("algorithm", ALGORITHMS, ids=lambda a: a.value)
+def test_scenario_1d_query_cost(benchmark, environment, depth, algorithm):
+    """Mean query cost of one 1D algorithm across every demonstration scenario."""
+    scenarios = default_1d_scenarios(environment)
+
+    def run():
+        return run_scenario_suite(scenarios, [algorithm], environment, depth=depth)
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    per_correlation = summarize_by_correlation(results)
+    mean_queries = pystats.mean(result.external_queries for result in results)
+    benchmark.extra_info.update(
+        {
+            "algorithm": algorithm.value,
+            "scenarios": len(results),
+            "mean_queries": round(mean_queries, 1),
+            "mean_queries_by_correlation": {
+                correlation: round(values.get(algorithm.value, 0.0), 1)
+                for correlation, values in per_correlation.items()
+            },
+        }
+    )
+    print_table(
+        f"SC-1D — 1D-{algorithm.value.upper()} (top-{depth} per scenario)",
+        f"{'scenario':>24s} {'source':>9s} {'correlation':>12s} {'queries':>8s} {'seconds':>8s}",
+        [
+            f"{result.scenario:>24s} {result.source:>9s} {result.correlation:>12s} "
+            f"{result.external_queries:8d} {result.processing_seconds:8.1f}"
+            for result in results
+        ],
+    )
+    for result in results:
+        assert result.tuples_returned > 0
+        assert result.external_queries > 0

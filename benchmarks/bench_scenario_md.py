@@ -1,0 +1,56 @@
+"""SC-MD — the "MD" demonstration scenario.
+
+Multi-attribute slider functions on both web databases (including the paper's
+2D and 3D Blue Nile functions and the Zillow best-case / Fig. 4 functions),
+compared across MD-BASELINE, MD-BINARY, MD-RERANK, and MD-TA.
+"""
+
+from __future__ import annotations
+
+import statistics as pystats
+
+import pytest
+
+from benchmarks._tables import print_table
+from repro.core.reranker import Algorithm
+from repro.workloads.experiments import default_md_scenarios, run_scenario_suite
+
+ALGORITHMS = [Algorithm.BASELINE, Algorithm.BINARY, Algorithm.RERANK, Algorithm.TA]
+
+
+@pytest.mark.benchmark(group="scenario-md")
+@pytest.mark.parametrize("algorithm", ALGORITHMS, ids=lambda a: a.value)
+def test_scenario_md_query_cost(benchmark, environment, algorithm):
+    """Query cost of one MD algorithm across the MD demonstration scenarios."""
+    depth = 5  # MD requests are heavier; five answers per scenario
+    scenarios = default_md_scenarios(environment)
+
+    def run():
+        return run_scenario_suite(scenarios, [algorithm], environment, depth=depth)
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    mean_queries = pystats.mean(result.external_queries for result in results)
+    benchmark.extra_info.update(
+        {
+            "algorithm": algorithm.value,
+            "scenarios": len(results),
+            "mean_queries": round(mean_queries, 1),
+            "per_scenario_queries": {
+                result.scenario: result.external_queries for result in results
+            },
+        }
+    )
+    print_table(
+        f"SC-MD — MD-{algorithm.value.upper()} (top-{depth} per scenario)",
+        f"{'scenario':>28s} {'dim':>4s} {'correlation':>12s} {'queries':>8s} "
+        f"{'seconds':>8s} {'par.frac':>9s}",
+        [
+            f"{result.scenario:>28s} {result.dimensionality:4d} {result.correlation:>12s} "
+            f"{result.external_queries:8d} {result.processing_seconds:8.1f} "
+            f"{result.parallel_fraction:9.0%}"
+            for result in results
+        ],
+    )
+    for result in results:
+        assert result.tuples_returned > 0

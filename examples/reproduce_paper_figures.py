@@ -1,0 +1,146 @@
+#!/usr/bin/env python3
+"""Regenerate every figure / scenario of the paper and print paper-vs-measured.
+
+This drives the experiment harness in :mod:`repro.workloads.experiments` at a
+configurable catalog scale and prints one section per artifact:
+
+* Fig. 2  — fraction of iterations / queries issued in parallel (2D and 3D),
+* Fig. 4  — query cost and processing time of the statistics-panel request,
+* SC-1D   — 1D algorithm comparison across correlation classes,
+* SC-MD   — MD algorithm comparison,
+* SC-IDX  — on-the-fly indexing amortization,
+* SC-BW   — best versus worst case.
+
+Run with::
+
+    python examples/reproduce_paper_figures.py [--scale 0.5] [--depth 10]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.core.reranker import Algorithm
+from repro.workloads.experiments import (
+    ExperimentEnvironment,
+    default_1d_scenarios,
+    default_md_scenarios,
+    run_best_worst_cases,
+    run_fig2_parallelism,
+    run_fig4_statistics,
+    run_onthefly_indexing,
+    run_scenario_suite,
+    summarize_by_correlation,
+)
+
+
+def section(title: str) -> None:
+    print("\n" + "=" * 76)
+    print(title)
+    print("=" * 76)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.5, help="catalog scale (1.0 = full)")
+    parser.add_argument("--depth", type=int, default=10, help="results fetched per request")
+    arguments = parser.parse_args()
+
+    environment = ExperimentEnvironment(catalog_scale=arguments.scale)
+    print(
+        f"environment: bluenile={environment.bluenile.size} tuples, "
+        f"zillow={environment.zillow.size} tuples, system-k={environment.system_k}, "
+        f"~{environment.latency_seconds:.0f}s simulated latency per query"
+    )
+
+    # ------------------------------------------------------------------ #
+    section("FIG 2 — parallel processed queries per iteration (Blue Nile)")
+    fig2 = run_fig2_parallelism(environment, depth=arguments.depth)
+    print(f"{'function':>10s} {'iterations':>11s} {'parallel':>9s} {'queries':>8s} "
+          f"{'par.queries':>12s} {'paper':>22s}")
+    paper_claim = {"3d": "> 90% in parallel", "2d": "≈ 97% in parallel"}
+    for label in ("3d", "2d"):
+        payload = fig2[label]
+        print(
+            f"{label:>10s} {payload['iterations']:11d} "
+            f"{payload['parallel_fraction']:9.0%} {payload['queries']:8d} "
+            f"{payload['parallel_query_fraction']:12.0%} {paper_claim[label]:>22s}"
+        )
+
+    # ------------------------------------------------------------------ #
+    section("FIG 4 — statistics panel for Zillow 'price - 0.3 squarefeet'")
+    fig4 = run_fig4_statistics(environment, page_size=arguments.depth)
+    print(f"measured : {fig4['external_queries']} queries, "
+          f"{fig4['processing_seconds']:.1f} s for {fig4['rows_returned']} results")
+    print(f"paper    : {fig4['paper_reference']['external_queries']} queries, "
+          f"{fig4['paper_reference']['processing_seconds']:.0f} s")
+
+    # ------------------------------------------------------------------ #
+    section("SC-1D — 1D algorithms across correlation classes (mean queries)")
+    one_d = run_scenario_suite(
+        default_1d_scenarios(environment),
+        [Algorithm.BASELINE, Algorithm.BINARY, Algorithm.RERANK],
+        environment,
+        depth=arguments.depth,
+    )
+    summary = summarize_by_correlation(one_d)
+    print(f"{'correlation':>14s} {'baseline':>10s} {'binary':>10s} {'rerank':>10s}")
+    for correlation in ("positive", "independent", "negative"):
+        row = summary.get(correlation, {})
+        print(
+            f"{correlation:>14s} "
+            f"{row.get('baseline', float('nan')):10.1f} "
+            f"{row.get('binary', float('nan')):10.1f} "
+            f"{row.get('rerank', float('nan')):10.1f}"
+        )
+
+    # ------------------------------------------------------------------ #
+    section("SC-MD — MD algorithms (queries per scenario)")
+    md = run_scenario_suite(
+        default_md_scenarios(environment),
+        [Algorithm.BASELINE, Algorithm.BINARY, Algorithm.RERANK, Algorithm.TA],
+        environment,
+        depth=max(arguments.depth // 2, 3),
+    )
+    print(f"{'scenario':>28s} {'dim':>4s} {'corr':>12s} "
+          f"{'baseline':>9s} {'binary':>7s} {'rerank':>7s} {'ta':>7s}")
+    by_scenario: dict = {}
+    for result in md:
+        by_scenario.setdefault(result.scenario, {})[result.algorithm] = result
+    for name, cells in by_scenario.items():
+        any_cell = next(iter(cells.values()))
+        def fmt(algorithm):
+            cell = cells.get(algorithm)
+            return f"{cell.external_queries:7d}" if cell else "      -"
+        print(
+            f"{name:>28s} {any_cell.dimensionality:4d} {any_cell.correlation:>12s} "
+            f"{fmt('baseline'):>9s} {fmt('binary')} {fmt('rerank')} {fmt('ta')}"
+        )
+
+    # ------------------------------------------------------------------ #
+    section("SC-IDX — on-the-fly indexing amortization (queries per repetition)")
+    idx = run_onthefly_indexing(environment, repetitions=5, depth=arguments.depth)
+    print(f"workload  : {idx['ranking']} where {idx['query']}")
+    print(f"1D-RERANK : {idx['rerank_costs']}   (shared index, amortized "
+          f"{idx['rerank_amortized']:.1f}/request)")
+    print(f"1D-BINARY : {idx['binary_costs']}   (no index, amortized "
+          f"{idx['binary_amortized']:.1f}/request)")
+    print(f"index now holds {idx['index_regions']} regions / {idx['index_tuples']} tuples")
+
+    # ------------------------------------------------------------------ #
+    section("SC-BW — best versus worst case")
+    bw = run_best_worst_cases(environment, depth=arguments.depth)
+    worst, best = bw["worst_case"], bw["best_case"]
+    print(f"worst case ({worst['ranking']}), LWR=1.0 cluster of "
+          f"{worst['lwr_cluster_size']} tuples "
+          f"({worst['lwr_cluster_fraction']:.0%} of the catalog):")
+    print(f"  MD-TA cold : {worst['ta_cold']['queries']} queries, {worst['ta_cold']['seconds']:.1f} s")
+    print(f"  MD-TA warm : {worst['ta_warm']['queries']} queries, {worst['ta_warm']['seconds']:.1f} s")
+    print(f"  MD-RERANK  : {worst['rerank']['queries']} queries, {worst['rerank']['seconds']:.1f} s")
+    print(f"best case ({best['ranking']}):")
+    print(f"  MD-TA      : {best['ta']['queries']} queries, {best['ta']['seconds']:.1f} s")
+    print(f"  MD-RERANK  : {best['rerank']['queries']} queries, {best['rerank']['seconds']:.1f} s")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The canonical metadata lives in ``pyproject.toml``; this file only exists so
+that environments without the ``wheel`` package (which cannot build PEP 517
+editable installs) can still run ``pip install -e . --no-use-pep517``.
+"""
+
+from setuptools import setup
+
+setup()

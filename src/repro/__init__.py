@@ -1,0 +1,53 @@
+"""QR2 — a third-party query reranking service over (simulated) web databases.
+
+This package reproduces the system demonstrated in *"QR2: A Third-Party Query
+Reranking Service over Web Databases"* (ICDE 2018), built on the query
+reranking algorithms of *"Query Reranking as a Service"* (VLDB 2016).
+
+Layout
+------
+``repro.dataset``
+    Schemas, a lightweight columnar table, and the synthetic Blue Nile-like
+    and Zillow-like catalogs.
+``repro.webdb``
+    Simulated hidden web databases: conjunctive search queries, hidden system
+    rankings, the top-k interface contract, latency and query accounting, and
+    an HTTP-backed remote adapter.
+``repro.httpsim``
+    The miniature HTTP stack (client, server, wire format) used to reach the
+    simulated databases the way the real service reaches live web sites.
+``repro.sqlstore``
+    SQLite-backed persistence (the paper's MySQL dense-region cache) and a
+    SQL-over-tables helper (the paper's pandasql usage).
+``repro.crawl``
+    The hidden-database crawler used for general-positioning violations and
+    dense-region indexing.
+``repro.core``
+    The reranking algorithms themselves — 1D/MD BASELINE, BINARY, RERANK and
+    MD-TA — plus sessions, normalization, parallel query execution, the
+    dense-region index, and the :class:`~repro.core.reranker.QueryReranker`
+    facade.
+``repro.service``
+    The QR2 web-service layer: data sources, sessions, slider-based ranking
+    specifications, popular functions, and a JSON HTTP API.
+``repro.workloads``
+    Workload generators and the experiment harness that regenerates the
+    paper's figures and demonstration scenarios.
+"""
+
+from repro.core.functions import LinearRankingFunction, SingleAttributeRanking
+from repro.core.reranker import Algorithm, QueryReranker
+from repro.webdb.database import HiddenWebDatabase
+from repro.webdb.query import SearchQuery
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Algorithm",
+    "QueryReranker",
+    "HiddenWebDatabase",
+    "SearchQuery",
+    "LinearRankingFunction",
+    "SingleAttributeRanking",
+    "__version__",
+]

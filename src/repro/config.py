@@ -1,0 +1,123 @@
+"""Central configuration objects for the QR2 reproduction.
+
+The paper's system exposes a handful of operational knobs: the web database's
+``system-k`` (how many results its public interface returns), the density
+threshold at which ``(1D/MD)-RERANK`` switches from binary probing to crawling
+and indexing a region, the number of worker threads used for parallel query
+processing, and the simulated network latency.  They are grouped here so the
+rest of the library never hard-codes magic numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class DatabaseConfig:
+    """Configuration of a simulated hidden web database.
+
+    Parameters
+    ----------
+    system_k:
+        Number of tuples the public top-k interface returns per query.  Real
+        web databases typically return one "page" of results; the VLDB'16
+        paper calls this value *k*.
+    latency_seconds:
+        Mean simulated round-trip latency per search query.  ``0.0`` disables
+        latency simulation entirely (used by the unit tests).
+    latency_jitter:
+        Fractional jitter applied around ``latency_seconds`` when the latency
+        model draws random delays.
+    fail_rate:
+        Probability that a query transiently fails (the client retries).
+        Mimics flaky remote endpoints; ``0.0`` in tests.
+    seed:
+        Seed for the database's internal randomness (latency draws, failure
+        draws).  Catalog generation takes its own seed.
+    """
+
+    system_k: int = 20
+    latency_seconds: float = 0.0
+    latency_jitter: float = 0.25
+    fail_rate: float = 0.0
+    seed: int = 7
+
+    def with_latency(self, seconds: float) -> "DatabaseConfig":
+        """Return a copy of this configuration with a different latency."""
+        return replace(self, latency_seconds=seconds)
+
+
+@dataclass(frozen=True)
+class RerankConfig:
+    """Configuration of the reranking algorithms.
+
+    Parameters
+    ----------
+    dense_ratio_threshold:
+        A candidate region is declared *dense* when its width has shrunk below
+        this fraction of the attribute's (normalized) domain while its queries
+        still overflow.  Dense regions are crawled and indexed instead of being
+        probed further.
+    dense_split_depth:
+        Number of consecutive overflowing splits after which the RERANK
+        variants treat a region as dense and crawl/index it, even if it is not
+        yet narrow.  The BINARY variants ignore this and keep splitting until
+        ``max_binary_rounds`` — which is exactly the performance gap the paper
+        attributes to on-the-fly indexing.
+    max_binary_rounds:
+        Hard cap on the number of binary-search halvings before a region is
+        treated as dense regardless of its width (protects against adversarial
+        value distributions).
+    query_budget:
+        Optional hard limit on the number of external queries a single
+        Get-Next call may issue; ``None`` means unlimited.
+    parallel_workers:
+        Number of worker threads used by the parallel query executor.
+    enable_parallel:
+        Global switch for parallel query processing (the ablation benchmarks
+        flip this off).
+    enable_session_cache:
+        Global switch for the per-session seen-tuple cache.
+    enable_dense_index:
+        Global switch for on-the-fly dense-region indexing (BASELINE/BINARY
+        algorithms run with this off).
+    """
+
+    dense_ratio_threshold: float = 0.005
+    dense_split_depth: int = 12
+    max_binary_rounds: int = 40
+    query_budget: Optional[int] = None
+    parallel_workers: int = 8
+    enable_parallel: bool = True
+    enable_session_cache: bool = True
+    enable_dense_index: bool = True
+
+    def without_parallel(self) -> "RerankConfig":
+        """Copy of this configuration with parallel processing disabled."""
+        return replace(self, enable_parallel=False)
+
+    def without_dense_index(self) -> "RerankConfig":
+        """Copy of this configuration with on-the-fly indexing disabled."""
+        return replace(self, enable_dense_index=False)
+
+    def without_session_cache(self) -> "RerankConfig":
+        """Copy of this configuration with the session cache disabled."""
+        return replace(self, enable_session_cache=False)
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Configuration of the QR2 web service facade."""
+
+    default_page_size: int = 10
+    max_page_size: int = 100
+    session_ttl_seconds: float = 3600.0
+    dense_cache_path: Optional[str] = None
+    rerank: RerankConfig = field(default_factory=RerankConfig)
+
+
+DEFAULT_DATABASE_CONFIG = DatabaseConfig()
+DEFAULT_RERANK_CONFIG = RerankConfig()
+DEFAULT_SERVICE_CONFIG = ServiceConfig()

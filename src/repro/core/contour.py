@@ -1,0 +1,141 @@
+"""Rank-contour geometry.
+
+The VLDB'16 algorithms are organised around the *rank contour* of the
+best-known tuple: for a linear ranking function ``f``, the contour at score
+``s`` is the hyperplane ``f(x) = s`` and the *region of interest* is the part
+of the search space with a strictly better (smaller) score.  A candidate can
+be declared the true next tuple once the region of interest is fully covered
+by non-overflowing queries.
+
+For axis-aligned boxes and linear functions the geometry reduces to corner
+arithmetic: the minimum (maximum) achievable score inside a box is obtained by
+taking, per attribute, the box edge the weight's sign prefers.  Those two
+bounds drive all pruning decisions in the MD algorithms:
+
+* ``min_score(box) >= best_score``  →  the box cannot contain a better tuple,
+  prune it (it is *covered* by the contour);
+* ``max_score(box) <= frontier``    →  every tuple in the box ranks at or
+  before the already-returned frontier, prune it;
+* otherwise the box straddles the region of interest and must be queried or
+  split.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Mapping, Optional, Tuple
+
+from repro.core.functions import LinearRankingFunction, UserRankingFunction
+from repro.core.regions import HyperRectangle
+
+
+@dataclass(frozen=True)
+class ScoreBounds:
+    """Minimum and maximum achievable score of a linear function on a box."""
+
+    minimum: float
+    maximum: float
+
+    def __post_init__(self) -> None:
+        if self.minimum > self.maximum + 1e-12:
+            raise ValueError(f"inverted score bounds: {self.minimum} > {self.maximum}")
+
+
+def _normalized_edge(function: LinearRankingFunction, attribute: str, value: float) -> float:
+    """Value of ``attribute`` as seen by ``function`` (normalized if needed)."""
+    normalizer = function.normalizer
+    if normalizer is None:
+        return value
+    return normalizer.normalize(attribute, value)
+
+
+def score_bounds(function: LinearRankingFunction, box: HyperRectangle) -> ScoreBounds:
+    """Exact score bounds of ``function`` over ``box``.
+
+    Because the function is linear and the box axis-aligned, the extrema occur
+    at corners chosen per attribute by the sign of the weight.
+    """
+    minimum = 0.0
+    maximum = 0.0
+    for attribute in function.attributes:
+        weight = function.weight(attribute)
+        side = box.side(attribute)
+        low = weight * _normalized_edge(function, attribute, side.lower)
+        high = weight * _normalized_edge(function, attribute, side.upper)
+        minimum += min(low, high)
+        maximum += max(low, high)
+    return ScoreBounds(minimum=minimum, maximum=maximum)
+
+
+def can_contain_better(
+    function: LinearRankingFunction,
+    box: HyperRectangle,
+    best_score: float,
+    tolerance: float = 1e-12,
+) -> bool:
+    """True when ``box`` could contain a tuple scoring strictly below
+    ``best_score`` (i.e. the box intersects the open region of interest)."""
+    if math.isinf(best_score):
+        return True
+    return score_bounds(function, box).minimum < best_score - tolerance
+
+
+def entirely_at_or_before_frontier(
+    function: LinearRankingFunction,
+    box: HyperRectangle,
+    frontier_score: float,
+    tolerance: float = 1e-12,
+) -> bool:
+    """True when every point of ``box`` scores at or below ``frontier_score``
+    (its tuples have already been emitted or tie with the frontier group)."""
+    if math.isinf(frontier_score) and frontier_score < 0:
+        return False
+    return score_bounds(function, box).maximum <= frontier_score + tolerance
+
+
+def contour_crossing(
+    function: LinearRankingFunction,
+    box: HyperRectangle,
+    attribute: str,
+    score: float,
+) -> Optional[float]:
+    """Where the contour ``f(x) = score`` crosses the box along ``attribute``
+    when every other attribute sits at its best (score-minimizing) edge.
+
+    Returns the raw attribute value of the crossing, clamped to the box side,
+    or ``None`` when the weight of ``attribute`` is zero.  MD-BASELINE uses
+    this to derive the per-attribute "narrowed" query bounds from the current
+    best score — the contour-driven narrowing the paper describes.
+    """
+    weight = function.weight(attribute)
+    if weight == 0.0:
+        return None
+    other_minimum = 0.0
+    for other in function.attributes:
+        if other == attribute:
+            continue
+        other_weight = function.weight(other)
+        side = box.side(other)
+        low = other_weight * _normalized_edge(function, other, side.lower)
+        high = other_weight * _normalized_edge(function, other, side.upper)
+        other_minimum += min(low, high)
+    target = (score - other_minimum) / weight
+    # Undo normalization to express the crossing in raw attribute units.
+    normalizer = function.normalizer
+    if normalizer is not None:
+        target = normalizer.denormalize(attribute, target)
+    side = box.side(attribute)
+    return min(max(target, side.lower), side.upper)
+
+
+def frontier_gap(
+    function: UserRankingFunction,
+    frontier_score: float,
+    best_score: float,
+) -> float:
+    """Width of the score band between the emitted frontier and the current
+    best candidate — the "region of interest" thickness (diagnostics only)."""
+    if math.isinf(frontier_score) or math.isinf(best_score):
+        return math.inf
+    return max(best_score - frontier_score, 0.0)

@@ -1,0 +1,209 @@
+"""On-the-fly dense-region index.
+
+``(1D/MD)-RERANK`` differ from the BINARY algorithms in one way: when the
+candidate region has become *dense* — its width is a tiny fraction of the
+attribute domain yet its queries still overflow — they stop probing, crawl the
+region completely through the public interface, and remember its contents.
+Future lookups that fall inside a remembered region are answered locally with
+zero external queries, so the (potentially expensive) crawl is amortized
+across queries and across users.
+
+:class:`DenseRegionIndex` is the in-memory hot path of that idea.  It stores
+1D intervals and MD boxes together with their crawled tuples, answers
+"is this region fully covered?" and "give me the covered tuples matching this
+filter" questions, and optionally persists every region to a
+:class:`~repro.sqlstore.dense_cache.DenseRegionCache` (the paper's MySQL
+store) so the index survives restarts and is shared between service workers.
+
+Regions are stored *without* the user's filter predicates: they describe the
+database's content inside an attribute-space box, so any user query can reuse
+them by filtering locally.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.regions import HyperRectangle
+from repro.dataset.schema import Schema
+from repro.exceptions import DenseRegionError
+from repro.sqlstore.dense_cache import DenseRegionCache
+from repro.webdb.query import RangePredicate, SearchQuery
+
+Row = Dict[str, object]
+
+
+@dataclass
+class IndexedRegion:
+    """One covered region: a closed box plus every database tuple inside it."""
+
+    box: HyperRectangle
+    rows: List[Row]
+
+    @property
+    def attributes(self) -> Tuple[str, ...]:
+        """Attributes the region constrains (sorted)."""
+        return tuple(sorted(self.box.attributes))
+
+
+class DenseRegionIndex:
+    """Shared index of crawled dense regions."""
+
+    def __init__(
+        self,
+        schema: Schema,
+        cache: Optional[DenseRegionCache] = None,
+    ) -> None:
+        self._schema = schema
+        self._cache = cache
+        self._lock = threading.Lock()
+        # Regions grouped by their (sorted) attribute signature, e.g. all 1D
+        # "price" regions together, all ("carat", "price") boxes together.
+        self._regions: Dict[Tuple[str, ...], List[IndexedRegion]] = {}
+        if cache is not None:
+            self._load_from_cache()
+
+    # ------------------------------------------------------------------ #
+    # Persistence
+    # ------------------------------------------------------------------ #
+    def _load_from_cache(self) -> None:
+        assert self._cache is not None
+        for stored in self._cache.regions():
+            box = HyperRectangle.from_bounds(stored.bounds)
+            rows = self._cache.rows_for_region(stored)
+            self._insert(IndexedRegion(box=box, rows=rows), persist=False)
+
+    # ------------------------------------------------------------------ #
+    # Writes
+    # ------------------------------------------------------------------ #
+    def add_region(self, box: HyperRectangle, rows: Sequence[Mapping[str, object]]) -> None:
+        """Register a crawled region.
+
+        ``rows`` must be *every* database tuple inside ``box`` — that is the
+        invariant the covering lookups rely on; it is the crawler's job to
+        guarantee it.
+        """
+        region = IndexedRegion(box=box, rows=[dict(row) for row in rows])
+        self._insert(region, persist=True)
+
+    def add_interval(
+        self,
+        attribute: str,
+        lower: float,
+        upper: float,
+        rows: Sequence[Mapping[str, object]],
+    ) -> None:
+        """Convenience wrapper for 1D regions."""
+        self.add_region(HyperRectangle.from_bounds({attribute: (lower, upper)}), rows)
+
+    def _insert(self, region: IndexedRegion, persist: bool) -> None:
+        signature = region.attributes
+        with self._lock:
+            self._regions.setdefault(signature, []).append(region)
+        if persist and self._cache is not None:
+            self._cache.store_region(region.box.bounds(), region.rows)
+
+    def clear(self) -> None:
+        """Drop every in-memory region (the persistent cache is left alone)."""
+        with self._lock:
+            self._regions.clear()
+
+    # ------------------------------------------------------------------ #
+    # Lookups
+    # ------------------------------------------------------------------ #
+    def _candidates(self, attributes: Tuple[str, ...]) -> List[IndexedRegion]:
+        with self._lock:
+            return list(self._regions.get(tuple(sorted(attributes)), []))
+
+    def covering_region(self, box: HyperRectangle) -> Optional[IndexedRegion]:
+        """A stored region that fully covers ``box``, or ``None``.
+
+        Coverage is judged on the same attribute signature only: a stored
+        ``price`` interval covers a requested ``price`` sub-interval, but a
+        stored ``(price, carat)`` box is not used to answer a pure ``price``
+        question (it does cover it logically, but the bookkeeping cost is not
+        worth it at this catalog scale).
+        """
+        for region in self._candidates(box.attributes):
+            if region.box.covers(box):
+                return region
+        return None
+
+    def covers(self, box: HyperRectangle) -> bool:
+        """True when a stored region fully covers ``box``."""
+        return self.covering_region(box) is not None
+
+    def covers_interval(self, attribute: str, interval: RangePredicate) -> bool:
+        """True when a stored 1D region fully covers ``interval``."""
+        box = HyperRectangle((interval,))
+        return self.covers(box)
+
+    def rows_in(
+        self,
+        box: HyperRectangle,
+        base_query: Optional[SearchQuery] = None,
+    ) -> List[Row]:
+        """Every known tuple inside ``box`` that also matches ``base_query``.
+
+        Raises :class:`DenseRegionError` when ``box`` is not covered — callers
+        must check :meth:`covers` first, because an uncovered answer would be
+        silently incomplete.
+        """
+        region = self.covering_region(box)
+        if region is None:
+            raise DenseRegionError(f"region not covered by the index: {box.describe()}")
+        selected = []
+        for row in region.rows:
+            if not box.contains(row):
+                continue
+            if base_query is not None and not base_query.matches(row):
+                continue
+            selected.append(dict(row))
+        return selected
+
+    def rows_in_interval(
+        self,
+        attribute: str,
+        interval: RangePredicate,
+        base_query: Optional[SearchQuery] = None,
+    ) -> List[Row]:
+        """1D convenience wrapper around :meth:`rows_in`."""
+        return self.rows_in(HyperRectangle((interval,)), base_query)
+
+    # ------------------------------------------------------------------ #
+    # Introspection / maintenance
+    # ------------------------------------------------------------------ #
+    def region_count(self) -> int:
+        """Number of stored regions."""
+        with self._lock:
+            return sum(len(regions) for regions in self._regions.values())
+
+    def tuple_count(self) -> int:
+        """Number of stored tuples across all regions (with multiplicity)."""
+        with self._lock:
+            return sum(
+                len(region.rows)
+                for regions in self._regions.values()
+                for region in regions
+            )
+
+    def signatures(self) -> List[Tuple[str, ...]]:
+        """Attribute signatures that currently have at least one region."""
+        with self._lock:
+            return [signature for signature, regions in self._regions.items() if regions]
+
+    def describe(self) -> Dict[str, object]:
+        """Summary used by the service's statistics endpoint."""
+        with self._lock:
+            per_signature = {
+                "+".join(signature): len(regions)
+                for signature, regions in self._regions.items()
+            }
+        return {
+            "regions": self.region_count(),
+            "tuples": self.tuple_count(),
+            "per_signature": per_signature,
+            "persistent": self._cache is not None,
+        }

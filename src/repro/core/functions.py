@@ -1,0 +1,250 @@
+"""User-specified ranking functions.
+
+The user tells QR2 how results should be ordered.  Two forms are supported,
+matching the paper's UI:
+
+* **1D** — a single attribute with an ascending or descending direction
+  (:class:`SingleAttributeRanking`), the analogue of a SQL ``ORDER BY``;
+* **MD** — a linear combination ``Σ wᵢ·Aᵢ`` of two or more numeric attributes
+  (:class:`LinearRankingFunction`), with weights in ``[-1, 1]`` taken from the
+  UI sliders and attributes min–max normalized so the weights are comparable.
+
+Scores are *minimized*: a positive weight means "prefer small values" (price),
+a negative weight means "prefer large values" (carat, square feet).  This is
+exactly how the paper writes its example functions, e.g.
+``price − 0.1·carat − 0.5·depth``.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.dataset.schema import Schema
+from repro.exceptions import RankingFunctionError
+
+Row = Mapping[str, object]
+
+
+class UserRankingFunction(ABC):
+    """A monotone scoring function over the rankable numeric attributes.
+
+    Lower scores are better; the reranked stream is produced in ascending
+    score order.
+    """
+
+    @property
+    @abstractmethod
+    def attributes(self) -> Tuple[str, ...]:
+        """Ranking attributes, in a stable order."""
+
+    @abstractmethod
+    def score(self, row: Row) -> float:
+        """Score of ``row`` (lower = better)."""
+
+    @abstractmethod
+    def weight(self, attribute: str) -> float:
+        """Signed weight of ``attribute`` (sign gives the preferred direction:
+        positive prefers small values, negative prefers large values)."""
+
+    @abstractmethod
+    def describe(self) -> str:
+        """Human-readable rendering for the UI and logs."""
+
+    # ------------------------------------------------------------------ #
+    @property
+    def dimensionality(self) -> int:
+        """Number of ranking attributes."""
+        return len(self.attributes)
+
+    @property
+    def is_single_attribute(self) -> bool:
+        """True for 1D ranking functions."""
+        return self.dimensionality == 1
+
+    def validate(self, schema: Schema) -> None:
+        """Check that every ranking attribute is numeric and rankable."""
+        for name in self.attributes:
+            attribute = schema.require_numeric(name)
+            if not attribute.rankable:
+                raise RankingFunctionError(
+                    f"attribute {name!r} is not offered for ranking"
+                )
+
+    def sort_key(self, key_column: str):
+        """Deterministic sort key: score, then tuple key."""
+
+        def _key(row: Row):
+            return (self.score(row), str(row.get(key_column, "")))
+
+        return _key
+
+    def rank_rows(self, rows: Sequence[Row], key_column: str) -> List[Dict[str, object]]:
+        """Sort ``rows`` best-first under this function (ties on tuple key)."""
+        return [dict(row) for row in sorted(rows, key=self.sort_key(key_column))]
+
+
+class SingleAttributeRanking(UserRankingFunction):
+    """Rank by one attribute, ascending (prefer small) or descending."""
+
+    def __init__(self, attribute: str, ascending: bool = True) -> None:
+        if not attribute:
+            raise RankingFunctionError("attribute name must be non-empty")
+        self._attribute = attribute
+        self.ascending = ascending
+
+    @property
+    def attribute(self) -> str:
+        """The single ranking attribute."""
+        return self._attribute
+
+    @property
+    def attributes(self) -> Tuple[str, ...]:
+        return (self._attribute,)
+
+    def weight(self, attribute: str) -> float:
+        if attribute != self._attribute:
+            raise RankingFunctionError(f"{attribute!r} is not a ranking attribute")
+        return 1.0 if self.ascending else -1.0
+
+    def score(self, row: Row) -> float:
+        value = float(row[self._attribute])  # type: ignore[arg-type]
+        return value if self.ascending else -value
+
+    def describe(self) -> str:
+        direction = "asc" if self.ascending else "desc"
+        return f"order by {self._attribute} {direction}"
+
+
+class LinearRankingFunction(UserRankingFunction):
+    """Linear combination of (optionally normalized) numeric attributes.
+
+    Parameters
+    ----------
+    weights:
+        Mapping from attribute name to its signed weight.  At least one weight
+        must be non-zero; zero-weight attributes are dropped.
+    normalizer:
+        Optional :class:`~repro.core.normalization.MinMaxNormalizer`.  When
+        provided, attribute values are mapped to ``[0, 1]`` before weighting —
+        this is the paper's answer to "attributes with different cardinalities".
+    enforce_slider_range:
+        When True, weights outside ``[-1, 1]`` are rejected, matching the
+        service's slider UI.  The algorithms themselves work for any weights.
+    """
+
+    def __init__(
+        self,
+        weights: Mapping[str, float],
+        normalizer: Optional["MinMaxNormalizerProtocol"] = None,
+        enforce_slider_range: bool = False,
+    ) -> None:
+        cleaned = {name: float(w) for name, w in weights.items() if float(w) != 0.0}
+        if not cleaned:
+            raise RankingFunctionError("a ranking function needs a non-zero weight")
+        if enforce_slider_range:
+            out_of_range = {n: w for n, w in cleaned.items() if not -1.0 <= w <= 1.0}
+            if out_of_range:
+                raise RankingFunctionError(
+                    f"slider weights must lie in [-1, 1]: {out_of_range}"
+                )
+        self._weights: Dict[str, float] = dict(sorted(cleaned.items()))
+        self._normalizer = normalizer
+
+    @property
+    def weights(self) -> Dict[str, float]:
+        """Copy of the weight mapping."""
+        return dict(self._weights)
+
+    @property
+    def normalizer(self):
+        """The attached normalizer, if any."""
+        return self._normalizer
+
+    @property
+    def attributes(self) -> Tuple[str, ...]:
+        return tuple(self._weights.keys())
+
+    def weight(self, attribute: str) -> float:
+        if attribute not in self._weights:
+            raise RankingFunctionError(f"{attribute!r} is not a ranking attribute")
+        return self._weights[attribute]
+
+    def _value(self, row: Row, attribute: str) -> float:
+        raw = float(row[attribute])  # type: ignore[arg-type]
+        if self._normalizer is None:
+            return raw
+        return self._normalizer.normalize(attribute, raw)
+
+    def score(self, row: Row) -> float:
+        return sum(
+            weight * self._value(row, attribute)
+            for attribute, weight in self._weights.items()
+        )
+
+    def score_of_values(self, values: Mapping[str, float]) -> float:
+        """Score of a point given directly as attribute values (used by the
+        rank-contour geometry, which reasons about points that are not tuples)."""
+        total = 0.0
+        for attribute, weight in self._weights.items():
+            raw = float(values[attribute])
+            if self._normalizer is not None:
+                raw = self._normalizer.normalize(attribute, raw)
+            total += weight * raw
+        return total
+
+    def describe(self) -> str:
+        terms = []
+        for attribute, weight in self._weights.items():
+            sign = "-" if weight < 0 else "+"
+            terms.append(f"{sign} {abs(weight):g}*{attribute}")
+        rendered = " ".join(terms)
+        if rendered.startswith("+ "):
+            rendered = rendered[2:]
+        return rendered
+
+    def restricted_to(self, attribute: str) -> "LinearRankingFunction":
+        """Projection onto a single attribute (used by MD-TA's sorted access)."""
+        return LinearRankingFunction(
+            {attribute: self._weights[attribute]}, normalizer=self._normalizer
+        )
+
+
+class MinMaxNormalizerProtocol:
+    """Structural type for normalizers (avoids a circular import with
+    :mod:`repro.core.normalization`)."""
+
+    def normalize(self, attribute: str, value: float) -> float:  # pragma: no cover
+        raise NotImplementedError
+
+
+def from_specification(
+    specification: Mapping[str, object],
+    normalizer: Optional[MinMaxNormalizerProtocol] = None,
+) -> UserRankingFunction:
+    """Build a ranking function from a plain-dictionary specification.
+
+    Two shapes are accepted, mirroring the two UI modes::
+
+        {"attribute": "price", "ascending": True}                 # 1D
+        {"weights": {"price": 1.0, "carat": -0.1}}                # MD sliders
+
+    The service layer uses this to turn JSON requests into functions.
+    """
+    if "attribute" in specification:
+        return SingleAttributeRanking(
+            str(specification["attribute"]),
+            ascending=bool(specification.get("ascending", True)),
+        )
+    if "weights" in specification:
+        weights = specification["weights"]
+        if not isinstance(weights, Mapping):
+            raise RankingFunctionError("'weights' must be a mapping")
+        return LinearRankingFunction(
+            {str(k): float(v) for k, v in weights.items()},  # type: ignore[arg-type]
+            normalizer=normalizer,
+            enforce_slider_range=True,
+        )
+    raise RankingFunctionError(
+        "specification must contain either 'attribute' or 'weights'"
+    )

@@ -1,0 +1,126 @@
+"""Get-Next result streams.
+
+The Get-Next primitive of the VLDB'16 paper returns the answers of a reranked
+query one at a time.  :class:`GetNextStream` is the thin driver the service
+layer (and the examples) consume: it wraps any algorithm object exposing a
+``next() -> Optional[row]`` method and provides paging, batching, iteration,
+and access to the per-request statistics — the user-visible side of the
+"get-next" button of the QR2 UI.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Protocol
+
+from repro.core.session import Session
+from repro.core.stats import RerankStatistics
+
+Row = Dict[str, object]
+
+
+class GetNextAlgorithm(Protocol):
+    """Structural interface of the algorithm objects this stream can drive."""
+
+    def next(self) -> Optional[Row]:  # pragma: no cover - protocol definition
+        """Return the next tuple, or ``None`` when exhausted."""
+        ...
+
+
+class GetNextStream:
+    """Incremental, stateful view over a reranked query answer."""
+
+    def __init__(
+        self,
+        algorithm: GetNextAlgorithm,
+        session: Session,
+        description: str = "",
+    ) -> None:
+        self._algorithm = algorithm
+        self._session = session
+        self._description = description
+        self._exhausted = False
+        self._returned: List[Row] = []
+
+    # ------------------------------------------------------------------ #
+    @property
+    def description(self) -> str:
+        """Human-readable description of the request (query + ranking)."""
+        return self._description
+
+    @property
+    def session(self) -> Session:
+        """The session backing this stream."""
+        return self._session
+
+    @property
+    def statistics(self) -> RerankStatistics:
+        """Statistics accumulated while serving this stream."""
+        return self._session.statistics
+
+    @property
+    def exhausted(self) -> bool:
+        """True once the stream has returned every matching tuple."""
+        return self._exhausted
+
+    @property
+    def returned_so_far(self) -> List[Row]:
+        """Copies of every tuple already returned, in rank order."""
+        return [dict(row) for row in self._returned]
+
+    # ------------------------------------------------------------------ #
+    def get_next(self) -> Optional[Row]:
+        """Return the next tuple of the reranked answer (the paper's Get-Next
+        primitive), or ``None`` when the answer is exhausted."""
+        if self._exhausted:
+            return None
+        self.statistics.start_timer()
+        try:
+            row = self._algorithm.next()
+        finally:
+            self.statistics.stop_timer()
+        if row is None:
+            self._exhausted = True
+            return None
+        self._returned.append(dict(row))
+        return row
+
+    def next_page(self, page_size: int) -> List[Row]:
+        """Return up to ``page_size`` further tuples (the "next page" button)."""
+        if page_size <= 0:
+            raise ValueError("page_size must be positive")
+        page: List[Row] = []
+        for _ in range(page_size):
+            row = self.get_next()
+            if row is None:
+                break
+            page.append(row)
+        return page
+
+    def top(self, count: int) -> List[Row]:
+        """Return the first ``count`` tuples overall, fetching more if needed.
+
+        Tuples already returned by earlier calls count toward ``count``.
+        """
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        while len(self._returned) < count and not self._exhausted:
+            if self.get_next() is None:
+                break
+        return [dict(row) for row in self._returned[:count]]
+
+    def __iter__(self) -> Iterator[Row]:
+        while True:
+            row = self.get_next()
+            if row is None:
+                return
+            yield row
+
+    # ------------------------------------------------------------------ #
+    def snapshot(self) -> Dict[str, object]:
+        """Summary used by the service's statistics panel."""
+        return {
+            "description": self._description,
+            "returned": len(self._returned),
+            "exhausted": self._exhausted,
+            "statistics": self.statistics.snapshot(),
+        }

@@ -1,0 +1,456 @@
+"""Multi-dimensional query reranking: MD-BASELINE, MD-BINARY, MD-RERANK.
+
+The user ranks by a linear combination of two or more attributes.  A Get-Next
+call must find, among the tuples matching the filter query, the eligible tuple
+with the smallest score — where *eligible* means "not yet returned and not
+scoring before the already-returned frontier".
+
+All variants follow the covering strategy of the VLDB'16 paper: maintain the
+best candidate seen so far and a work-list of axis-aligned boxes that might
+still contain a better tuple (the *region of interest* under the candidate's
+rank contour).  A box is retired when
+
+* a query on it does not overflow (everything inside has been observed),
+* its minimum achievable score cannot beat the candidate (covered by the
+  contour), or
+* its maximum achievable score falls before the frontier (already returned).
+
+The variants differ in how they work the list:
+
+* **MD-BASELINE** — one broad query per iteration; after each overflow the box
+  is *narrowed along the contour* of the improved candidate; only when no
+  progress is made does it split.  Sequential, and slow when the user ranking
+  disagrees with the hidden system ranking.
+* **MD-BINARY** — repeatedly halves boxes along their widest side, querying a
+  whole batch of boxes in parallel each iteration.
+* **MD-RERANK** — MD-BINARY plus the on-the-fly dense-region index: covered
+  boxes are answered locally, and boxes that become dense while still
+  overflowing are crawled once and indexed for every future query.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.config import RerankConfig
+from repro.core import contour
+from repro.core.dense_index import DenseRegionIndex
+from repro.core.functions import LinearRankingFunction
+from repro.core.parallel import QueryEngine
+from repro.core.regions import HyperRectangle
+from repro.core.session import Session
+from repro.crawl.crawler import HiddenDatabaseCrawler
+from repro.exceptions import RankingFunctionError
+from repro.webdb.interface import SearchResult
+from repro.webdb.query import RangePredicate, SearchQuery
+
+Row = Dict[str, object]
+
+_TOLERANCE = 1e-9
+#: Boxes narrower than this (relative to the domain) on every side are treated
+#: as points; if they still overflow they must be crawled.
+_POINT_WIDTH = 1e-12
+
+
+class MDVariant(enum.Enum):
+    """Which MD algorithm to run."""
+
+    BASELINE = "baseline"
+    BINARY = "binary"
+    RERANK = "rerank"
+
+
+class MultiDimGetNext:
+    """Get-Next driver for multi-attribute (linear) reranking."""
+
+    def __init__(
+        self,
+        engine: QueryEngine,
+        base_query: SearchQuery,
+        ranking: LinearRankingFunction,
+        session: Session,
+        config: Optional[RerankConfig] = None,
+        variant: MDVariant = MDVariant.RERANK,
+        dense_index: Optional[DenseRegionIndex] = None,
+    ) -> None:
+        if ranking.dimensionality < 2:
+            raise RankingFunctionError(
+                "MultiDimGetNext requires at least two ranking attributes; "
+                "use the 1D algorithms for a single attribute"
+            )
+        self._engine = engine
+        self._base_query = base_query
+        self._ranking = ranking
+        self._session = session
+        self._config = config or engine.config
+        self._variant = variant
+        self._dense_index = dense_index
+        self._statistics = session.statistics
+
+        schema = engine.schema
+        ranking.validate(schema)
+        base_query.validate(schema)
+        self._space = HyperRectangle.full_space(ranking.attributes, schema, base_query)
+        self._frontier_score = -math.inf
+        self._exhausted = False
+        # Open boxes carried across Get-Next calls (the session-cache
+        # acceleration the paper describes): regions whose contents are not
+        # yet fully cached.  Only meaningful while the session cache is
+        # enabled — without it, every call restarts from the full space.
+        self._open_boxes: Optional[List[Tuple[HyperRectangle, int]]] = None
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+    @property
+    def variant(self) -> MDVariant:
+        """The algorithm variant in use."""
+        return self._variant
+
+    def next(self) -> Optional[Row]:
+        """Return the next tuple in the user's order, or ``None``."""
+        if self._exhausted:
+            self._statistics.record_get_next(returned=False)
+            return None
+        best = self._find_next_tuple()
+        if best is None:
+            self._exhausted = True
+            self._statistics.record_get_next(returned=False)
+            return None
+        self._frontier_score = self._ranking.score(best)
+        self._session.mark_emitted(best, self._engine.key_column)
+        self._statistics.record_get_next(returned=True)
+        return best
+
+    # ------------------------------------------------------------------ #
+    # Eligibility and candidate tracking
+    # ------------------------------------------------------------------ #
+    def _is_eligible(self, row: Row, emitted: set) -> bool:
+        if row[self._engine.key_column] in emitted:
+            return False
+        if not self._base_query.matches(row):
+            return False
+        return self._ranking.score(row) >= self._frontier_score - _TOLERANCE
+
+    def _better(self, row: Row, best: Optional[Row]) -> bool:
+        if best is None:
+            return True
+        key_column = self._engine.key_column
+        return (self._ranking.score(row), str(row[key_column])) < (
+            self._ranking.score(best),
+            str(best[key_column]),
+        )
+
+    def _seed_from_cache(self, emitted: set) -> Optional[Row]:
+        if not self._config.enable_session_cache:
+            return None
+        candidates = self._session.cached_candidates(
+            self._base_query,
+            self._ranking,
+            self._frontier_score - _TOLERANCE,
+            self._engine.key_column,
+        )
+        for row in candidates:
+            if self._is_eligible(row, emitted):
+                self._statistics.record_cache_hit()
+                return row
+        return None
+
+    # ------------------------------------------------------------------ #
+    # Box bookkeeping
+    # ------------------------------------------------------------------ #
+    def _prunable(self, box: HyperRectangle, best: Optional[Row]) -> bool:
+        bounds = contour.score_bounds(self._ranking, box)
+        if bounds.maximum < self._frontier_score - _TOLERANCE:
+            return True
+        if best is not None:
+            best_score = self._ranking.score(best)
+            if bounds.minimum >= best_score - _TOLERANCE:
+                return True
+        return False
+
+    def _update_best(
+        self, rows, best: Optional[Row], emitted: set
+    ) -> Optional[Row]:
+        for row in rows:
+            candidate = dict(row)
+            if self._is_eligible(candidate, emitted) and self._better(candidate, best):
+                best = candidate
+        return best
+
+    def _remember(self, result: SearchResult) -> None:
+        if self._config.enable_session_cache:
+            self._session.remember(result.rows, self._engine.key_column)
+
+    def _use_dense_index(self) -> bool:
+        return (
+            self._variant is MDVariant.RERANK
+            and self._config.enable_dense_index
+            and self._dense_index is not None
+        )
+
+    def _crawl_box(
+        self, box: HyperRectangle, with_base_filter: bool
+    ) -> List[Row]:
+        """Crawl every tuple in ``box`` (optionally restricted to the user's
+        filters) through the public interface."""
+        region_query = SearchQuery(tuple(box.sides), ())
+        if with_base_filter:
+            region_query = box.to_query(self._base_query)
+        crawler = HiddenDatabaseCrawler(
+            _EngineInterfaceAdapter(self._engine)
+        )
+        rows, crawl_stats = crawler.crawl(region_query)
+        self._statistics.record_dense_region(crawl_stats.tuples_retrieved)
+        return rows
+
+    # ------------------------------------------------------------------ #
+    # The search itself
+    # ------------------------------------------------------------------ #
+    def _find_next_tuple(self) -> Optional[Row]:
+        emitted = set(self._session.emitted_keys())
+        best = self._seed_from_cache(emitted)
+        if self._variant is MDVariant.BASELINE:
+            return self._baseline_search(best, emitted)
+        return self._partition_search(best, emitted)
+
+    # .................................................................. #
+    def _baseline_search(self, best: Optional[Row], emitted: set) -> Optional[Row]:
+        queue: Deque[Tuple[HyperRectangle, int]] = deque([(self._space, 0)])
+        while queue:
+            box, depth = queue.popleft()
+            if self._prunable(box, best):
+                continue
+            result = self._engine.search(box.to_query(self._base_query))
+            self._remember(result)
+            previous_score = self._ranking.score(best) if best is not None else math.inf
+            best = self._update_best(result.rows, best, emitted)
+            if result.covers_query:
+                continue
+            improved = (
+                best is not None and self._ranking.score(best) < previous_score - _TOLERANCE
+            )
+            if improved:
+                narrowed = self._narrow_by_contour(box, self._ranking.score(best))
+                if narrowed is None:
+                    # The whole box lies outside the region of interest now.
+                    continue
+                if narrowed != box:
+                    # Narrowing does not count toward the split depth: each
+                    # narrowing is justified by a strictly better candidate, of
+                    # which there are at most n.
+                    queue.append((narrowed, depth))
+                    continue
+                # The contour could not shrink the box; fall through and split.
+            if depth >= self._config.max_binary_rounds or (
+                box.max_relative_width(self._engine.schema) <= _POINT_WIDTH
+            ):
+                rows = self._crawl_box(box, with_base_filter=True)
+                best = self._update_best(rows, best, emitted)
+                continue
+            low, high = box.split(box.widest_attribute(self._engine.schema))
+            queue.append((low, depth + 1))
+            queue.append((high, depth + 1))
+        return best
+
+    def _narrow_by_contour(
+        self, box: HyperRectangle, best_score: float
+    ) -> Optional[HyperRectangle]:
+        """Shrink ``box`` to the bounding box of its intersection with the open
+        half-space ``f(x) < best_score`` (a superset of the true region of
+        interest, which is all the covering argument needs).
+
+        Returns ``None`` when the intersection is empty (the box cannot hold a
+        better tuple) and the *original box* when the contour gives no
+        narrowing at all — the caller then falls back to splitting."""
+        new_sides: List[RangePredicate] = []
+        changed = False
+        for attribute in box.attributes:
+            crossing = contour.contour_crossing(self._ranking, box, attribute, best_score)
+            side = box.side(attribute)
+            if crossing is None:
+                new_sides.append(side)
+                continue
+            weight = self._ranking.weight(attribute)
+            if weight > 0:
+                upper = min(side.upper, crossing)
+                if upper < side.lower:
+                    return None
+                if upper < side.upper:
+                    changed = True
+                new_sides.append(
+                    RangePredicate(attribute, side.lower, upper, side.include_lower, True)
+                )
+            else:
+                lower = max(side.lower, crossing)
+                if lower > side.upper:
+                    return None
+                if lower > side.lower:
+                    changed = True
+                new_sides.append(
+                    RangePredicate(attribute, lower, side.upper, True, side.include_upper)
+                )
+        if not changed:
+            return box
+        return HyperRectangle(tuple(new_sides))
+
+    # .................................................................. #
+    def _initial_open_boxes(self) -> List[Tuple[HyperRectangle, int]]:
+        """Open boxes to start the current Get-Next call from.
+
+        While the session cache is enabled the open-box list persists across
+        calls: a box is removed permanently only once every tuple inside it is
+        either emitted or sitting in the session cache, so later calls never
+        re-query regions that have already been fully observed.  With the
+        cache disabled there is nowhere to keep those tuples, so every call
+        restarts from the full space (stateless but still correct).
+        """
+        if not self._config.enable_session_cache:
+            return [(self._space, 0)]
+        if self._open_boxes is None:
+            self._open_boxes = [(self._space, 0)]
+        return self._open_boxes
+
+    def _store_open_boxes(self, boxes: List[Tuple[HyperRectangle, int]]) -> None:
+        if self._config.enable_session_cache:
+            self._open_boxes = boxes
+
+    def _partition_search(self, best: Optional[Row], emitted: set) -> Optional[Row]:
+        """Shared loop of MD-BINARY and MD-RERANK: batched (parallel) queries,
+        binary splitting, and — for MD-RERANK — dense-region indexing."""
+        schema = self._engine.schema
+        work = list(self._initial_open_boxes())
+        # Boxes that cannot contain anything better than the current best are
+        # deferred: they are not needed this call but may hold the answers of
+        # future Get-Next calls.
+        deferred: List[Tuple[HyperRectangle, int]] = []
+
+        while work:
+            still_open: List[Tuple[HyperRectangle, int]] = []
+            for box, depth in work:
+                bounds = contour.score_bounds(self._ranking, box)
+                if bounds.maximum < self._frontier_score - _TOLERANCE:
+                    continue  # everything inside has already been emitted
+                if best is not None and bounds.minimum >= self._ranking.score(best) - _TOLERANCE:
+                    deferred.append((box, depth))
+                    continue
+                still_open.append((box, depth))
+            work = still_open
+            if not work:
+                break
+
+            # The whole frontier of open boxes is queried as one parallel
+            # group — the covering queries the paper issues concurrently.
+            batch, work = work, []
+            to_query: List[Tuple[HyperRectangle, int]] = []
+            for box, depth in batch:
+                if self._use_dense_index() and self._dense_index.covers(box):
+                    rows = self._dense_index.rows_in(box, self._base_query)
+                    self._statistics.record_dense_index_hit()
+                    if self._config.enable_session_cache:
+                        self._session.remember(rows, self._engine.key_column)
+                    best = self._update_best(rows, best, emitted)
+                    continue
+                dense = (
+                    box.max_relative_width(schema) < self._config.dense_ratio_threshold
+                    or depth >= self._dense_depth_limit()
+                )
+                if dense:
+                    best = self._resolve_dense_box(box, best, emitted)
+                    continue
+                to_query.append((box, depth))
+
+            if not to_query:
+                continue
+            if (
+                self._config.enable_parallel
+                and len(to_query) == 1
+                and to_query[0][1] > 0
+            ):
+                # Verification stage with a single remaining region: the paper
+                # splits the region and searches the two sub-spaces
+                # independently (and therefore in parallel) rather than
+                # issuing one broad query and waiting on it.
+                box, depth = to_query[0]
+                low, high = box.split(box.widest_attribute(schema))
+                to_query = [(low, depth + 1), (high, depth + 1)]
+            queries = [box.to_query(self._base_query) for box, _ in to_query]
+            results = self._engine.search_group(queries)
+            for (box, depth), result in zip(to_query, results):
+                self._remember(result)
+                best = self._update_best(result.rows, best, emitted)
+                if result.covers_query:
+                    continue
+                low, high = box.split(box.widest_attribute(schema))
+                work.append((low, depth + 1))
+                work.append((high, depth + 1))
+
+        self._store_open_boxes(deferred)
+        return best
+
+    def _dense_depth_limit(self) -> int:
+        """Split depth after which a still-overflowing box is treated as dense.
+
+        MD-RERANK switches to crawling/indexing early; MD-BINARY keeps
+        splitting until the hard cap and then crawls without remembering."""
+        if self._use_dense_index():
+            return self._config.dense_split_depth
+        return self._config.max_binary_rounds
+
+    def _resolve_dense_box(
+        self, box: HyperRectangle, best: Optional[Row], emitted: set
+    ) -> Optional[Row]:
+        """A box is dense (or too deep).  MD-RERANK crawls it without the user
+        filters and indexes it; MD-BINARY crawls it with the filters and pays
+        again next time."""
+        if self._use_dense_index():
+            assert self._dense_index is not None
+            # Index the closed version of the box: half-open sides come from
+            # binary splits, and a closed superset both simplifies persistence
+            # and guarantees the coverage invariant after a cache reload.
+            closed_box = HyperRectangle.from_bounds(box.bounds())
+            if not self._dense_index.covers(closed_box):
+                rows = self._crawl_box(closed_box, with_base_filter=False)
+                self._dense_index.add_region(closed_box, rows)
+            rows = self._dense_index.rows_in(box, self._base_query)
+            self._statistics.record_dense_index_hit()
+            if self._config.enable_session_cache:
+                self._session.remember(rows, self._engine.key_column)
+            return self._update_best(rows, best, emitted)
+        rows = self._crawl_box(box, with_base_filter=True)
+        if self._config.enable_session_cache:
+            self._session.remember(rows, self._engine.key_column)
+        return self._update_best(rows, best, emitted)
+
+
+class _EngineInterfaceAdapter:
+    """Expose a :class:`QueryEngine` as a :class:`TopKInterface` so crawler
+    queries share the same accounting and parallel execution (mirrors the 1D
+    adapter)."""
+
+    def __init__(self, engine: QueryEngine) -> None:
+        self._engine = engine
+
+    @property
+    def schema(self):
+        return self._engine.schema
+
+    @property
+    def system_k(self) -> int:
+        return self._engine.system_k
+
+    @property
+    def key_column(self) -> str:
+        return self._engine.key_column
+
+    def search(self, query: SearchQuery):
+        return self._engine.search(query)
+
+    def search_group(self, queries):
+        return self._engine.search_group(queries)
+
+    def queries_issued(self) -> int:
+        return self._engine.queries_issued()

@@ -1,0 +1,577 @@
+"""1D query reranking: 1D-BASELINE, 1D-BINARY, and 1D-RERANK.
+
+The user ranks on a single attribute (ascending or descending).  The Get-Next
+primitive must find, among the tuples matching the filter query, the one whose
+value comes right after the current frontier — issuing as few queries as
+possible against the web database, which only answers top-``k`` queries ranked
+by its own hidden function.
+
+All three variants share the same outer loop:
+
+1. if the previous value group still has unreturned tuples, emit one of them;
+2. otherwise find the *next value* ``v`` beyond the frontier (this is where the
+   variants differ);
+3. resolve the *value group* at ``v`` — every matching tuple with that exact
+   value.  When the group is larger than ``system-k`` the point query
+   overflows forever (the general-positioning violation the ICDE'18 paper
+   discusses) and the hidden-database crawler takes over;
+4. queue the group, emit its first tuple, advance the frontier to ``v``.
+
+Variant-specific "find the next value":
+
+* **1D-BASELINE** — query the whole remaining interval; the smallest value in
+  the (system-ranked!) answer is an upper bound for the true next value, so
+  shrink the interval to it and repeat until a query stops overflowing.
+* **1D-BINARY** — binary search: query the lower half of the candidate
+  interval; underflow moves the lower bound up, anything else moves the upper
+  bound down (to the smallest value returned).  Degrades badly when many
+  tuples crowd a tiny interval.
+* **1D-RERANK** — 1D-BINARY plus the on-the-fly dense-region index: covered
+  intervals are answered locally with zero queries, and an interval that has
+  become dense while still overflowing is crawled once, indexed, and then
+  answered locally forever after.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.config import RerankConfig
+from repro.core.dense_index import DenseRegionIndex
+from repro.core.functions import SingleAttributeRanking
+from repro.core.parallel import QueryEngine
+from repro.core.regions import interval_relative_width
+from repro.core.session import Session
+from repro.crawl.crawler import HiddenDatabaseCrawler
+from repro.exceptions import RankingFunctionError
+from repro.webdb.interface import SearchResult
+from repro.webdb.query import RangePredicate, SearchQuery
+
+Row = Dict[str, object]
+
+#: Oriented values: the algorithms always *minimize*; descending rankings are
+#: handled by negating values on the way in and out.
+_EPSILON = 1e-12
+
+
+class OneDimVariant(enum.Enum):
+    """Which 1D algorithm to run."""
+
+    BASELINE = "baseline"
+    BINARY = "binary"
+    RERANK = "rerank"
+
+
+@dataclass(frozen=True)
+class _OrientedAxis:
+    """Maps raw attribute values to an oriented axis on which smaller is
+    always better, hiding the ascending/descending distinction."""
+
+    attribute: str
+    ascending: bool
+    domain_lower: float
+    domain_upper: float
+
+    def orient(self, value: float) -> float:
+        """Raw value -> oriented value."""
+        return value if self.ascending else -value
+
+    def unorient(self, value: float) -> float:
+        """Oriented value -> raw value."""
+        return value if self.ascending else -value
+
+    @property
+    def oriented_lower(self) -> float:
+        """Smallest oriented value of the advertised domain."""
+        return self.orient(self.domain_lower if self.ascending else self.domain_upper)
+
+    @property
+    def oriented_upper(self) -> float:
+        """Largest oriented value of the advertised domain."""
+        return self.orient(self.domain_upper if self.ascending else self.domain_lower)
+
+    def interval_predicate(
+        self,
+        oriented_lower: float,
+        oriented_upper: float,
+        include_lower: bool,
+        include_upper: bool,
+    ) -> RangePredicate:
+        """Oriented interval -> raw :class:`RangePredicate`."""
+        raw_a = self.unorient(oriented_lower)
+        raw_b = self.unorient(oriented_upper)
+        if self.ascending:
+            return RangePredicate(
+                self.attribute, raw_a, raw_b, include_lower, include_upper
+            )
+        return RangePredicate(
+            self.attribute, raw_b, raw_a, include_upper, include_lower
+        )
+
+
+@dataclass
+class _Interval:
+    """A half-open oriented interval ``(lower, upper]`` (lower may be closed
+    when it is the domain edge)."""
+
+    lower: float
+    upper: float
+    include_lower: bool
+    include_upper: bool
+
+    @property
+    def width(self) -> float:
+        return self.upper - self.lower
+
+
+class OneDimGetNext:
+    """Get-Next driver for single-attribute reranking."""
+
+    def __init__(
+        self,
+        engine: QueryEngine,
+        base_query: SearchQuery,
+        ranking: SingleAttributeRanking,
+        session: Session,
+        config: Optional[RerankConfig] = None,
+        variant: OneDimVariant = OneDimVariant.RERANK,
+        dense_index: Optional[DenseRegionIndex] = None,
+    ) -> None:
+        self._engine = engine
+        self._base_query = base_query
+        self._ranking = ranking
+        self._session = session
+        self._config = config or engine.config
+        self._variant = variant
+        self._dense_index = dense_index
+        self._statistics = session.statistics
+
+        schema = engine.schema
+        ranking.validate(schema)
+        base_query.validate(schema)
+        attribute = ranking.attribute
+        effective = base_query.effective_range(attribute, schema)
+        self._axis = _OrientedAxis(
+            attribute=attribute,
+            ascending=ranking.ascending,
+            domain_lower=effective.lower,
+            domain_upper=effective.upper,
+        )
+        self._frontier: Optional[float] = None  # oriented value of the last group
+        self._exhausted = False
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+    @property
+    def variant(self) -> OneDimVariant:
+        """The algorithm variant in use."""
+        return self._variant
+
+    def next(self) -> Optional[Row]:
+        """Return the next tuple in the user's order, or ``None`` when the
+        query answers are exhausted."""
+        pending = self._session.pop_pending()
+        if pending is not None:
+            self._session.mark_emitted(pending, self._engine.key_column)
+            self._statistics.record_get_next(returned=True)
+            return pending
+        if self._exhausted:
+            self._statistics.record_get_next(returned=False)
+            return None
+
+        next_value = self._find_next_oriented_value()
+        if next_value is None:
+            self._exhausted = True
+            self._statistics.record_get_next(returned=False)
+            return None
+
+        group = self._resolve_value_group(next_value)
+        self._frontier = next_value
+        if not group:
+            # Defensive: the value was discovered from a real tuple, so an
+            # empty group means the emitted-set already contains all of them.
+            self._statistics.record_get_next(returned=False)
+            return self.next()
+        self._session.push_pending(group[1:])
+        first = group[0]
+        self._session.mark_emitted(first, self._engine.key_column)
+        self._statistics.record_get_next(returned=True)
+        return first
+
+    # ------------------------------------------------------------------ #
+    # Shared helpers
+    # ------------------------------------------------------------------ #
+    def _oriented_value(self, row: Row) -> float:
+        return self._axis.orient(float(row[self._axis.attribute]))  # type: ignore[arg-type]
+
+    def _frontier_lower(self) -> Tuple[float, bool]:
+        """Oriented lower bound of the remaining search interval: the frontier
+        (exclusive) or the domain edge (inclusive) before the first call."""
+        if self._frontier is None:
+            return self._axis.oriented_lower, True
+        return self._frontier, False
+
+    def _interval_query(self, interval: _Interval) -> SearchQuery:
+        predicate = self._axis.interval_predicate(
+            interval.lower, interval.upper, interval.include_lower, interval.include_upper
+        )
+        return self._base_query.with_range(predicate)
+
+    def _eligible_values(self, result: SearchResult) -> List[float]:
+        """Oriented values of returned rows strictly beyond the frontier."""
+        lower, include_lower = self._frontier_lower()
+        values = []
+        for row in result.rows:
+            value = self._oriented_value(row)
+            if value > lower or (include_lower and value == lower):
+                values.append(value)
+        return values
+
+    def _remember(self, result: SearchResult) -> None:
+        if self._config.enable_session_cache:
+            self._session.remember(result.rows, self._engine.key_column)
+
+    def _cached_upper_bound(self) -> Optional[float]:
+        """Best oriented value among cached, unemitted, matching tuples —
+        a free upper bound for the next value."""
+        if not self._config.enable_session_cache:
+            return None
+        lower, include_lower = self._frontier_lower()
+        frontier_score = -math.inf
+        candidates = self._session.cached_candidates(
+            self._base_query,
+            self._ranking,
+            frontier_score,
+            self._engine.key_column,
+        )
+        best: Optional[float] = None
+        for row in candidates:
+            value = self._oriented_value(row)
+            beyond = value > lower or (include_lower and value == lower)
+            if beyond and (best is None or value < best):
+                best = value
+        if best is not None:
+            self._statistics.record_cache_hit()
+        return best
+
+    # ------------------------------------------------------------------ #
+    # Step 1: find the next oriented value
+    # ------------------------------------------------------------------ #
+    def _find_next_oriented_value(self) -> Optional[float]:
+        lower, include_lower = self._frontier_lower()
+        upper = self._axis.oriented_upper
+        if lower > upper or (lower == upper and not include_lower):
+            return None
+        interval = _Interval(lower, upper, include_lower, True)
+
+        cached_bound = self._cached_upper_bound()
+        if self._variant is OneDimVariant.BASELINE:
+            return self._baseline_search(interval, cached_bound)
+        return self._binary_search(interval, cached_bound)
+
+    # .................................................................. #
+    def _baseline_search(
+        self, interval: _Interval, cached_bound: Optional[float]
+    ) -> Optional[float]:
+        """Shrink the whole remaining interval using the best value seen."""
+        best = cached_bound
+        if best is not None:
+            interval = _Interval(interval.lower, best, interval.include_lower, True)
+        while True:
+            result = self._search_interval(interval)
+            self._remember(result)
+            values = self._eligible_values(result)
+            if values:
+                candidate = min(values)
+                if best is None or candidate < best:
+                    best = candidate
+            if result.covers_query:
+                return best
+            # Overflow: the true next value is at most `best`; shrink and retry.
+            if best is None:
+                # Cannot happen (an overflowing interval returned k rows all of
+                # which lie inside it), but guard against a misbehaving source.
+                return None
+            if best <= interval.lower and interval.include_lower:
+                # The candidate already sits on the closed lower edge of the
+                # interval: nothing in the interval can precede it, so it is
+                # the next value even though its (large) value group overflows.
+                return best
+            if best < interval.upper or interval.include_upper:
+                make_exclusive = best == interval.upper or math.isclose(
+                    best, interval.upper, rel_tol=0.0, abs_tol=_EPSILON
+                )
+                if make_exclusive:
+                    interval = _Interval(
+                        interval.lower, best, interval.include_lower, False
+                    )
+                else:
+                    interval = _Interval(
+                        interval.lower, best, interval.include_lower, True
+                    )
+            else:
+                # Upper bound already exclusive at `best`; the next value is
+                # whatever we have.
+                return best
+
+    # .................................................................. #
+    def _binary_search(
+        self, interval: _Interval, cached_bound: Optional[float]
+    ) -> Optional[float]:
+        """Binary descent; 1D-RERANK adds index lookups and dense crawling."""
+        best = cached_bound
+        if best is None:
+            # Establish existence (and a first upper bound) with one broad query.
+            result = self._probe(interval)
+            if result is None:
+                # The dense index covered the whole interval and found nothing.
+                return None
+            self._remember(result)
+            values = self._eligible_values(result)
+            if values:
+                best = min(values)
+            if result.covers_query or best is None:
+                return best
+        lower, include_lower = interval.lower, interval.include_lower
+        upper = best  # a real tuple value: the answer lies in (lower, upper]
+        rounds = 0
+
+        while True:
+            width = upper - lower
+            relative = self._relative_width(lower, upper)
+            # 1D-RERANK declares the interval dense as soon as it has survived
+            # ``dense_split_depth`` overflowing halvings (or has become very
+            # narrow); 1D-BINARY only gives up at the hard cap and therefore
+            # keeps paying in dense regions.
+            round_limit = (
+                self._config.dense_split_depth
+                if self._use_dense_index()
+                else self._config.max_binary_rounds
+            )
+            dense = (
+                relative < self._config.dense_ratio_threshold
+                or rounds >= round_limit
+                or width <= _EPSILON
+            )
+            if dense:
+                return self._resolve_dense_interval(lower, upper, include_lower, best)
+            midpoint = lower + width / 2.0
+            half = _Interval(lower, midpoint, include_lower, True)
+            result = self._probe(half)
+            if result is None:
+                # Served from the dense index: nothing beyond the frontier in
+                # the half, move the lower bound up.
+                lower, include_lower = midpoint, False
+                rounds += 1
+                continue
+            self._remember(result)
+            values = self._eligible_values(result)
+            if result.is_underflow or not values:
+                lower, include_lower = midpoint, False
+            elif result.covers_query:
+                return min(min(values), best)
+            else:
+                candidate = min(values)
+                best = min(best, candidate)
+                upper = candidate
+            rounds += 1
+
+    def _probe(self, interval: _Interval) -> Optional[SearchResult]:
+        """Query an interval, preferring the dense-region index when allowed.
+
+        Returns ``None`` when the index covered the interval and contained no
+        eligible tuple (the caller treats it like an underflow), or a synthetic
+        "covered" result when the index produced the answer locally.
+        """
+        if self._use_dense_index():
+            predicate = self._axis.interval_predicate(
+                interval.lower, interval.upper, interval.include_lower, interval.include_upper
+            )
+            assert self._dense_index is not None
+            if self._dense_index.covers_interval(self._axis.attribute, predicate):
+                rows = self._dense_index.rows_in_interval(
+                    self._axis.attribute, predicate, self._base_query
+                )
+                self._statistics.record_dense_index_hit()
+                lower, include_lower = self._frontier_lower()
+                eligible = [
+                    row
+                    for row in rows
+                    if self._oriented_value(row) > lower
+                    or (include_lower and self._oriented_value(row) == lower)
+                ]
+                if not eligible:
+                    return None
+                from repro.webdb.interface import Outcome
+
+                return SearchResult(
+                    query=self._interval_query(interval),
+                    rows=tuple(eligible),
+                    outcome=Outcome.VALID,
+                    system_k=self._engine.system_k,
+                    elapsed_seconds=0.0,
+                )
+        return self._search_interval(interval)
+
+    def _search_interval(self, interval: _Interval) -> SearchResult:
+        return self._engine.search(self._interval_query(interval))
+
+    def _relative_width(self, lower: float, upper: float) -> float:
+        predicate = self._axis.interval_predicate(lower, upper, True, True)
+        return interval_relative_width(predicate, self._engine.schema)
+
+    def _use_dense_index(self) -> bool:
+        return (
+            self._variant is OneDimVariant.RERANK
+            and self._config.enable_dense_index
+            and self._dense_index is not None
+        )
+
+    # .................................................................. #
+    def _resolve_dense_interval(
+        self,
+        lower: float,
+        upper: float,
+        include_lower: bool,
+        best: float,
+    ) -> Optional[float]:
+        """The candidate interval has become dense.
+
+        1D-RERANK crawls it once (without the user's filters, so the region is
+        reusable), indexes it, and answers locally.  The other variants fall
+        back to baseline narrowing inside the small interval, which is correct
+        but pays the price on every request — exactly the behaviour gap the
+        paper demonstrates.
+        """
+        if self._use_dense_index():
+            predicate = self._axis.interval_predicate(lower, best, True, True)
+            assert self._dense_index is not None
+            if not self._dense_index.covers_interval(self._axis.attribute, predicate):
+                region_query = SearchQuery((predicate,), ())
+                crawler = HiddenDatabaseCrawler(
+                    _EngineInterfaceAdapter(self._engine)
+                )
+                rows, crawl_stats = crawler.crawl(region_query)
+                self._dense_index.add_interval(
+                    self._axis.attribute, predicate.lower, predicate.upper, rows
+                )
+                self._statistics.record_dense_region(crawl_stats.tuples_retrieved)
+            rows = self._dense_index.rows_in_interval(
+                self._axis.attribute, predicate, self._base_query
+            )
+            self._statistics.record_dense_index_hit()
+            frontier_lower, frontier_inclusive = self._frontier_lower()
+            eligible = [
+                self._oriented_value(row)
+                for row in rows
+                if self._oriented_value(row) > frontier_lower
+                or (frontier_inclusive and self._oriented_value(row) == frontier_lower)
+            ]
+            if eligible:
+                return min(min(eligible), best)
+            return best
+
+        # BASELINE-style narrowing restricted to the dense interval.
+        interval = _Interval(lower, best, include_lower, True)
+        return self._baseline_search(interval, cached_bound=best)
+
+    # ------------------------------------------------------------------ #
+    # Step 2: resolve the value group at the chosen value
+    # ------------------------------------------------------------------ #
+    def _resolve_value_group(self, oriented_value: float) -> List[Row]:
+        raw_value = self._axis.unorient(oriented_value)
+        point = RangePredicate(self._axis.attribute, raw_value, raw_value)
+        emitted = set(self._session.emitted_keys())
+        key_column = self._engine.key_column
+
+        rows: List[Row]
+        if self._use_dense_index() and self._dense_index.covers_interval(
+            self._axis.attribute, point
+        ):
+            rows = self._dense_index.rows_in_interval(
+                self._axis.attribute, point, self._base_query
+            )
+            self._statistics.record_dense_index_hit()
+        else:
+            result = self._engine.search(self._base_query.with_range(point))
+            self._remember(result)
+            if result.covers_query:
+                rows = [dict(row) for row in result.rows]
+            else:
+                # General-positioning violation: more than system-k tuples share
+                # this exact value.  Fall back to the hidden-database crawler.
+                crawler = HiddenDatabaseCrawler(
+                    _EngineInterfaceAdapter(self._engine)
+                )
+                region_query = SearchQuery((point,), ())
+                crawled, crawl_stats = crawler.crawl(region_query)
+                self._statistics.record_dense_region(crawl_stats.tuples_retrieved)
+                if self._use_dense_index():
+                    self._dense_index.add_interval(
+                        self._axis.attribute, raw_value, raw_value, crawled
+                    )
+                rows = [row for row in crawled if self._base_query.matches(row)]
+        if self._config.enable_session_cache:
+            self._session.remember(rows, key_column)
+        fresh = [dict(row) for row in rows if row[key_column] not in emitted]
+        fresh.sort(key=lambda row: str(row[key_column]))
+        return fresh
+
+
+class _EngineInterfaceAdapter:
+    """Expose a :class:`QueryEngine` as a plain :class:`TopKInterface` so the
+    crawler's queries are accounted (and parallelised) like every other
+    external query.  The engine also enforces the query budget, which is why
+    the crawler itself is not handed one."""
+
+    def __init__(self, engine: QueryEngine) -> None:
+        self._engine = engine
+
+    @property
+    def schema(self):
+        return self._engine.schema
+
+    @property
+    def system_k(self) -> int:
+        return self._engine.system_k
+
+    @property
+    def key_column(self) -> str:
+        return self._engine.key_column
+
+    def search(self, query: SearchQuery):
+        return self._engine.search(query)
+
+    def search_group(self, queries):
+        return self._engine.search_group(queries)
+
+    def queries_issued(self) -> int:
+        return self._engine.queries_issued()
+
+
+def make_onedim_getnext(
+    engine: QueryEngine,
+    base_query: SearchQuery,
+    attribute: str,
+    ascending: bool,
+    session: Session,
+    variant: OneDimVariant = OneDimVariant.RERANK,
+    dense_index: Optional[DenseRegionIndex] = None,
+    config: Optional[RerankConfig] = None,
+) -> OneDimGetNext:
+    """Convenience constructor used by the service layer and MD-TA."""
+    if not attribute:
+        raise RankingFunctionError("attribute must be non-empty")
+    return OneDimGetNext(
+        engine=engine,
+        base_query=base_query,
+        ranking=SingleAttributeRanking(attribute, ascending=ascending),
+        session=session,
+        config=config,
+        variant=variant,
+        dense_index=dense_index,
+    )

@@ -1,0 +1,147 @@
+"""Query engine: the single gateway between the algorithms and a web database.
+
+Every external query a reranking algorithm issues goes through
+:class:`QueryEngine`, which provides
+
+* **parallel execution** of query groups — the paper issues the verification
+  queries that cover the region of interest, and the two sub-space searches of
+  an MD Get-Next, concurrently to hide the web database's latency;
+* **accounting** — per-iteration group sizes (the paper's Fig. 2 metric),
+  external-query counts, simulated latency (a parallel group costs one round
+  trip, i.e. the *maximum* of its members' latencies, not the sum), and the
+  query log;
+* **budget enforcement** — the optional hard cap on external queries.
+
+Keeping all of this in one object means the algorithm implementations stay
+free of threading and bookkeeping concerns.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import List, Optional, Sequence
+
+from repro.config import RerankConfig
+from repro.core.stats import RerankStatistics
+from repro.webdb.counters import QueryBudget, QueryLog
+from repro.webdb.interface import SearchResult, TopKInterface
+from repro.webdb.query import SearchQuery
+
+
+class QueryEngine:
+    """Issues queries against one top-k interface with accounting and
+    optional parallelism."""
+
+    def __init__(
+        self,
+        interface: TopKInterface,
+        config: Optional[RerankConfig] = None,
+        statistics: Optional[RerankStatistics] = None,
+        budget: Optional[QueryBudget] = None,
+        query_log: Optional[QueryLog] = None,
+    ) -> None:
+        self._interface = interface
+        self._config = config or RerankConfig()
+        self.statistics = statistics or RerankStatistics()
+        self._budget = budget or QueryBudget(self._config.query_budget)
+        self.query_log = query_log or QueryLog()
+        self._group_counter = 0
+        self._group_lock = threading.Lock()
+        self._executor: Optional[ThreadPoolExecutor] = None
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def interface(self) -> TopKInterface:
+        """The underlying top-k interface."""
+        return self._interface
+
+    @property
+    def config(self) -> RerankConfig:
+        """The engine's configuration."""
+        return self._config
+
+    @property
+    def budget(self) -> QueryBudget:
+        """The query budget shared by every algorithm using this engine."""
+        return self._budget
+
+    @property
+    def schema(self):
+        """Schema of the underlying interface."""
+        return self._interface.schema
+
+    @property
+    def system_k(self) -> int:
+        """``system-k`` of the underlying interface."""
+        return self._interface.system_k
+
+    @property
+    def key_column(self) -> str:
+        """Tuple identifier column of the underlying interface."""
+        return self._interface.key_column
+
+    def queries_issued(self) -> int:
+        """External queries issued through this engine."""
+        return self.statistics.external_queries
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+    def _next_group_id(self) -> int:
+        with self._group_lock:
+            self._group_counter += 1
+            return self._group_counter
+
+    def _pool(self) -> ThreadPoolExecutor:
+        if self._executor is None:
+            self._executor = ThreadPoolExecutor(
+                max_workers=max(self._config.parallel_workers, 1),
+                thread_name_prefix="qr2-query",
+            )
+        return self._executor
+
+    def search(self, query: SearchQuery) -> SearchResult:
+        """Issue a single query (an iteration of group size one)."""
+        return self.search_group([query])[0]
+
+    def search_group(self, queries: Sequence[SearchQuery]) -> List[SearchResult]:
+        """Issue a group of queries belonging to one algorithm iteration.
+
+        When parallel processing is enabled and the group has more than one
+        member, the queries run concurrently on the thread pool and the
+        iteration's simulated latency is the group's maximum (one round trip);
+        otherwise they run sequentially and latencies add up.
+        """
+        if not queries:
+            return []
+        self._budget.charge(len(queries))
+        group_id = self._next_group_id()
+
+        use_parallel = self._config.enable_parallel and len(queries) > 1
+        if use_parallel:
+            futures = [self._pool().submit(self._interface.search, q) for q in queries]
+            results = [future.result() for future in futures]
+            group_latency = max(result.elapsed_seconds for result in results)
+        else:
+            results = [self._interface.search(q) for q in queries]
+            group_latency = sum(result.elapsed_seconds for result in results)
+
+        for result in results:
+            self.query_log.record(result, parallel_group=group_id if use_parallel else None)
+        self.statistics.record_iteration(len(queries), group_latency, parallel=use_parallel)
+        return results
+
+    def shutdown(self) -> None:
+        """Release the thread pool (idempotent)."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def __enter__(self) -> "QueryEngine":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.shutdown()

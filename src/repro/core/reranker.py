@@ -1,0 +1,255 @@
+"""High-level reranking facade.
+
+:class:`QueryReranker` is the public entry point of the library: it owns the
+pieces that are shared across requests (the top-k interface, the dense-region
+index, the configuration) and turns a *(filter query, ranking function,
+algorithm)* triple into a :class:`~repro.core.getnext.GetNextStream`.
+
+It also implements the algorithm selection the QR2 system performs: 1D ranking
+functions are served by the 1D algorithms, multi-attribute functions by the MD
+algorithms, and MD-TA is available as an explicit choice.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional
+
+from repro.config import RerankConfig
+from repro.core.dense_index import DenseRegionIndex
+from repro.core.functions import (
+    LinearRankingFunction,
+    SingleAttributeRanking,
+    UserRankingFunction,
+)
+from repro.core.getnext import GetNextStream
+from repro.core.multidim import MDVariant, MultiDimGetNext
+from repro.core.onedim import OneDimGetNext, OneDimVariant
+from repro.core.parallel import QueryEngine
+from repro.core.session import Session
+from repro.core.ta import ThresholdAlgorithmGetNext
+from repro.exceptions import RankingFunctionError
+from repro.sqlstore.dense_cache import DenseRegionCache
+from repro.webdb.counters import QueryBudget
+from repro.webdb.interface import TopKInterface
+from repro.webdb.query import SearchQuery
+
+
+class Algorithm(enum.Enum):
+    """User-selectable reranking algorithm family."""
+
+    BASELINE = "baseline"
+    BINARY = "binary"
+    RERANK = "rerank"
+    TA = "ta"
+
+    @staticmethod
+    def parse(name: str) -> "Algorithm":
+        """Parse an algorithm name, accepting the paper's 1D/MD prefixes."""
+        cleaned = name.strip().lower().replace("1d-", "").replace("md-", "")
+        try:
+            return Algorithm(cleaned)
+        except ValueError as exc:
+            valid = ", ".join(a.value for a in Algorithm)
+            raise RankingFunctionError(
+                f"unknown algorithm {name!r}; expected one of: {valid}"
+            ) from exc
+
+
+_ONEDIM_VARIANTS = {
+    Algorithm.BASELINE: OneDimVariant.BASELINE,
+    Algorithm.BINARY: OneDimVariant.BINARY,
+    Algorithm.RERANK: OneDimVariant.RERANK,
+    # TA degenerates to 1D-RERANK when there is only one ranking attribute.
+    Algorithm.TA: OneDimVariant.RERANK,
+}
+
+_MD_VARIANTS = {
+    Algorithm.BASELINE: MDVariant.BASELINE,
+    Algorithm.BINARY: MDVariant.BINARY,
+    Algorithm.RERANK: MDVariant.RERANK,
+}
+
+
+@dataclass(frozen=True)
+class RerankRequest:
+    """A fully specified reranking request (used by the service layer)."""
+
+    query: SearchQuery
+    ranking: UserRankingFunction
+    algorithm: Algorithm = Algorithm.RERANK
+    page_size: int = 10
+
+    def describe(self) -> str:
+        """Human-readable rendering used by logs and the statistics panel."""
+        return (
+            f"filter [{self.query.describe()}] ranked by [{self.ranking.describe()}] "
+            f"via {self.algorithm.value}"
+        )
+
+
+class QueryReranker:
+    """Third-party reranking engine over one web database."""
+
+    def __init__(
+        self,
+        interface: TopKInterface,
+        config: Optional[RerankConfig] = None,
+        dense_cache: Optional[DenseRegionCache] = None,
+    ) -> None:
+        self._interface = interface
+        self._config = config or RerankConfig()
+        self._dense_index = DenseRegionIndex(interface.schema, cache=dense_cache)
+        self._session_counter = itertools.count(1)
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------ #
+    @property
+    def interface(self) -> TopKInterface:
+        """The web database interface this reranker talks to."""
+        return self._interface
+
+    @property
+    def config(self) -> RerankConfig:
+        """The reranker's configuration."""
+        return self._config
+
+    @property
+    def dense_index(self) -> DenseRegionIndex:
+        """The shared on-the-fly dense-region index."""
+        return self._dense_index
+
+    def _new_session(self, label: str) -> Session:
+        with self._lock:
+            number = next(self._session_counter)
+        return Session(session_id=f"{label}-{number}")
+
+    # ------------------------------------------------------------------ #
+    def rerank(
+        self,
+        query: SearchQuery,
+        ranking: UserRankingFunction,
+        algorithm: Algorithm = Algorithm.RERANK,
+        session: Optional[Session] = None,
+        budget: Optional[QueryBudget] = None,
+    ) -> GetNextStream:
+        """Create a Get-Next stream answering ``query`` in ``ranking`` order.
+
+        The returned stream is lazy: no external query is issued until its
+        first ``get_next()`` / ``next_page()`` call.
+        """
+        ranking.validate(self._interface.schema)
+        query.validate(self._interface.schema)
+        session = session or self._new_session("session")
+        engine = QueryEngine(
+            self._interface,
+            config=self._config,
+            statistics=session.statistics,
+            budget=budget,
+        )
+
+        if ranking.is_single_attribute:
+            algorithm_object = self._build_onedim(engine, query, ranking, session, algorithm)
+        elif algorithm is Algorithm.TA:
+            algorithm_object = ThresholdAlgorithmGetNext(
+                engine=engine,
+                base_query=query,
+                ranking=self._require_linear(ranking),
+                session=session,
+                config=self._config,
+                dense_index=self._dense_index,
+            )
+        else:
+            algorithm_object = MultiDimGetNext(
+                engine=engine,
+                base_query=query,
+                ranking=self._require_linear(ranking),
+                session=session,
+                config=self._config,
+                variant=_MD_VARIANTS[algorithm],
+                dense_index=self._dense_index,
+            )
+        description = RerankRequest(query=query, ranking=ranking, algorithm=algorithm).describe()
+        return GetNextStream(algorithm_object, session, description=description)
+
+    def top(
+        self,
+        query: SearchQuery,
+        ranking: UserRankingFunction,
+        count: int,
+        algorithm: Algorithm = Algorithm.RERANK,
+    ) -> GetNextStream:
+        """Convenience: create a stream and eagerly fetch its first ``count``
+        answers (they remain available via ``returned_so_far``)."""
+        stream = self.rerank(query, ranking, algorithm=algorithm)
+        stream.top(count)
+        return stream
+
+    # ------------------------------------------------------------------ #
+    def _build_onedim(
+        self,
+        engine: QueryEngine,
+        query: SearchQuery,
+        ranking: UserRankingFunction,
+        session: Session,
+        algorithm: Algorithm,
+    ) -> OneDimGetNext:
+        if isinstance(ranking, SingleAttributeRanking):
+            single = ranking
+        else:
+            attribute = ranking.attributes[0]
+            single = SingleAttributeRanking(
+                attribute, ascending=ranking.weight(attribute) > 0
+            )
+        return OneDimGetNext(
+            engine=engine,
+            base_query=query,
+            ranking=single,
+            session=session,
+            config=self._config,
+            variant=_ONEDIM_VARIANTS[algorithm],
+            dense_index=self._dense_index,
+        )
+
+    @staticmethod
+    def _require_linear(ranking: UserRankingFunction) -> LinearRankingFunction:
+        if isinstance(ranking, LinearRankingFunction):
+            return ranking
+        raise RankingFunctionError(
+            "multi-dimensional reranking requires a LinearRankingFunction"
+        )
+
+    # ------------------------------------------------------------------ #
+    def verify_dense_cache(self) -> Dict[str, int]:
+        """Boot-time verification of the persistent dense-region cache against
+        the live database (the paper refreshes the MySQL cache at start-up).
+
+        Returns the refresh counters; a no-op when no persistent cache is
+        attached.
+        """
+        cache = getattr(self._dense_index, "_cache", None)
+        if cache is None:
+            return {"checked": 0, "refreshed": 0, "unchanged": 0}
+
+        from repro.crawl.crawler import HiddenDatabaseCrawler
+        from repro.webdb.query import RangePredicate
+
+        def crawl_region(bounds: Mapping[str, tuple]) -> list:
+            region_query = SearchQuery(
+                tuple(
+                    RangePredicate(name, float(low), float(high))
+                    for name, (low, high) in bounds.items()
+                ),
+                (),
+            )
+            crawler = HiddenDatabaseCrawler(self._interface)
+            rows, _ = crawler.crawl(region_query)
+            return rows
+
+        counters = cache.verify_and_refresh(crawl_region)
+        # Rebuild the in-memory index from the refreshed cache.
+        self._dense_index = DenseRegionIndex(self._interface.schema, cache=cache)
+        return counters

@@ -1,0 +1,177 @@
+"""Per-user session state.
+
+When a user submits a query the QR2 web service creates a session whose main
+job is the *user-level cache*: every tuple the service has seen while
+answering this user's queries is retained so that
+
+* subsequent Get-Next calls can start from a good candidate without asking the
+  web database again, and
+* tuples already returned to the user are never returned twice.
+
+The session also carries the emitted result history (the "top-h so far"), the
+pending queue used to emit tied tuples one at a time, and the per-request
+statistics shown in the UI's statistics panel.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional
+
+from repro.core.functions import UserRankingFunction
+from repro.core.stats import RerankStatistics
+from repro.webdb.query import SearchQuery
+
+Row = Dict[str, object]
+
+
+@dataclass
+class Session:
+    """State retained between Get-Next calls of one user request."""
+
+    session_id: str
+    created_at: float = field(default_factory=time.time)
+
+    def __post_init__(self) -> None:
+        self._lock = threading.Lock()
+        self._seen_tuples: Dict[object, Row] = {}
+        self._emitted_keys: List[object] = []
+        self._pending: List[Row] = []
+        self.statistics = RerankStatistics()
+        self.last_touched = self.created_at
+
+    # ------------------------------------------------------------------ #
+    # Seen-tuple cache
+    # ------------------------------------------------------------------ #
+    def remember(self, rows: Iterable[Mapping[str, object]], key_column: str) -> int:
+        """Add rows to the seen-tuple cache; returns how many were new."""
+        added = 0
+        with self._lock:
+            for row in rows:
+                key = row[key_column]
+                if key not in self._seen_tuples:
+                    added += 1
+                self._seen_tuples[key] = dict(row)
+            self.last_touched = time.time()
+        return added
+
+    def seen_count(self) -> int:
+        """Number of distinct tuples in the cache."""
+        with self._lock:
+            return len(self._seen_tuples)
+
+    def cached_rows(self) -> List[Row]:
+        """Copy of every cached tuple."""
+        with self._lock:
+            return [dict(row) for row in self._seen_tuples.values()]
+
+    def cached_candidates(
+        self,
+        query: SearchQuery,
+        ranking: UserRankingFunction,
+        frontier_score: float,
+        key_column: str,
+    ) -> List[Row]:
+        """Cached tuples that match ``query``, have not been emitted, and score
+        strictly beyond ``frontier_score`` or tie with it.
+
+        These seed the best-known candidate before any external query is
+        issued — the acceleration the paper attributes to the session cache.
+        """
+        emitted = set(self.emitted_keys())
+        candidates = []
+        with self._lock:
+            rows = list(self._seen_tuples.values())
+        for row in rows:
+            if row[key_column] in emitted:
+                continue
+            if not query.matches(row):
+                continue
+            if ranking.score(row) >= frontier_score:
+                candidates.append(dict(row))
+        candidates.sort(key=ranking.sort_key(key_column))
+        return candidates
+
+    # ------------------------------------------------------------------ #
+    # Emission history
+    # ------------------------------------------------------------------ #
+    def mark_emitted(self, row: Mapping[str, object], key_column: str) -> None:
+        """Record that ``row`` has been returned to the user."""
+        with self._lock:
+            self._emitted_keys.append(row[key_column])
+            self._seen_tuples[row[key_column]] = dict(row)
+            self.last_touched = time.time()
+
+    def emitted_keys(self) -> List[object]:
+        """Keys of the tuples already returned, in emission order."""
+        with self._lock:
+            return list(self._emitted_keys)
+
+    def emitted_count(self) -> int:
+        """Number of tuples returned so far (the ``h`` of top-h)."""
+        with self._lock:
+            return len(self._emitted_keys)
+
+    # ------------------------------------------------------------------ #
+    # Pending queue (tied tuples of the current value/score group)
+    # ------------------------------------------------------------------ #
+    def push_pending(self, rows: Iterable[Mapping[str, object]]) -> None:
+        """Queue rows that are known to be the next ones to emit."""
+        with self._lock:
+            self._pending.extend(dict(row) for row in rows)
+
+    def pop_pending(self) -> Optional[Row]:
+        """Pop the next queued row, or ``None``."""
+        with self._lock:
+            if not self._pending:
+                return None
+            return self._pending.pop(0)
+
+    def pending_count(self) -> int:
+        """Number of queued rows."""
+        with self._lock:
+            return len(self._pending)
+
+    def clear_pending(self) -> None:
+        """Drop the pending queue (used when the ranking function changes)."""
+        with self._lock:
+            self._pending.clear()
+
+    # ------------------------------------------------------------------ #
+    def reset_for_new_request(self) -> None:
+        """Start a new reranking request within the same user session.
+
+        The seen-tuple cache is retained (that is the whole point of the
+        session variable), but the emission history, the pending queue, and
+        the per-request statistics start fresh: the new request has its own
+        notion of "top-h so far" and its own statistics panel.
+        """
+        with self._lock:
+            self._emitted_keys.clear()
+            self._pending.clear()
+            self.statistics = RerankStatistics()
+            self.last_touched = time.time()
+
+    # ------------------------------------------------------------------ #
+    def touch(self) -> None:
+        """Refresh the idle timer."""
+        with self._lock:
+            self.last_touched = time.time()
+
+    def idle_seconds(self) -> float:
+        """Seconds since the session was last used."""
+        with self._lock:
+            return time.time() - self.last_touched
+
+    def describe(self) -> Dict[str, object]:
+        """Summary used by the service layer."""
+        with self._lock:
+            return {
+                "session_id": self.session_id,
+                "seen_tuples": len(self._seen_tuples),
+                "emitted": len(self._emitted_keys),
+                "pending": len(self._pending),
+                "idle_seconds": time.time() - self.last_touched,
+            }

@@ -1,0 +1,174 @@
+"""Statistics collected for one reranking request.
+
+The statistics panel of the QR2 UI shows two headline numbers per request: the
+number of queries issued to the underlying web database and the processing
+time (Fig. 4 of the paper reports 27 queries / 33 seconds for one Zillow
+request).  :class:`RerankStatistics` tracks those plus the internal counters
+the benchmarks and the tests need: parallel-iteration accounting (Fig. 2),
+session-cache and dense-index hits, and crawl volume.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class RerankStatistics:
+    """Mutable, thread-safe statistics for one reranking request."""
+
+    external_queries: int = 0
+    simulated_seconds: float = 0.0
+    wall_seconds: float = 0.0
+    iterations: int = 0
+    parallel_iterations: int = 0
+    parallel_queries: int = 0
+    sequential_queries: int = 0
+    iteration_group_sizes: List[int] = field(default_factory=list)
+    cache_hits: int = 0
+    dense_index_hits: int = 0
+    dense_regions_built: int = 0
+    crawled_tuples: int = 0
+    get_next_calls: int = 0
+    tuples_returned: int = 0
+
+    def __post_init__(self) -> None:
+        self._lock = threading.Lock()
+        self._started: Optional[float] = None
+
+    # ------------------------------------------------------------------ #
+    # Timing
+    # ------------------------------------------------------------------ #
+    def start_timer(self) -> None:
+        """Mark the beginning of wall-clock measurement (idempotent)."""
+        with self._lock:
+            if self._started is None:
+                self._started = time.perf_counter()
+
+    def stop_timer(self) -> None:
+        """Accumulate elapsed wall time since :meth:`start_timer`."""
+        with self._lock:
+            if self._started is not None:
+                self.wall_seconds += time.perf_counter() - self._started
+                self._started = None
+
+    # ------------------------------------------------------------------ #
+    # Recording
+    # ------------------------------------------------------------------ #
+    def record_iteration(
+        self,
+        group_size: int,
+        simulated_seconds: float,
+        parallel: Optional[bool] = None,
+    ) -> None:
+        """Record one algorithm iteration that issued ``group_size`` external
+        queries costing ``simulated_seconds`` of simulated latency for the
+        whole group.  ``parallel`` states whether the group was actually
+        executed concurrently (default: it was whenever it had more than one
+        member)."""
+        if group_size <= 0:
+            return
+        if parallel is None:
+            parallel = group_size > 1
+        with self._lock:
+            self.iterations += 1
+            self.external_queries += group_size
+            self.iteration_group_sizes.append(group_size)
+            self.simulated_seconds += simulated_seconds
+            if parallel and group_size > 1:
+                self.parallel_iterations += 1
+                self.parallel_queries += group_size
+            else:
+                self.sequential_queries += group_size
+
+    def record_cache_hit(self, count: int = 1) -> None:
+        """Record answers served from the session cache."""
+        with self._lock:
+            self.cache_hits += count
+
+    def record_dense_index_hit(self, count: int = 1) -> None:
+        """Record answers served from the dense-region index."""
+        with self._lock:
+            self.dense_index_hits += count
+
+    def record_dense_region(self, crawled_tuples: int) -> None:
+        """Record one dense region built on the fly."""
+        with self._lock:
+            self.dense_regions_built += 1
+            self.crawled_tuples += crawled_tuples
+
+    def record_get_next(self, returned: bool) -> None:
+        """Record one Get-Next call and whether it produced a tuple."""
+        with self._lock:
+            self.get_next_calls += 1
+            if returned:
+                self.tuples_returned += 1
+
+    # ------------------------------------------------------------------ #
+    # Derived metrics
+    # ------------------------------------------------------------------ #
+    @property
+    def parallel_fraction(self) -> float:
+        """Fraction of iterations whose queries were issued in parallel —
+        the quantity plotted in the paper's Fig. 2."""
+        if self.iterations == 0:
+            return 0.0
+        return self.parallel_iterations / self.iterations
+
+    @property
+    def parallel_query_fraction(self) -> float:
+        """Fraction of external queries that were part of a parallel group."""
+        if self.external_queries == 0:
+            return 0.0
+        return self.parallel_queries / self.external_queries
+
+    @property
+    def processing_seconds(self) -> float:
+        """Best estimate of end-to-end processing time: simulated network time
+        (parallel groups cost one round trip) plus local wall time."""
+        return self.simulated_seconds + self.wall_seconds
+
+    def snapshot(self) -> Dict[str, object]:
+        """Plain-dictionary snapshot for the service's statistics panel."""
+        with self._lock:
+            return {
+                "external_queries": self.external_queries,
+                "simulated_seconds": round(self.simulated_seconds, 6),
+                "wall_seconds": round(self.wall_seconds, 6),
+                "processing_seconds": round(self.processing_seconds, 6),
+                "iterations": self.iterations,
+                "parallel_iterations": self.parallel_iterations,
+                "parallel_fraction": round(self.parallel_fraction, 4),
+                "parallel_queries": self.parallel_queries,
+                "sequential_queries": self.sequential_queries,
+                "iteration_group_sizes": list(self.iteration_group_sizes),
+                "cache_hits": self.cache_hits,
+                "dense_index_hits": self.dense_index_hits,
+                "dense_regions_built": self.dense_regions_built,
+                "crawled_tuples": self.crawled_tuples,
+                "get_next_calls": self.get_next_calls,
+                "tuples_returned": self.tuples_returned,
+            }
+
+    def merge(self, other: "RerankStatistics") -> None:
+        """Fold another statistics object into this one (used when a request
+        composes several sub-algorithms, e.g. MD-TA over per-attribute 1D
+        streams)."""
+        with self._lock:
+            self.external_queries += other.external_queries
+            self.simulated_seconds += other.simulated_seconds
+            self.wall_seconds += other.wall_seconds
+            self.iterations += other.iterations
+            self.parallel_iterations += other.parallel_iterations
+            self.parallel_queries += other.parallel_queries
+            self.sequential_queries += other.sequential_queries
+            self.iteration_group_sizes.extend(other.iteration_group_sizes)
+            self.cache_hits += other.cache_hits
+            self.dense_index_hits += other.dense_index_hits
+            self.dense_regions_built += other.dense_regions_built
+            self.crawled_tuples += other.crawled_tuples
+            self.get_next_calls += other.get_next_calls
+            self.tuples_returned += other.tuples_returned

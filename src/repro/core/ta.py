@@ -1,0 +1,191 @@
+"""MD-TA: the Threshold Algorithm on top of 1D-RERANK sorted access.
+
+Fagin's Threshold Algorithm needs, for every ranking attribute, a list of the
+tuples sorted by that attribute.  A hidden web database offers no such lists —
+but the 1D-RERANK Get-Next primitive *simulates* sorted access: repeatedly
+asking "next tuple by attribute ``Aᵢ``" walks the database in ``Aᵢ`` order
+while issuing only top-k queries.  The ICDE'18 paper lists MD-TA as the third
+MD algorithm built exactly this way.
+
+Each retrieved tuple is complete (the search interface returns whole rows), so
+"random access" to the other attributes is free.  The stopping rule is the
+classic one: once the best eligible candidate scores no worse than the
+threshold
+
+.. math:: \\tau = \\sum_i w_i \\cdot \\tilde{x}_i(\\text{latest value seen on list } i)
+
+no undiscovered tuple can beat it, because every list is consumed in the
+direction its weight prefers.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional
+
+from repro.config import RerankConfig
+from repro.core.dense_index import DenseRegionIndex
+from repro.core.functions import LinearRankingFunction, SingleAttributeRanking
+from repro.core.onedim import OneDimGetNext, OneDimVariant
+from repro.core.parallel import QueryEngine
+from repro.core.session import Session
+from repro.exceptions import RankingFunctionError
+from repro.webdb.query import SearchQuery
+
+Row = Dict[str, object]
+
+_TOLERANCE = 1e-9
+
+
+class ThresholdAlgorithmGetNext:
+    """Get-Next driver implementing MD-TA."""
+
+    def __init__(
+        self,
+        engine: QueryEngine,
+        base_query: SearchQuery,
+        ranking: LinearRankingFunction,
+        session: Session,
+        config: Optional[RerankConfig] = None,
+        dense_index: Optional[DenseRegionIndex] = None,
+        onedim_variant: OneDimVariant = OneDimVariant.RERANK,
+    ) -> None:
+        if ranking.dimensionality < 2:
+            raise RankingFunctionError(
+                "MD-TA requires at least two ranking attributes"
+            )
+        self._engine = engine
+        self._base_query = base_query
+        self._ranking = ranking
+        self._session = session
+        self._config = config or engine.config
+        self._dense_index = dense_index
+        self._statistics = session.statistics
+
+        ranking.validate(engine.schema)
+        base_query.validate(engine.schema)
+
+        # One sorted-access stream per ranking attribute.  Each stream owns a
+        # private session (its notion of "emitted" is its cursor position, not
+        # what the user has been shown) but shares the engine, so every query
+        # it issues is charged to this request.
+        self._streams: Dict[str, OneDimGetNext] = {}
+        self._latest_value: Dict[str, Optional[float]] = {}
+        self._stream_done: Dict[str, bool] = {}
+        for attribute in ranking.attributes:
+            weight = ranking.weight(attribute)
+            self._streams[attribute] = OneDimGetNext(
+                engine=engine,
+                base_query=base_query,
+                ranking=SingleAttributeRanking(attribute, ascending=weight > 0),
+                session=Session(session_id=f"{session.session_id}:ta:{attribute}"),
+                config=self._config,
+                variant=onedim_variant,
+                dense_index=dense_index,
+            )
+            self._latest_value[attribute] = None
+            self._stream_done[attribute] = False
+
+        #: Every tuple discovered through any stream, keyed by tuple id.
+        self._discovered: Dict[object, Row] = {}
+        self._frontier_score = -math.inf
+        self._exhausted = False
+
+    # ------------------------------------------------------------------ #
+    @property
+    def variant(self) -> str:
+        """Descriptive name of the algorithm."""
+        return "ta"
+
+    def next(self) -> Optional[Row]:
+        """Return the next tuple in the user's order, or ``None``."""
+        if self._exhausted:
+            self._statistics.record_get_next(returned=False)
+            return None
+        best = self._find_next_tuple()
+        if best is None:
+            self._exhausted = True
+            self._statistics.record_get_next(returned=False)
+            return None
+        self._frontier_score = self._ranking.score(best)
+        self._session.mark_emitted(best, self._engine.key_column)
+        self._statistics.record_get_next(returned=True)
+        return best
+
+    # ------------------------------------------------------------------ #
+    def _is_eligible(self, row: Row, emitted: set) -> bool:
+        if row[self._engine.key_column] in emitted:
+            return False
+        if not self._base_query.matches(row):
+            return False
+        return self._ranking.score(row) >= self._frontier_score - _TOLERANCE
+
+    def _best_discovered(self, emitted: set) -> Optional[Row]:
+        best: Optional[Row] = None
+        key_column = self._engine.key_column
+        for row in self._discovered.values():
+            if not self._is_eligible(row, emitted):
+                continue
+            if best is None or (self._ranking.score(row), str(row[key_column])) < (
+                self._ranking.score(best),
+                str(best[key_column]),
+            ):
+                best = dict(row)
+        return best
+
+    def _contribution(self, attribute: str, value: float) -> float:
+        weight = self._ranking.weight(attribute)
+        normalizer = self._ranking.normalizer
+        normalized = normalizer.normalize(attribute, value) if normalizer else value
+        return weight * normalized
+
+    def _threshold(self) -> Optional[float]:
+        """Current TA threshold, or ``None`` until every live stream has
+        produced at least one tuple."""
+        total = 0.0
+        for attribute in self._ranking.attributes:
+            latest = self._latest_value[attribute]
+            if latest is None:
+                return None
+            total += self._contribution(attribute, latest)
+        return total
+
+    def _any_stream_done(self) -> bool:
+        """True once any sorted-access stream is exhausted — that stream has
+        then enumerated every matching tuple, so nothing is undiscovered."""
+        return any(self._stream_done.values())
+
+    def _advance_stream(self, attribute: str, emitted: set) -> None:
+        stream = self._streams[attribute]
+        row = stream.next()
+        if row is None:
+            self._stream_done[attribute] = True
+            return
+        value = float(row[attribute])  # type: ignore[arg-type]
+        self._latest_value[attribute] = value
+        key = row[self._engine.key_column]
+        if key not in self._discovered:
+            self._discovered[key] = dict(row)
+        if self._config.enable_session_cache:
+            self._session.remember([row], self._engine.key_column)
+
+    # ------------------------------------------------------------------ #
+    def _find_next_tuple(self) -> Optional[Row]:
+        emitted = set(self._session.emitted_keys())
+        best = self._best_discovered(emitted)
+
+        while True:
+            threshold = self._threshold()
+            if best is not None and threshold is not None:
+                if self._ranking.score(best) <= threshold + _TOLERANCE:
+                    return best
+            if self._any_stream_done():
+                # An exhausted stream has walked every matching tuple, so the
+                # best eligible discovered tuple (possibly None) is the answer.
+                return best
+
+            # One round of sorted access: advance every live stream by one.
+            for attribute in self._ranking.attributes:
+                if not self._stream_done[attribute]:
+                    self._advance_stream(attribute, emitted)
+            best = self._best_discovered(emitted)

@@ -1,0 +1,5 @@
+"""Hidden-database crawling (Sheng et al., VLDB 2012 style)."""
+
+from repro.crawl.crawler import CrawlStatistics, HiddenDatabaseCrawler
+
+__all__ = ["HiddenDatabaseCrawler", "CrawlStatistics"]

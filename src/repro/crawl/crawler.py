@@ -1,0 +1,215 @@
+"""Hidden-database crawler.
+
+QR2 needs to retrieve *every* tuple matching a predicate in two situations:
+
+1. **General-positioning violations** — when more than ``system-k`` tuples
+   share the same value on the ranking attribute (for example ~20 % of Blue
+   Nile diamonds have ``length_width_ratio = 1.0``), a point query on that
+   value overflows forever and no amount of range narrowing helps.  The paper
+   resolves this by falling back to the hidden-database crawling algorithm of
+   Sheng et al. (VLDB 2012).
+2. **Dense-region indexing** — ``(1D/MD)-RERANK`` crawl a dense region once so
+   future queries can be answered from the index.
+
+The crawler implements the core idea of that line of work: recursively
+partition the query region on *other* attributes until every leaf query stops
+overflowing, so the union of the leaves' results is the complete answer.
+Numeric attributes are split at their midpoint; categorical attributes are
+partitioned value by value.  The number of queries issued is proportional to
+the number of leaves, which is within a constant factor of the optimal crawl
+for a fixed ``k`` (each valid leaf returns up to ``k`` fresh tuples).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.exceptions import CrawlError
+from repro.webdb.counters import QueryBudget
+from repro.webdb.interface import TopKInterface
+from repro.webdb.query import InPredicate, RangePredicate, SearchQuery
+
+Row = Dict[str, object]
+
+#: Numeric ranges narrower than this are not split further; if such a range
+#: still overflows across every other attribute, the data violates even the
+#: crawler's assumptions (more than ``k`` fully identical tuples).
+_MINIMUM_SPLIT_WIDTH = 1e-9
+
+
+@dataclass
+class CrawlStatistics:
+    """Accounting for one crawl."""
+
+    queries_issued: int = 0
+    overflow_queries: int = 0
+    leaves: int = 0
+    tuples_retrieved: int = 0
+    max_depth: int = 0
+    splits_per_attribute: Dict[str, int] = field(default_factory=dict)
+
+    def snapshot(self) -> Dict[str, object]:
+        """Plain-dictionary summary."""
+        return {
+            "queries_issued": self.queries_issued,
+            "overflow_queries": self.overflow_queries,
+            "leaves": self.leaves,
+            "tuples_retrieved": self.tuples_retrieved,
+            "max_depth": self.max_depth,
+            "splits_per_attribute": dict(self.splits_per_attribute),
+        }
+
+
+class HiddenDatabaseCrawler:
+    """Retrieve every tuple matching a query through a top-k interface."""
+
+    def __init__(
+        self,
+        interface: TopKInterface,
+        budget: Optional[QueryBudget] = None,
+        max_depth: int = 60,
+    ) -> None:
+        self._interface = interface
+        self._budget = budget
+        self._max_depth = max_depth
+
+    # ------------------------------------------------------------------ #
+    def crawl(self, query: SearchQuery) -> Tuple[List[Row], CrawlStatistics]:
+        """Return every tuple matching ``query`` plus crawl statistics.
+
+        The crawl proceeds breadth-first: every query of one level is issued
+        as a single group, so when the interface supports grouped (parallel)
+        execution — the :class:`~repro.core.parallel.QueryEngine` adapter does
+        — the crawl's round trips are overlapped exactly like the covering
+        queries of the MD algorithms.
+
+        Raises :class:`CrawlError` when the region cannot be fully retrieved
+        (which, with this interface, only happens when more than ``system-k``
+        tuples are identical on every searchable attribute).
+        """
+        statistics = CrawlStatistics()
+        collected: Dict[object, Row] = {}
+        key_column = self._interface.key_column
+
+        frontier: List[SearchQuery] = [query]
+        depth = 0
+        while frontier:
+            statistics.max_depth = max(statistics.max_depth, depth)
+            results = self._search_level(frontier, statistics)
+            next_frontier: List[SearchQuery] = []
+            for level_query, result in zip(frontier, results):
+                for row in result.rows:
+                    collected[row[key_column]] = dict(row)
+                if result.covers_query:
+                    statistics.leaves += 1
+                    continue
+                if depth >= self._max_depth:
+                    raise CrawlError(
+                        f"crawl exceeded maximum depth {self._max_depth} for query "
+                        f"{level_query.describe()}"
+                    )
+                split = self._choose_split(level_query)
+                if split is None:
+                    raise CrawlError(
+                        "region overflows but no attribute can be split further: "
+                        f"{level_query.describe()} (more than system-k identical tuples?)"
+                    )
+                for sub_query in split:
+                    self._record_split(sub_query, level_query, statistics)
+                    next_frontier.append(sub_query)
+            frontier = next_frontier
+            depth += 1
+
+        statistics.tuples_retrieved = len(collected)
+        return list(collected.values()), statistics
+
+    # ------------------------------------------------------------------ #
+    def _search_level(
+        self, queries: List[SearchQuery], statistics: CrawlStatistics
+    ) -> List:
+        """Issue one breadth-first level of queries, grouped when possible."""
+        if self._budget is not None:
+            self._budget.charge(len(queries))
+        statistics.queries_issued += len(queries)
+        group_search = getattr(self._interface, "search_group", None)
+        if callable(group_search) and len(queries) > 1:
+            results = group_search(queries)
+        else:
+            results = [self._interface.search(query) for query in queries]
+        statistics.overflow_queries += sum(1 for result in results if result.is_overflow)
+        return results
+
+    def _record_split(
+        self, sub_query: SearchQuery, parent: SearchQuery, statistics: CrawlStatistics
+    ) -> None:
+        parent_attributes = set(parent.constrained_attributes)
+        for attribute in sub_query.constrained_attributes:
+            predicate_changed = (
+                attribute not in parent_attributes
+                or sub_query.range_on(attribute) != parent.range_on(attribute)
+                or sub_query.membership_on(attribute) != parent.membership_on(attribute)
+            )
+            if predicate_changed:
+                statistics.splits_per_attribute[attribute] = (
+                    statistics.splits_per_attribute.get(attribute, 0) + 1
+                )
+
+    # ------------------------------------------------------------------ #
+    # Split selection
+    # ------------------------------------------------------------------ #
+    def _choose_split(self, query: SearchQuery) -> Optional[List[SearchQuery]]:
+        """Pick the attribute whose domain can shrink the result set the most
+        and return the sub-queries obtained by partitioning it."""
+        schema = self._interface.schema
+        best_numeric: Optional[Tuple[float, str, RangePredicate]] = None
+        for name in schema.numeric_names:
+            effective = query.effective_range(name, schema)
+            if effective.is_point:
+                continue
+            width = effective.width
+            domain_lower, domain_upper = schema.domain_bounds(name)
+            domain_width = max(domain_upper - domain_lower, _MINIMUM_SPLIT_WIDTH)
+            relative_width = width / domain_width
+            if width <= _MINIMUM_SPLIT_WIDTH:
+                continue
+            candidate = (relative_width, name, effective)
+            if best_numeric is None or candidate[0] > best_numeric[0]:
+                best_numeric = candidate
+        if best_numeric is not None:
+            _, name, effective = best_numeric
+            midpoint = (effective.lower + effective.upper) / 2.0
+            low, high = effective.split(midpoint)
+            return [query.with_range(low), query.with_range(high)]
+
+        # Every numeric attribute is pinned; partition a categorical attribute.
+        for name in schema.categorical_names:
+            attribute = schema.require_categorical(name)
+            existing = query.membership_on(name)
+            values = sorted(existing.values) if existing is not None else list(attribute.categories)
+            if len(values) <= 1:
+                continue
+            middle = len(values) // 2
+            return [
+                query.with_membership(InPredicate.of(name, values[:middle])),
+                query.with_membership(InPredicate.of(name, values[middle:])),
+            ]
+        return None
+
+
+def crawl_value_group(
+    interface: TopKInterface,
+    base_query: SearchQuery,
+    attribute: str,
+    value: float,
+    budget: Optional[QueryBudget] = None,
+) -> Tuple[List[Row], CrawlStatistics]:
+    """Crawl every tuple matching ``base_query`` with ``attribute == value``.
+
+    This is the exact fallback described in the paper for the case where the
+    number of tuples sharing one ranking-attribute value exceeds ``system-k``.
+    """
+    point = RangePredicate(attribute, value, value)
+    query = base_query.with_range(point)
+    crawler = HiddenDatabaseCrawler(interface, budget=budget)
+    return crawler.crawl(query)

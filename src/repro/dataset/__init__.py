@@ -1,0 +1,18 @@
+"""Dataset substrate: schemas, a lightweight columnar table, and synthetic
+catalog generators standing in for the Blue Nile and Zillow web databases."""
+
+from repro.dataset.schema import Attribute, AttributeKind, Schema
+from repro.dataset.table import ColumnTable
+from repro.dataset.diamonds import DiamondCatalogConfig, generate_diamond_catalog
+from repro.dataset.housing import HousingCatalogConfig, generate_housing_catalog
+
+__all__ = [
+    "Attribute",
+    "AttributeKind",
+    "Schema",
+    "ColumnTable",
+    "DiamondCatalogConfig",
+    "generate_diamond_catalog",
+    "HousingCatalogConfig",
+    "generate_housing_catalog",
+]

@@ -1,0 +1,237 @@
+"""Low-level synthetic data primitives.
+
+The real QR2 demonstration runs against the live Blue Nile and Zillow web
+sites.  Those sites are not reachable here, so the catalogs are generated
+synthetically.  The generators in this module provide the statistical
+building blocks the two catalog modules need:
+
+* correlated numeric columns (house price strongly follows square footage —
+  the paper's "best case" relies on this positive correlation),
+* heavy value clusters (about 20 % of Blue Nile diamonds share
+  ``length_width_ratio == 1.0`` — the paper's "worst case" relies on this
+  general-positioning violation),
+* skewed (log-normal-ish) price distributions, and
+* categorical columns drawn with configurable popularity weights.
+
+Everything is driven by :class:`random.Random` so catalogs are reproducible
+from a seed without depending on global NumPy state.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+def make_rng(seed: int) -> random.Random:
+    """Create a deterministic random generator for catalog construction."""
+    return random.Random(seed)
+
+
+def lognormal_column(
+    rng: random.Random,
+    count: int,
+    median: float,
+    sigma: float,
+    lower: float,
+    upper: float,
+) -> List[float]:
+    """Draw ``count`` log-normal values with the given ``median``/``sigma``,
+    clamped to ``[lower, upper]``.
+
+    Prices on both Blue Nile and Zillow are heavily right-skewed; a clamped
+    log-normal reproduces that shape well enough for query-cost behaviour
+    (most tuples live in a narrow low-price band, so range queries near the
+    cheap end overflow much more often than near the expensive end).
+    """
+    mu = math.log(median)
+    values = []
+    for _ in range(count):
+        value = math.exp(rng.gauss(mu, sigma))
+        values.append(min(max(value, lower), upper))
+    return values
+
+
+def correlated_column(
+    rng: random.Random,
+    base: Sequence[float],
+    slope: float,
+    intercept: float,
+    noise_sigma: float,
+    lower: float,
+    upper: float,
+) -> List[float]:
+    """Produce a column linearly correlated with ``base`` plus Gaussian noise.
+
+    The output is ``slope * base + intercept + noise`` clamped to the domain,
+    which yields a configurable Pearson correlation: small ``noise_sigma``
+    gives near-perfect correlation, large values approach independence.
+    """
+    values = []
+    for b in base:
+        value = slope * b + intercept + rng.gauss(0.0, noise_sigma)
+        values.append(min(max(value, lower), upper))
+    return values
+
+
+def uniform_column(
+    rng: random.Random, count: int, lower: float, upper: float
+) -> List[float]:
+    """Draw ``count`` values uniformly from ``[lower, upper]``."""
+    return [rng.uniform(lower, upper) for _ in range(count)]
+
+
+def integer_column(
+    rng: random.Random, count: int, lower: int, upper: int, mode: Optional[int] = None
+) -> List[int]:
+    """Draw ``count`` integers from ``[lower, upper]``.
+
+    When ``mode`` is given a triangular distribution peaked at ``mode`` is
+    used (bedroom/bathroom counts cluster around 3/2 in real listings).
+    """
+    if mode is None:
+        return [rng.randint(lower, upper) for _ in range(count)]
+    values = []
+    for _ in range(count):
+        value = rng.triangular(lower, upper, mode)
+        values.append(int(round(value)))
+    return values
+
+
+def clustered_column(
+    rng: random.Random,
+    count: int,
+    cluster_value: float,
+    cluster_fraction: float,
+    lower: float,
+    upper: float,
+    decimals: int = 2,
+) -> List[float]:
+    """Column in which ``cluster_fraction`` of the values equal ``cluster_value``.
+
+    This reproduces the paper's worst case: roughly 20 % of Blue Nile diamonds
+    share ``length_width_ratio == 1.0``, so a query that pins that value can
+    never be resolved by range narrowing and must be crawled instead.  The
+    remaining values are uniform over the domain and rounded to ``decimals``
+    places (real sites report these measurements with limited precision, which
+    also creates many small ties).
+    """
+    if not 0.0 <= cluster_fraction <= 1.0:
+        raise ValueError("cluster_fraction must lie in [0, 1]")
+    values = []
+    for _ in range(count):
+        if rng.random() < cluster_fraction:
+            values.append(cluster_value)
+        else:
+            values.append(round(rng.uniform(lower, upper), decimals))
+    return values
+
+
+def categorical_column(
+    rng: random.Random,
+    count: int,
+    categories: Sequence[str],
+    weights: Optional[Sequence[float]] = None,
+) -> List[str]:
+    """Draw ``count`` categorical values with optional popularity ``weights``."""
+    if weights is not None and len(weights) != len(categories):
+        raise ValueError("weights must match categories")
+    return rng.choices(list(categories), weights=weights, k=count)
+
+
+def jitter_ties(
+    rng: random.Random,
+    values: Sequence[float],
+    fraction: float,
+    magnitude: float,
+    lower: float,
+    upper: float,
+) -> List[float]:
+    """Copy ``values`` nudging a random ``fraction`` of them by up to
+    ``magnitude`` — used to control how many exact ties a column contains."""
+    out = []
+    for value in values:
+        if rng.random() < fraction:
+            value = min(max(value + rng.uniform(-magnitude, magnitude), lower), upper)
+        out.append(value)
+    return out
+
+
+def round_column(values: Sequence[float], decimals: int) -> List[float]:
+    """Round every value to ``decimals`` places (web sites display rounded
+    numbers, which is what their search filters operate on)."""
+    return [round(float(v), decimals) for v in values]
+
+
+def pearson(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Pearson correlation coefficient of two equal-length sequences.
+
+    Used by the catalog tests to assert that the generated data actually has
+    the correlation structure the paper's scenarios depend on.
+    """
+    if len(xs) != len(ys):
+        raise ValueError("sequences must have equal length")
+    n = len(xs)
+    if n < 2:
+        raise ValueError("need at least two points")
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    cov = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    var_x = sum((x - mean_x) ** 2 for x in xs)
+    var_y = sum((y - mean_y) ** 2 for y in ys)
+    if var_x == 0 or var_y == 0:
+        return 0.0
+    return cov / math.sqrt(var_x * var_y)
+
+
+def zipcode_pool(rng: random.Random, count: int, prefix: int = 76) -> List[str]:
+    """Generate ``count`` plausible ZIP codes sharing a metro ``prefix``."""
+    pool = set()
+    while len(pool) < count:
+        pool.add(f"{prefix:02d}{rng.randint(0, 999):03d}")
+    return sorted(pool)
+
+
+def assign_ids(prefix: str, count: int) -> List[str]:
+    """Stable, human-readable tuple identifiers (``LD-000042`` style)."""
+    return [f"{prefix}-{index:06d}" for index in range(count)]
+
+
+def summarize_column(values: Sequence[float]) -> Dict[str, float]:
+    """Small numeric summary used by the examples when printing catalogs."""
+    ordered = sorted(float(v) for v in values)
+    n = len(ordered)
+    if n == 0:
+        raise ValueError("cannot summarize an empty column")
+
+    def percentile(q: float) -> float:
+        position = q * (n - 1)
+        low = int(math.floor(position))
+        high = int(math.ceil(position))
+        if low == high:
+            return ordered[low]
+        weight = position - low
+        return ordered[low] * (1 - weight) + ordered[high] * weight
+
+    return {
+        "count": float(n),
+        "min": ordered[0],
+        "p25": percentile(0.25),
+        "median": percentile(0.5),
+        "p75": percentile(0.75),
+        "max": ordered[-1],
+        "mean": sum(ordered) / n,
+    }
+
+
+def split_domain(
+    lower: float, upper: float, parts: int
+) -> List[Tuple[float, float]]:
+    """Split ``[lower, upper]`` into ``parts`` equal-width sub-intervals."""
+    if parts <= 0:
+        raise ValueError("parts must be positive")
+    if lower > upper:
+        raise ValueError("inverted domain")
+    width = (upper - lower) / parts
+    return [(lower + i * width, lower + (i + 1) * width) for i in range(parts)]

@@ -1,0 +1,66 @@
+"""Exception hierarchy for the QR2 reproduction.
+
+Every error raised by the library derives from :class:`QR2Error` so that
+callers embedding the reranking service can catch a single base class at the
+service boundary while still being able to distinguish failure modes.
+"""
+
+from __future__ import annotations
+
+
+class QR2Error(Exception):
+    """Base class for every error raised by this library."""
+
+
+class SchemaError(QR2Error):
+    """A table, query, or ranking function referenced an unknown attribute or
+    used an attribute in a way its kind does not support."""
+
+
+class QueryError(QR2Error):
+    """A search query is malformed (empty ranges, inverted bounds, predicates
+    on attributes that are not searchable through the public interface)."""
+
+
+class RankingFunctionError(QR2Error):
+    """A user ranking function is malformed (no attributes, non-monotone
+    specification, weights outside the supported range)."""
+
+
+class QueryBudgetExceeded(QR2Error):
+    """The reranking algorithm hit the caller-imposed limit on the number of
+    queries it may issue against the underlying web database."""
+
+    def __init__(self, budget: int, issued: int) -> None:
+        super().__init__(
+            f"query budget exceeded: issued {issued} queries, budget {budget}"
+        )
+        self.budget = budget
+        self.issued = issued
+
+
+class CrawlError(QR2Error):
+    """The hidden-database crawler could not make progress (for example the
+    region cannot be subdivided further yet still overflows)."""
+
+
+class DenseRegionError(QR2Error):
+    """The dense-region index was asked for a region it does not cover, or a
+    cached region is inconsistent with the live database."""
+
+
+class SessionError(QR2Error):
+    """A service call referenced a session that does not exist or has been
+    invalidated."""
+
+
+class DataSourceError(QR2Error):
+    """A service call referenced an unknown data source."""
+
+
+class WireFormatError(QR2Error):
+    """An HTTP request or response could not be encoded or decoded."""
+
+
+class RemoteInterfaceError(QR2Error):
+    """The HTTP-backed search interface returned an error response."""

@@ -1,0 +1,16 @@
+"""A miniature HTTP stack used to access simulated web databases the way the
+real QR2 accesses Blue Nile and Zillow: by issuing HTTP requests against a
+public search endpoint and parsing the response."""
+
+from repro.httpsim.messages import HttpRequest, HttpResponse
+from repro.httpsim.client import HttpClient, InProcessTransport
+from repro.httpsim.server import SearchHttpServer, serve_database_over_socket
+
+__all__ = [
+    "HttpRequest",
+    "HttpResponse",
+    "HttpClient",
+    "InProcessTransport",
+    "SearchHttpServer",
+    "serve_database_over_socket",
+]

@@ -1,0 +1,119 @@
+"""HTTP client used by the reranking service to reach a web database.
+
+The client mirrors the small part of the ``requests`` API the original system
+uses (``get`` with params, JSON decoding, retries on transient failures) and is
+parameterized by a *transport* so the same client code can talk to
+
+* an in-process :class:`~repro.httpsim.server.SearchHttpServer`
+  (:class:`InProcessTransport`, used by tests and benchmarks), or
+* a real socket server started with
+  :func:`~repro.httpsim.server.serve_database_over_socket`
+  (:class:`UrllibTransport`, used by the networked example).
+"""
+
+from __future__ import annotations
+
+import time
+import urllib.error
+import urllib.request
+from abc import ABC, abstractmethod
+from typing import Mapping, Optional
+from urllib.parse import urlencode
+
+from repro.exceptions import RemoteInterfaceError
+from repro.httpsim.messages import HttpRequest, HttpResponse
+
+
+class Transport(ABC):
+    """Delivers a request to a server and returns its response."""
+
+    @abstractmethod
+    def send(self, request: HttpRequest) -> HttpResponse:
+        """Deliver ``request`` and return the response."""
+
+
+class InProcessTransport(Transport):
+    """Transport that calls an in-process application object directly."""
+
+    def __init__(self, application) -> None:
+        self._application = application
+
+    def send(self, request: HttpRequest) -> HttpResponse:
+        return self._application.handle(request)
+
+
+class UrllibTransport(Transport):
+    """Transport that performs real HTTP requests with ``urllib``."""
+
+    def __init__(self, base_url: str, timeout_seconds: float = 10.0) -> None:
+        self._base_url = base_url.rstrip("/")
+        self._timeout = timeout_seconds
+
+    def send(self, request: HttpRequest) -> HttpResponse:
+        if request.method != "GET":
+            raise RemoteInterfaceError(
+                f"UrllibTransport only supports GET, got {request.method}"
+            )
+        url = self._base_url + request.path
+        if request.query_params:
+            url = f"{url}?{urlencode(dict(request.query_params))}"
+        try:
+            with urllib.request.urlopen(url, timeout=self._timeout) as raw:
+                body = raw.read().decode("utf-8")
+                headers = {key.lower(): value for key, value in raw.headers.items()}
+                return HttpResponse(status=raw.status, headers=headers, body=body)
+        except urllib.error.HTTPError as exc:
+            body = exc.read().decode("utf-8") if exc.fp is not None else ""
+            return HttpResponse(status=exc.code, headers={}, body=body)
+        except urllib.error.URLError as exc:
+            raise RemoteInterfaceError(f"could not reach {url}: {exc.reason}") from exc
+
+
+class HttpClient:
+    """Small ``requests``-like client with retries for transient failures."""
+
+    def __init__(
+        self,
+        transport: Transport,
+        max_retries: int = 2,
+        backoff_seconds: float = 0.0,
+    ) -> None:
+        if max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        self._transport = transport
+        self._max_retries = max_retries
+        self._backoff = backoff_seconds
+        self.requests_sent = 0
+
+    def get(self, path: str, params: Optional[Mapping[str, str]] = None) -> HttpResponse:
+        """Send a GET request, retrying transient (5xx / transport) failures."""
+        request = HttpRequest.get(path, params)
+        return self._send_with_retries(request)
+
+    def get_json(self, path: str, params: Optional[Mapping[str, str]] = None) -> object:
+        """GET and decode a JSON response, raising on non-2xx statuses."""
+        response = self.get(path, params)
+        if not response.ok:
+            raise RemoteInterfaceError(
+                f"GET {path} failed with status {response.status}: {response.body[:200]}"
+            )
+        return response.json()
+
+    def _send_with_retries(self, request: HttpRequest) -> HttpResponse:
+        last_error: Optional[Exception] = None
+        for attempt in range(self._max_retries + 1):
+            try:
+                self.requests_sent += 1
+                response = self._transport.send(request)
+            except RemoteInterfaceError as exc:
+                last_error = exc
+            else:
+                if response.status < 500:
+                    return response
+                last_error = RemoteInterfaceError(
+                    f"server error {response.status} for {request.url}"
+                )
+            if attempt < self._max_retries and self._backoff > 0:
+                time.sleep(self._backoff * (attempt + 1))
+        assert last_error is not None
+        raise last_error

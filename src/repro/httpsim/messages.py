@@ -1,0 +1,119 @@
+"""HTTP request/response value objects.
+
+The real system uses the ``requests`` library; here a pair of small frozen
+dataclasses models the parts of HTTP the search traffic actually uses: method,
+path, query string, JSON bodies, status codes, and headers.  Keeping them as
+plain values makes the in-process transport, the socket transport, and the
+tests share one representation.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional
+from urllib.parse import parse_qsl, urlencode
+
+from repro.exceptions import WireFormatError
+
+
+@dataclass(frozen=True)
+class HttpRequest:
+    """One HTTP request."""
+
+    method: str
+    path: str
+    query_params: Mapping[str, str] = field(default_factory=dict)
+    headers: Mapping[str, str] = field(default_factory=dict)
+    body: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.method not in ("GET", "POST", "PUT", "DELETE"):
+            raise WireFormatError(f"unsupported HTTP method {self.method!r}")
+        if not self.path.startswith("/"):
+            raise WireFormatError(f"path must start with '/': {self.path!r}")
+
+    @property
+    def url(self) -> str:
+        """Path plus encoded query string."""
+        if not self.query_params:
+            return self.path
+        return f"{self.path}?{urlencode(dict(self.query_params))}"
+
+    def json(self) -> object:
+        """Decode the body as JSON."""
+        if self.body is None:
+            raise WireFormatError("request has no body")
+        try:
+            return json.loads(self.body)
+        except json.JSONDecodeError as exc:
+            raise WireFormatError(f"invalid JSON body: {exc}") from exc
+
+    @staticmethod
+    def get(path: str, params: Optional[Mapping[str, str]] = None) -> "HttpRequest":
+        """Convenience constructor for a GET request."""
+        return HttpRequest(method="GET", path=path, query_params=dict(params or {}))
+
+    @staticmethod
+    def post_json(path: str, payload: object) -> "HttpRequest":
+        """Convenience constructor for a POST request with a JSON body."""
+        return HttpRequest(
+            method="POST",
+            path=path,
+            headers={"content-type": "application/json"},
+            body=json.dumps(payload),
+        )
+
+    @staticmethod
+    def from_url(method: str, url: str) -> "HttpRequest":
+        """Parse ``/path?a=1&b=2`` into a request."""
+        if "?" in url:
+            path, _, query = url.partition("?")
+            params = dict(parse_qsl(query, keep_blank_values=True))
+        else:
+            path, params = url, {}
+        return HttpRequest(method=method, path=path, query_params=params)
+
+
+@dataclass(frozen=True)
+class HttpResponse:
+    """One HTTP response."""
+
+    status: int
+    headers: Mapping[str, str] = field(default_factory=dict)
+    body: str = ""
+
+    @property
+    def ok(self) -> bool:
+        """True for 2xx statuses."""
+        return 200 <= self.status < 300
+
+    def json(self) -> object:
+        """Decode the body as JSON."""
+        try:
+            return json.loads(self.body)
+        except json.JSONDecodeError as exc:
+            raise WireFormatError(f"invalid JSON response body: {exc}") from exc
+
+    @staticmethod
+    def json_response(payload: object, status: int = 200) -> "HttpResponse":
+        """Build a JSON response."""
+        return HttpResponse(
+            status=status,
+            headers={"content-type": "application/json"},
+            body=json.dumps(payload),
+        )
+
+    @staticmethod
+    def error(status: int, message: str) -> "HttpResponse":
+        """Build a JSON error response."""
+        return HttpResponse.json_response({"error": message}, status=status)
+
+
+def merge_headers(*parts: Mapping[str, str]) -> Dict[str, str]:
+    """Merge header dictionaries, later parts winning, keys lower-cased."""
+    merged: Dict[str, str] = {}
+    for part in parts:
+        for key, value in part.items():
+            merged[key.lower()] = value
+    return merged

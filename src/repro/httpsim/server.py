@@ -1,0 +1,149 @@
+"""Search API servers for simulated web databases.
+
+Two deployments are supported:
+
+* :class:`SearchHttpServer` — an in-process application object that maps
+  :class:`~repro.httpsim.messages.HttpRequest` to
+  :class:`~repro.httpsim.messages.HttpResponse`.  The unit tests and the
+  default benchmark setup use this: the full request/serialize/parse path is
+  exercised without opening sockets.
+* :func:`serve_database_over_socket` — the same application served over a real
+  TCP socket using the standard library's ``http.server``, so the examples can
+  demonstrate a genuinely remote web database.
+
+The exposed routes mirror what a deep-web search form provides:
+
+========  =====================  ==========================================
+method    path                   meaning
+========  =====================  ==========================================
+GET       /api/schema            advertise the search form (schema)
+GET       /api/search?...        top-k search with URL-encoded predicates
+GET       /api/meta              database name, size, and system-k
+========  =====================  ==========================================
+"""
+
+from __future__ import annotations
+
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.exceptions import QueryError, SchemaError, WireFormatError
+from repro.httpsim import wire
+from repro.httpsim.messages import HttpRequest, HttpResponse
+from repro.webdb.database import HiddenWebDatabase
+
+
+class SearchHttpServer:
+    """In-process HTTP application exposing one hidden web database."""
+
+    def __init__(self, database: HiddenWebDatabase) -> None:
+        self._database = database
+        self._routes: Dict[Tuple[str, str], Callable[[HttpRequest], HttpResponse]] = {
+            ("GET", "/api/schema"): self._handle_schema,
+            ("GET", "/api/search"): self._handle_search,
+            ("GET", "/api/meta"): self._handle_meta,
+        }
+
+    @property
+    def database(self) -> HiddenWebDatabase:
+        """The database served by this application."""
+        return self._database
+
+    def handle(self, request: HttpRequest) -> HttpResponse:
+        """Dispatch one request to its route handler."""
+        handler = self._routes.get((request.method, request.path))
+        if handler is None:
+            return HttpResponse.error(404, f"no route for {request.method} {request.path}")
+        try:
+            return handler(request)
+        except (QueryError, SchemaError, WireFormatError) as exc:
+            return HttpResponse.error(400, str(exc))
+
+    # ------------------------------------------------------------------ #
+    # Route handlers
+    # ------------------------------------------------------------------ #
+    def _handle_schema(self, request: HttpRequest) -> HttpResponse:
+        return HttpResponse.json_response(wire.encode_schema(self._database.schema))
+
+    def _handle_meta(self, request: HttpRequest) -> HttpResponse:
+        return HttpResponse.json_response(
+            {
+                "name": self._database.name,
+                "size": self._database.size,
+                "system_k": self._database.system_k,
+                "queries_served": self._database.queries_issued(),
+            }
+        )
+
+    def _handle_search(self, request: HttpRequest) -> HttpResponse:
+        query = wire.decode_query(request.query_params, self._database.schema)
+        result = self._database.search(query)
+        return HttpResponse.json_response(
+            wire.encode_result(result, self._database.key_column)
+        )
+
+
+class _SocketHandler(BaseHTTPRequestHandler):
+    """Adapts ``http.server`` requests to the in-process application."""
+
+    application: SearchHttpServer  # set by serve_database_over_socket
+
+    def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
+        request = HttpRequest.from_url("GET", self.path)
+        response = self.application.handle(request)
+        body = response.body.encode("utf-8")
+        self.send_response(response.status)
+        for key, value in response.headers.items():
+            self.send_header(key, value)
+        self.send_header("content-length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format: str, *args: object) -> None:  # noqa: A002
+        """Silence per-request logging (the examples print their own stats)."""
+
+
+class SocketServerHandle:
+    """Handle over a background socket server (host, port, and shutdown)."""
+
+    def __init__(self, server: ThreadingHTTPServer, thread: threading.Thread) -> None:
+        self._server = server
+        self._thread = thread
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """``(host, port)`` the server is bound to."""
+        return self._server.server_address  # type: ignore[return-value]
+
+    @property
+    def base_url(self) -> str:
+        """Base URL of the server."""
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def shutdown(self) -> None:
+        """Stop the server and join its thread."""
+        self._server.shutdown()
+        self._server.server_close()
+        self._thread.join(timeout=5.0)
+
+
+def serve_database_over_socket(
+    database: HiddenWebDatabase,
+    host: str = "127.0.0.1",
+    port: int = 0,
+) -> SocketServerHandle:
+    """Serve a hidden web database over a real TCP socket in a daemon thread.
+
+    ``port=0`` binds an ephemeral port; the chosen port is available from the
+    returned handle.  The caller is responsible for calling ``shutdown()``.
+    """
+    application = SearchHttpServer(database)
+    handler_class = type(
+        "BoundSocketHandler", (_SocketHandler,), {"application": application}
+    )
+    server = ThreadingHTTPServer((host, port), handler_class)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    return SocketServerHandle(server, thread)

@@ -1,0 +1,15 @@
+"""The QR2 web-service layer: data sources, sessions, slider-based ranking
+specifications, popular-function suggestions, and a JSON HTTP API."""
+
+from repro.service.app import QR2Service
+from repro.service.sources import DataSource, DataSourceRegistry, build_default_registry
+from repro.service.sliders import ranking_from_sliders, sliders_from_ranking
+
+__all__ = [
+    "QR2Service",
+    "DataSource",
+    "DataSourceRegistry",
+    "build_default_registry",
+    "ranking_from_sliders",
+    "sliders_from_ranking",
+]

@@ -1,0 +1,259 @@
+"""The QR2 application object.
+
+:class:`QR2Service` is the framework-free equivalent of the paper's Flask
+application.  It owns the data-source registry and the per-user sessions and
+exposes the operations behind the three sections of the QR2 UI:
+
+* **Filtering section** → the ``filters`` dictionary of :meth:`submit_query`;
+* **Ranking section** → the ``sliders`` / ``ranking`` specification (plus the
+  popular-function suggestions);
+* **Search results & statistics** → :meth:`get_next_page` and the statistics
+  snapshot included in every response.
+
+Responses are plain dictionaries so the HTTP layer
+(:mod:`repro.service.httpapp`), the examples, and the tests can consume them
+directly.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import uuid
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional
+
+from repro.config import ServiceConfig
+from repro.core.functions import UserRankingFunction, from_specification
+from repro.core.getnext import GetNextStream
+from repro.core.reranker import Algorithm
+from repro.core.session import Session
+from repro.dataset.table import ColumnTable
+from repro.exceptions import QueryError, SessionError
+from repro.service.popular import popular_functions
+from repro.service.sliders import ranking_from_sliders
+from repro.service.sources import DataSource, DataSourceRegistry, build_default_registry
+from repro.webdb.query import SearchQuery
+
+Row = Dict[str, object]
+
+
+@dataclass
+class _ActiveRequest:
+    """One reranking request bound to a user session."""
+
+    source: DataSource
+    stream: GetNextStream
+    page_size: int
+    pages_served: int = 0
+    created_at: float = field(default_factory=time.time)
+
+
+class QR2Service:
+    """The third-party reranking service."""
+
+    def __init__(
+        self,
+        registry: Optional[DataSourceRegistry] = None,
+        config: Optional[ServiceConfig] = None,
+    ) -> None:
+        self._config = config or ServiceConfig()
+        self._registry = registry or build_default_registry(
+            rerank_config=self._config.rerank,
+            dense_cache_path=self._config.dense_cache_path,
+        )
+        self._sessions: Dict[str, Session] = {}
+        self._requests: Dict[str, _ActiveRequest] = {}
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------ #
+    # Source discovery
+    # ------------------------------------------------------------------ #
+    @property
+    def registry(self) -> DataSourceRegistry:
+        """The data-source registry behind this service."""
+        return self._registry
+
+    def list_sources(self) -> List[Dict[str, object]]:
+        """Describe every selectable data source (the UI's source picker)."""
+        return self._registry.describe_all()
+
+    def describe_source(self, source_name: str) -> Dict[str, object]:
+        """Description of one source, including its popular functions."""
+        source = self._registry.get(source_name)
+        description = source.describe()
+        description["popular_functions"] = [
+            function.as_dict() for function in popular_functions(source_name)
+        ]
+        return description
+
+    # ------------------------------------------------------------------ #
+    # Sessions
+    # ------------------------------------------------------------------ #
+    def create_session(self) -> str:
+        """Create a new user session and return its identifier."""
+        session_id = uuid.uuid4().hex
+        with self._lock:
+            self._sessions[session_id] = Session(session_id=session_id)
+        return session_id
+
+    def _session(self, session_id: str) -> Session:
+        with self._lock:
+            if session_id not in self._sessions:
+                raise SessionError(f"unknown session {session_id!r}")
+            return self._sessions[session_id]
+
+    def session_info(self, session_id: str) -> Dict[str, object]:
+        """Summary of a session's cache and history."""
+        return self._session(session_id).describe()
+
+    def expire_idle_sessions(self) -> int:
+        """Drop sessions idle for longer than the configured TTL; returns the
+        number removed."""
+        removed = 0
+        with self._lock:
+            for session_id in list(self._sessions):
+                if self._sessions[session_id].idle_seconds() > self._config.session_ttl_seconds:
+                    self._sessions.pop(session_id)
+                    self._requests.pop(session_id, None)
+                    removed += 1
+        return removed
+
+    # ------------------------------------------------------------------ #
+    # Query submission and paging
+    # ------------------------------------------------------------------ #
+    def submit_query(
+        self,
+        session_id: str,
+        source_name: str,
+        filters: Optional[Mapping[str, object]] = None,
+        sliders: Optional[Mapping[str, float]] = None,
+        ranking: Optional[Mapping[str, object]] = None,
+        algorithm: str = "rerank",
+        page_size: Optional[int] = None,
+    ) -> Dict[str, object]:
+        """Process a new reranking query for ``session_id``.
+
+        ``filters`` uses the :meth:`SearchQuery.build` shape
+        (``{"ranges": {...}, "memberships": {...}}``); the ranking preference
+        is given either as ``sliders`` (the MD slider UI) or as ``ranking``
+        (an explicit 1D/weights specification).  The first result page is
+        returned along with the statistics panel.
+        """
+        session = self._session(session_id)
+        session.touch()
+        # A new query keeps the session's seen-tuple cache but starts a fresh
+        # emission history and statistics panel.
+        session.reset_for_new_request()
+        source = self._registry.get(source_name)
+        query = self._build_query(filters, source)
+        ranking_function = self._build_ranking(sliders, ranking, source)
+        chosen_algorithm = Algorithm.parse(algorithm)
+        size = self._effective_page_size(page_size)
+
+        stream = source.reranker.rerank(
+            query, ranking_function, algorithm=chosen_algorithm, session=session
+        )
+        with self._lock:
+            self._requests[session_id] = _ActiveRequest(
+                source=source, stream=stream, page_size=size
+            )
+        return self._serve_page(session_id)
+
+    def get_next_page(self, session_id: str) -> Dict[str, object]:
+        """Serve the next page of the session's active request (the "get-next"
+        button of the UI)."""
+        self._session(session_id).touch()
+        return self._serve_page(session_id)
+
+    def statistics(self, session_id: str) -> Dict[str, object]:
+        """The statistics panel for the session's active request."""
+        request = self._active_request(session_id)
+        return self._statistics_panel(request)
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _active_request(self, session_id: str) -> _ActiveRequest:
+        with self._lock:
+            request = self._requests.get(session_id)
+        if request is None:
+            raise SessionError(f"session {session_id!r} has no active query")
+        return request
+
+    def _effective_page_size(self, page_size: Optional[int]) -> int:
+        if page_size is None:
+            return self._config.default_page_size
+        if page_size <= 0:
+            raise QueryError("page_size must be positive")
+        return min(page_size, self._config.max_page_size)
+
+    def _build_query(
+        self, filters: Optional[Mapping[str, object]], source: DataSource
+    ) -> SearchQuery:
+        filters = filters or {}
+        ranges = filters.get("ranges", {})
+        memberships = filters.get("memberships", {})
+        if not isinstance(ranges, Mapping) or not isinstance(memberships, Mapping):
+            raise QueryError("'ranges' and 'memberships' must be mappings")
+        query = SearchQuery.build(
+            ranges={str(k): (float(v[0]), float(v[1])) for k, v in ranges.items()},
+            memberships={str(k): list(v) for k, v in memberships.items()},
+        )
+        query.validate(source.schema)
+        return query
+
+    def _build_ranking(
+        self,
+        sliders: Optional[Mapping[str, float]],
+        ranking: Optional[Mapping[str, object]],
+        source: DataSource,
+    ) -> UserRankingFunction:
+        if sliders is not None and ranking is not None:
+            raise QueryError("provide either 'sliders' or 'ranking', not both")
+        if sliders is not None:
+            return ranking_from_sliders(sliders, source.schema)
+        if ranking is not None:
+            function = from_specification(ranking)
+            function.validate(source.schema)
+            if function.dimensionality > 1:
+                # Explicit weight specifications still get slider-style
+                # normalization so the weights are comparable across attributes.
+                return ranking_from_sliders(dict(ranking["weights"]), source.schema)  # type: ignore[index]
+            return function
+        raise QueryError("a ranking preference ('sliders' or 'ranking') is required")
+
+    def _serve_page(self, session_id: str) -> Dict[str, object]:
+        request = self._active_request(session_id)
+        rows = request.stream.next_page(request.page_size)
+        request.pages_served += 1
+        columns = request.source.result_columns or request.source.schema.columns()
+        table = (
+            ColumnTable.from_rows(rows, columns=columns)
+            if rows
+            else ColumnTable.empty(columns)
+        )
+        return {
+            "session_id": session_id,
+            "source": request.source.name,
+            "page": request.pages_served,
+            "page_size": request.page_size,
+            "rows": [{name: row[name] for name in columns} for row in rows],
+            "rendered": table.to_text(max_rows=request.page_size),
+            "exhausted": request.stream.exhausted,
+            "statistics": self._statistics_panel(request),
+        }
+
+    def _statistics_panel(self, request: _ActiveRequest) -> Dict[str, object]:
+        snapshot = request.stream.statistics.snapshot()
+        return {
+            "description": request.stream.description,
+            "external_queries": snapshot["external_queries"],
+            "processing_seconds": snapshot["processing_seconds"],
+            "parallel_fraction": snapshot["parallel_fraction"],
+            "cache_hits": snapshot["cache_hits"],
+            "dense_index_hits": snapshot["dense_index_hits"],
+            "dense_regions_built": snapshot["dense_regions_built"],
+            "tuples_returned": snapshot["tuples_returned"],
+            "dense_index": request.source.reranker.dense_index.describe(),
+        }

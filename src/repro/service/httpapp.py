@@ -1,0 +1,179 @@
+"""JSON HTTP API for the QR2 service.
+
+The original demonstration serves its UI with Flask.  Flask is not available
+here, so this module exposes the same operations as a small JSON API on the
+standard library's ``http.server``:
+
+========  ==========================  ==========================================
+method    path                        meaning
+========  ==========================  ==========================================
+GET       /qr2/sources                list data sources
+GET       /qr2/sources/<name>         describe one source (incl. popular funcs)
+POST      /qr2/sessions               create a session
+POST      /qr2/query                  submit a query (first result page)
+POST      /qr2/next                   next result page for a session
+GET       /qr2/statistics?session=…   statistics panel for a session
+========  ==========================  ==========================================
+
+The same handler object also works in-process (without sockets) through
+:meth:`QR2HttpApplication.handle`, which is what the integration tests use.
+"""
+
+from __future__ import annotations
+
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, Optional, Tuple
+
+from repro.exceptions import QR2Error
+from repro.httpsim.messages import HttpRequest, HttpResponse
+from repro.service.app import QR2Service
+
+
+class QR2HttpApplication:
+    """Routes HTTP requests onto a :class:`~repro.service.app.QR2Service`."""
+
+    def __init__(self, service: Optional[QR2Service] = None) -> None:
+        self._service = service or QR2Service()
+
+    @property
+    def service(self) -> QR2Service:
+        """The underlying application service."""
+        return self._service
+
+    # ------------------------------------------------------------------ #
+    def handle(self, request: HttpRequest) -> HttpResponse:
+        """Dispatch one request."""
+        try:
+            return self._route(request)
+        except QR2Error as exc:
+            return HttpResponse.error(400, str(exc))
+
+    def _route(self, request: HttpRequest) -> HttpResponse:
+        if request.method == "GET" and request.path == "/qr2/sources":
+            return HttpResponse.json_response({"sources": self._service.list_sources()})
+        if request.method == "GET" and request.path.startswith("/qr2/sources/"):
+            name = request.path.rsplit("/", 1)[-1]
+            return HttpResponse.json_response(self._service.describe_source(name))
+        if request.method == "POST" and request.path == "/qr2/sessions":
+            return HttpResponse.json_response({"session_id": self._service.create_session()})
+        if request.method == "POST" and request.path == "/qr2/query":
+            payload = request.json()
+            if not isinstance(payload, dict):
+                return HttpResponse.error(400, "request body must be a JSON object")
+            return HttpResponse.json_response(
+                self._service.submit_query(
+                    session_id=str(payload.get("session_id", "")),
+                    source_name=str(payload.get("source", "")),
+                    filters=payload.get("filters"),
+                    sliders=payload.get("sliders"),
+                    ranking=payload.get("ranking"),
+                    algorithm=str(payload.get("algorithm", "rerank")),
+                    page_size=payload.get("page_size"),
+                )
+            )
+        if request.method == "POST" and request.path == "/qr2/next":
+            payload = request.json()
+            if not isinstance(payload, dict):
+                return HttpResponse.error(400, "request body must be a JSON object")
+            return HttpResponse.json_response(
+                self._service.get_next_page(str(payload.get("session_id", "")))
+            )
+        if request.method == "GET" and request.path == "/qr2/statistics":
+            session_id = request.query_params.get("session", "")
+            return HttpResponse.json_response(self._service.statistics(session_id))
+        return HttpResponse.error(404, f"no route for {request.method} {request.path}")
+
+
+class _QR2SocketHandler(BaseHTTPRequestHandler):
+    """Adapts ``http.server`` requests onto the application object."""
+
+    application: QR2HttpApplication  # bound by serve_qr2_over_socket
+
+    def _respond(self, response: HttpResponse) -> None:
+        body = response.body.encode("utf-8")
+        self.send_response(response.status)
+        for key, value in response.headers.items():
+            self.send_header(key, value)
+        self.send_header("content-length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
+        self._respond(self.application.handle(HttpRequest.from_url("GET", self.path)))
+
+    def do_POST(self) -> None:  # noqa: N802 (stdlib naming)
+        length = int(self.headers.get("content-length", "0"))
+        body = self.rfile.read(length).decode("utf-8") if length else "{}"
+        request = HttpRequest(method="POST", path=self.path.split("?")[0], body=body)
+        self._respond(self.application.handle(request))
+
+    def log_message(self, format: str, *args: object) -> None:  # noqa: A002
+        """Silence per-request logging."""
+
+
+class QR2ServerHandle:
+    """Handle over a running QR2 socket server."""
+
+    def __init__(self, server: ThreadingHTTPServer, thread: threading.Thread) -> None:
+        self._server = server
+        self._thread = thread
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """``(host, port)`` the server is bound to."""
+        return self._server.server_address  # type: ignore[return-value]
+
+    @property
+    def base_url(self) -> str:
+        """Base URL of the server."""
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def shutdown(self) -> None:
+        """Stop the server and join its thread."""
+        self._server.shutdown()
+        self._server.server_close()
+        self._thread.join(timeout=5.0)
+
+
+def serve_qr2_over_socket(
+    application: Optional[QR2HttpApplication] = None,
+    host: str = "127.0.0.1",
+    port: int = 0,
+) -> QR2ServerHandle:
+    """Serve the QR2 JSON API on a real TCP socket in a daemon thread."""
+    application = application or QR2HttpApplication()
+    handler_class = type(
+        "BoundQR2Handler", (_QR2SocketHandler,), {"application": application}
+    )
+    server = ThreadingHTTPServer((host, port), handler_class)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    return QR2ServerHandle(server, thread)
+
+
+def main() -> None:  # pragma: no cover - interactive entry point
+    """Run the QR2 JSON API over the default simulated sources.
+
+    ``python -m repro.service.httpapp [port]`` starts the service on the given
+    port (default 8080) and blocks until interrupted.
+    """
+    import sys
+    import time
+
+    port = int(sys.argv[1]) if len(sys.argv) > 1 else 8080
+    handle = serve_qr2_over_socket(port=port)
+    print(f"QR2 service listening on {handle.base_url}")
+    print("endpoints: GET /qr2/sources, POST /qr2/sessions, POST /qr2/query, POST /qr2/next")
+    try:
+        while True:
+            time.sleep(1.0)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        handle.shutdown()
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

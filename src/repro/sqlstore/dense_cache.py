@@ -1,0 +1,209 @@
+"""Persistent dense-region cache.
+
+``(1D/MD)-RERANK`` crawl dense regions on the fly and keep them around to
+answer future queries locally.  The cache is shared across all sessions of the
+service, so the paper persists it in MySQL and verifies it against the live
+web database when the service boots.  :class:`DenseRegionCache` reproduces
+that component on SQLite: it stores
+
+* the *region descriptors* (which attribute or attribute set, which bounds),
+  in a metadata table, and
+* the *crawled tuples* themselves, in a :class:`~repro.sqlstore.store.SQLiteTupleStore`.
+
+The in-memory index used on the hot path lives in
+:mod:`repro.core.dense_index`; this module is only about durability and
+boot-time verification.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+import threading
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.dataset.schema import Schema
+from repro.exceptions import DenseRegionError
+from repro.sqlstore.store import SQLiteTupleStore
+
+Row = Dict[str, object]
+
+
+@dataclass(frozen=True)
+class StoredRegion:
+    """A persisted dense region.
+
+    ``bounds`` maps each attribute of the region to its ``(lower, upper)``
+    closed interval; 1D regions have a single entry, MD regions one per
+    ranking attribute.  ``tuple_keys`` are the keys of the crawled tuples that
+    belong to the region.
+    """
+
+    region_id: int
+    bounds: Mapping[str, Tuple[float, float]]
+    tuple_keys: Tuple[object, ...]
+
+    @property
+    def attributes(self) -> Tuple[str, ...]:
+        """Attributes the region constrains, sorted for stable identity."""
+        return tuple(sorted(self.bounds.keys()))
+
+
+class DenseRegionCache:
+    """Durable storage for dense regions and their crawled tuples."""
+
+    def __init__(self, schema: Schema, path: str = ":memory:") -> None:
+        self._schema = schema
+        self._tuples = SQLiteTupleStore(schema, path=path, table="dense_tuples")
+        self._path = path
+        self._lock = threading.Lock()
+        self._shared_memory_connection: Optional[sqlite3.Connection] = None
+        if path == ":memory:":
+            self._shared_memory_connection = sqlite3.connect(
+                ":memory:", check_same_thread=False
+            )
+        self._local = threading.local()
+        self._create_tables()
+
+    def _connection(self) -> sqlite3.Connection:
+        if self._shared_memory_connection is not None:
+            return self._shared_memory_connection
+        connection = getattr(self._local, "connection", None)
+        if connection is None:
+            connection = sqlite3.connect(self._path, check_same_thread=False)
+            self._local.connection = connection
+        return connection
+
+    def _create_tables(self) -> None:
+        with self._lock:
+            connection = self._connection()
+            connection.execute(
+                """
+                CREATE TABLE IF NOT EXISTS dense_regions (
+                    region_id INTEGER PRIMARY KEY AUTOINCREMENT,
+                    bounds_json TEXT NOT NULL,
+                    keys_json TEXT NOT NULL
+                )
+                """
+            )
+            connection.commit()
+
+    # ------------------------------------------------------------------ #
+    # Writes
+    # ------------------------------------------------------------------ #
+    def store_region(
+        self,
+        bounds: Mapping[str, Tuple[float, float]],
+        rows: Sequence[Row],
+    ) -> StoredRegion:
+        """Persist one crawled region and its tuples."""
+        if not bounds:
+            raise DenseRegionError("a dense region needs at least one bounded attribute")
+        for attribute, (lower, upper) in bounds.items():
+            self._schema.require_numeric(attribute)
+            if lower > upper:
+                raise DenseRegionError(
+                    f"inverted bounds for {attribute!r}: ({lower}, {upper})"
+                )
+        self._tuples.upsert(rows)
+        keys = [row[self._schema.key] for row in rows]
+        bounds_json = json.dumps(
+            {name: [float(low), float(high)] for name, (low, high) in bounds.items()},
+            sort_keys=True,
+        )
+        keys_json = json.dumps(keys)
+        with self._lock:
+            connection = self._connection()
+            cursor = connection.execute(
+                "INSERT INTO dense_regions (bounds_json, keys_json) VALUES (?, ?)",
+                (bounds_json, keys_json),
+            )
+            connection.commit()
+            region_id = int(cursor.lastrowid)
+        return StoredRegion(
+            region_id=region_id,
+            bounds={name: (float(low), float(high)) for name, (low, high) in bounds.items()},
+            tuple_keys=tuple(keys),
+        )
+
+    def drop_region(self, region_id: int) -> None:
+        """Remove one region descriptor (tuples remain; they are harmless)."""
+        with self._lock:
+            connection = self._connection()
+            connection.execute("DELETE FROM dense_regions WHERE region_id = ?", (region_id,))
+            connection.commit()
+
+    def clear(self) -> None:
+        """Remove every region and every cached tuple."""
+        with self._lock:
+            connection = self._connection()
+            connection.execute("DELETE FROM dense_regions")
+            connection.commit()
+        self._tuples.delete_all()
+
+    # ------------------------------------------------------------------ #
+    # Reads
+    # ------------------------------------------------------------------ #
+    def regions(self) -> List[StoredRegion]:
+        """All persisted regions."""
+        cursor = self._connection().execute(
+            "SELECT region_id, bounds_json, keys_json FROM dense_regions"
+        )
+        stored = []
+        for region_id, bounds_json, keys_json in cursor.fetchall():
+            bounds = {
+                name: (float(pair[0]), float(pair[1]))
+                for name, pair in json.loads(bounds_json).items()
+            }
+            keys = tuple(json.loads(keys_json))
+            stored.append(StoredRegion(int(region_id), bounds, keys))
+        return stored
+
+    def rows_for_region(self, region: StoredRegion) -> List[Row]:
+        """The crawled tuples belonging to ``region``."""
+        rows = []
+        for key in region.tuple_keys:
+            row = self._tuples.get(key)
+            if row is None:
+                raise DenseRegionError(
+                    f"region {region.region_id} references missing tuple {key!r}"
+                )
+            rows.append(row)
+        return rows
+
+    def tuple_count(self) -> int:
+        """Number of cached tuples across all regions."""
+        return self._tuples.count()
+
+    # ------------------------------------------------------------------ #
+    # Boot-time verification (paper: "before the system boots up we verify
+    # the cache and update the changes from the web database")
+    # ------------------------------------------------------------------ #
+    def verify_and_refresh(self, crawl_region) -> Dict[str, int]:
+        """Re-crawl every stored region with ``crawl_region(bounds) -> rows``
+        and replace regions whose contents changed.
+
+        Returns counters ``{"checked": .., "refreshed": .., "unchanged": ..}``.
+        The crawl callback is injected so this module stays independent of the
+        crawler and of the live database.
+        """
+        counters = {"checked": 0, "refreshed": 0, "unchanged": 0}
+        for region in self.regions():
+            counters["checked"] += 1
+            fresh_rows = crawl_region(region.bounds)
+            fresh_keys = sorted(str(row[self._schema.key]) for row in fresh_rows)
+            cached_keys = sorted(str(key) for key in region.tuple_keys)
+            if fresh_keys == cached_keys:
+                counters["unchanged"] += 1
+                continue
+            self.drop_region(region.region_id)
+            self.store_region(region.bounds, fresh_rows)
+            counters["refreshed"] += 1
+        return counters
+
+    def close(self) -> None:
+        """Close the underlying connections."""
+        self._tuples.close()
+        if self._shared_memory_connection is not None:
+            self._shared_memory_connection.close()

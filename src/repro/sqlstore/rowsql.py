@@ -1,0 +1,90 @@
+"""SQL over in-memory tables (pandasql substitute).
+
+The original implementation stores query results in pandas data frames and
+post-processes them with pandasql.  The equivalent here loads one or more
+:class:`~repro.dataset.table.ColumnTable` objects into a throw-away in-memory
+SQLite database and runs arbitrary ``SELECT`` statements over them.  The
+service layer uses it to produce result pages and simple aggregates; the
+examples use it to slice benchmark output.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from typing import Dict, Mapping, Sequence
+
+from repro.dataset.table import ColumnTable
+from repro.exceptions import QueryError, SchemaError
+
+
+def _quote_identifier(name: str) -> str:
+    if not name.replace("_", "").isalnum():
+        raise SchemaError(f"illegal identifier {name!r}")
+    return f'"{name}"'
+
+
+def _load_table(connection: sqlite3.Connection, name: str, table: ColumnTable) -> None:
+    columns = table.columns
+    if not columns:
+        raise SchemaError(f"table {name!r} has no columns")
+    sample = table.row(0) if len(table) else {column: None for column in columns}
+    definitions = []
+    for column in columns:
+        value = sample[column]
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            definitions.append(f"{_quote_identifier(column)} REAL")
+        else:
+            definitions.append(f"{_quote_identifier(column)} TEXT")
+    connection.execute(
+        f"CREATE TABLE {_quote_identifier(name)} ({', '.join(definitions)})"
+    )
+    placeholders = ", ".join("?" for _ in columns)
+    connection.executemany(
+        f"INSERT INTO {_quote_identifier(name)} VALUES ({placeholders})",
+        [tuple(row[column] for column in columns) for row in table.iter_rows()],
+    )
+
+
+def sql_over_tables(sql: str, tables: Mapping[str, ColumnTable]) -> ColumnTable:
+    """Run a ``SELECT`` over the given named tables and return the result.
+
+    Only read-only statements are accepted: the helper exists for slicing and
+    aggregating result sets, not for mutating anything.
+    """
+    stripped = sql.lstrip().lower()
+    if not (stripped.startswith("select") or stripped.startswith("with")):
+        raise QueryError("sql_over_tables only accepts SELECT statements")
+    if not tables:
+        raise QueryError("sql_over_tables requires at least one table")
+    connection = sqlite3.connect(":memory:")
+    try:
+        for name, table in tables.items():
+            _load_table(connection, name, table)
+        cursor = connection.execute(sql)
+        columns = [description[0] for description in cursor.description]
+        records = cursor.fetchall()
+    except sqlite3.Error as exc:
+        raise QueryError(f"SQL error: {exc}") from exc
+    finally:
+        connection.close()
+    data: Dict[str, list] = {name: [] for name in columns}
+    for record in records:
+        for name, value in zip(columns, record):
+            data[name].append(value)
+    return ColumnTable(data)
+
+
+def sql_over_table(sql: str, table: ColumnTable, name: str = "result") -> ColumnTable:
+    """Convenience wrapper for a single table registered under ``name``."""
+    return sql_over_tables(sql, {name: table})
+
+
+def page(table: ColumnTable, page_index: int, page_size: int) -> ColumnTable:
+    """Return page ``page_index`` (0-based) of ``table``."""
+    if page_index < 0 or page_size <= 0:
+        raise QueryError("page_index must be >= 0 and page_size > 0")
+    start = page_index * page_size
+    rows = table.to_rows()[start : start + page_size]
+    if not rows:
+        return ColumnTable.empty(table.columns)
+    return ColumnTable.from_rows(rows, columns=table.columns)

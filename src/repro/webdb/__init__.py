@@ -1,0 +1,33 @@
+"""Simulated hidden web databases exposing only a top-k search interface."""
+
+from repro.webdb.query import InPredicate, RangePredicate, SearchQuery
+from repro.webdb.interface import Outcome, SearchResult, TopKInterface
+from repro.webdb.database import HiddenWebDatabase
+from repro.webdb.ranking import (
+    AttributeOrderRanking,
+    FeaturedScoreRanking,
+    LinearSystemRanking,
+    RandomTieBreakRanking,
+    SystemRankingFunction,
+)
+from repro.webdb.counters import QueryBudget, QueryCounter, QueryLog
+from repro.webdb.latency import LatencyModel
+
+__all__ = [
+    "InPredicate",
+    "RangePredicate",
+    "SearchQuery",
+    "Outcome",
+    "SearchResult",
+    "TopKInterface",
+    "HiddenWebDatabase",
+    "SystemRankingFunction",
+    "AttributeOrderRanking",
+    "LinearSystemRanking",
+    "FeaturedScoreRanking",
+    "RandomTieBreakRanking",
+    "QueryCounter",
+    "QueryBudget",
+    "QueryLog",
+    "LatencyModel",
+]

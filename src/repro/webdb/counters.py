@@ -1,0 +1,174 @@
+"""Query accounting: counters, budgets, and logs.
+
+The unit the paper optimizes is the number of search queries issued to the
+remote web database.  Three small utilities make that unit first-class:
+
+* :class:`QueryCounter` — thread-safe monotone counter shared by the parallel
+  executor and the sequential code paths;
+* :class:`QueryBudget` — a counter with a hard cap that raises
+  :class:`~repro.exceptions.QueryBudgetExceeded` when the reranking algorithm
+  would exceed the caller's allowance;
+* :class:`QueryLog` — an append-only record of the issued queries used by the
+  tests (to assert no duplicate work) and the statistics panel.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.exceptions import QueryBudgetExceeded
+from repro.webdb.interface import SearchResult
+from repro.webdb.query import SearchQuery
+
+
+class QueryCounter:
+    """Thread-safe counter of queries issued against a web database."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._count = 0
+
+    def increment(self, amount: int = 1) -> int:
+        """Add ``amount`` and return the new total."""
+        if amount < 0:
+            raise ValueError("amount must be non-negative")
+        with self._lock:
+            self._count += amount
+            return self._count
+
+    @property
+    def count(self) -> int:
+        """Current total."""
+        with self._lock:
+            return self._count
+
+    def reset(self) -> None:
+        """Reset the counter to zero."""
+        with self._lock:
+            self._count = 0
+
+
+class QueryBudget:
+    """A query counter with a hard cap.
+
+    ``limit=None`` means unlimited; ``charge`` then simply counts.
+    """
+
+    def __init__(self, limit: Optional[int] = None) -> None:
+        if limit is not None and limit < 0:
+            raise ValueError("limit must be non-negative or None")
+        self._limit = limit
+        self._counter = QueryCounter()
+
+    @property
+    def limit(self) -> Optional[int]:
+        """The cap, or ``None`` when unlimited."""
+        return self._limit
+
+    @property
+    def used(self) -> int:
+        """Queries charged so far."""
+        return self._counter.count
+
+    @property
+    def remaining(self) -> Optional[int]:
+        """Queries left before the cap, or ``None`` when unlimited."""
+        if self._limit is None:
+            return None
+        return max(self._limit - self.used, 0)
+
+    def charge(self, amount: int = 1) -> None:
+        """Charge ``amount`` queries, raising when the cap would be exceeded."""
+        new_total = self._counter.increment(amount)
+        if self._limit is not None and new_total > self._limit:
+            raise QueryBudgetExceeded(budget=self._limit, issued=new_total)
+
+    def can_afford(self, amount: int = 1) -> bool:
+        """True when ``amount`` more queries fit under the cap."""
+        if self._limit is None:
+            return True
+        return self.used + amount <= self._limit
+
+
+@dataclass
+class QueryLogEntry:
+    """One issued query plus a summary of its result."""
+
+    query: SearchQuery
+    outcome: str
+    returned: int
+    elapsed_seconds: float
+    parallel_group: Optional[int] = None
+
+    def describe(self) -> str:
+        """Single-line rendering for logs."""
+        tag = f" group={self.parallel_group}" if self.parallel_group is not None else ""
+        return (
+            f"[{self.outcome:>9}] {self.returned:>3} rows "
+            f"{self.elapsed_seconds:6.3f}s{tag}  {self.query.describe()}"
+        )
+
+
+@dataclass
+class QueryLog:
+    """Append-only log of every query one reranking request issued."""
+
+    entries: List[QueryLogEntry] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self._lock = threading.Lock()
+
+    def record(
+        self,
+        result: SearchResult,
+        parallel_group: Optional[int] = None,
+    ) -> None:
+        """Append one result to the log (thread-safe)."""
+        entry = QueryLogEntry(
+            query=result.query,
+            outcome=result.outcome.value,
+            returned=len(result.rows),
+            elapsed_seconds=result.elapsed_seconds,
+            parallel_group=parallel_group,
+        )
+        with self._lock:
+            self.entries.append(entry)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self.entries)
+
+    def outcome_counts(self) -> Dict[str, int]:
+        """Histogram of outcomes across the log."""
+        counts: Dict[str, int] = {}
+        with self._lock:
+            for entry in self.entries:
+                counts[entry.outcome] = counts.get(entry.outcome, 0) + 1
+        return counts
+
+    def duplicate_queries(self) -> List[Tuple]:
+        """Canonical keys of queries issued more than once (the tests assert
+        the RERANK algorithms keep this list small)."""
+        seen: Dict[Tuple, int] = {}
+        with self._lock:
+            for entry in self.entries:
+                key = entry.query.canonical_key()
+                seen[key] = seen.get(key, 0) + 1
+        return [key for key, count in seen.items() if count > 1]
+
+    def total_elapsed(self) -> float:
+        """Sum of per-query elapsed times (sequential-equivalent cost)."""
+        with self._lock:
+            return sum(entry.elapsed_seconds for entry in self.entries)
+
+    def describe(self, limit: int = 50) -> str:
+        """Multi-line rendering of the first ``limit`` entries."""
+        with self._lock:
+            shown = self.entries[:limit]
+            extra = len(self.entries) - len(shown)
+        lines = [entry.describe() for entry in shown]
+        if extra > 0:
+            lines.append(f"... ({extra} more queries)")
+        return "\n".join(lines)

@@ -1,0 +1,229 @@
+"""The simulated hidden web database.
+
+:class:`HiddenWebDatabase` plays the role of Blue Nile or Zillow: it owns a
+catalog (a :class:`~repro.dataset.table.ColumnTable`), a *hidden* system
+ranking function, and exposes nothing but the public top-k search interface.
+The reranking service is only allowed to talk to it through
+:meth:`HiddenWebDatabase.search`; the ground-truth helpers
+(:meth:`all_matches`, :meth:`true_ranking`) exist solely so the tests and the
+benchmark harness can compare against brute force, mirroring how the paper's
+authors validated against the live sites.
+
+The implementation is deliberately simple — a scan over the catalog in hidden
+rank order — because catalogs here are 10³–10⁴ tuples; what matters is the
+*contract* (overflow/valid/underflow, stable ordering, per-query latency and
+query counting), not raw throughput.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.dataset.schema import Schema
+from repro.dataset.table import ColumnTable
+from repro.exceptions import QueryError
+from repro.webdb.counters import QueryCounter
+from repro.webdb.interface import Outcome, SearchResult, TopKInterface
+from repro.webdb.latency import LatencyModel
+from repro.webdb.query import SearchQuery
+from repro.webdb.ranking import SystemRankingFunction
+
+Row = Dict[str, object]
+
+
+class HiddenWebDatabase(TopKInterface):
+    """In-process stand-in for a web database reachable only via top-k search.
+
+    Parameters
+    ----------
+    catalog:
+        The full tuple collection (never exposed directly to clients).
+    schema:
+        Public schema advertised by the search form.
+    system_ranking:
+        The proprietary ranking function used to order results.
+    system_k:
+        Number of tuples returned per query.
+    latency:
+        Per-query latency model (accounting and/or sleeping).
+    validate_queries:
+        When True (default) queries are validated against the schema, which is
+        what a real site's form enforces; the crawler tests rely on invalid
+        queries being rejected.
+    name:
+        Display name used in logs and the service's source registry.
+    """
+
+    def __init__(
+        self,
+        catalog: ColumnTable,
+        schema: Schema,
+        system_ranking: SystemRankingFunction,
+        system_k: int = 20,
+        latency: Optional[LatencyModel] = None,
+        validate_queries: bool = True,
+        name: str = "webdb",
+    ) -> None:
+        if system_k <= 0:
+            raise ValueError("system_k must be positive")
+        self._schema = schema
+        self._system_k = system_k
+        self._latency = latency or LatencyModel.disabled()
+        self._validate = validate_queries
+        self._counter = QueryCounter()
+        self._lock = threading.Lock()
+        self.name = name
+
+        # Materialize rows once, in hidden-rank order, so each search is a
+        # single ordered scan with early termination at k+1 matches.
+        rows = catalog.to_rows()
+        for row in rows:
+            schema.validate_row(row)
+        key = system_ranking.sort_key(schema.key)
+        self._ranked_rows: List[Row] = sorted(rows, key=key)
+        self._system_ranking = system_ranking
+        self._by_key: Dict[object, Row] = {row[schema.key]: row for row in self._ranked_rows}
+        if len(self._by_key) != len(self._ranked_rows):
+            raise QueryError("catalog contains duplicate tuple keys")
+
+    # ------------------------------------------------------------------ #
+    # TopKInterface
+    # ------------------------------------------------------------------ #
+    @property
+    def schema(self) -> Schema:
+        return self._schema
+
+    @property
+    def system_k(self) -> int:
+        return self._system_k
+
+    def search(self, query: SearchQuery) -> SearchResult:
+        """Execute a top-k query.
+
+        Returns the first ``system_k`` matching tuples in hidden-rank order and
+        classifies the outcome as overflow / valid / underflow.
+        """
+        if self._validate:
+            query.validate(self._schema)
+        self._counter.increment()
+        elapsed = self._latency.delay()
+
+        matches: List[Row] = []
+        overflow = False
+        for row in self._ranked_rows:
+            if not query.matches(row):
+                continue
+            if len(matches) < self._system_k:
+                matches.append(dict(row))
+            else:
+                overflow = True
+                break
+
+        if not matches:
+            outcome = Outcome.UNDERFLOW
+        elif overflow:
+            outcome = Outcome.OVERFLOW
+        else:
+            outcome = Outcome.VALID
+        return SearchResult(
+            query=query,
+            rows=tuple(matches),
+            outcome=outcome,
+            system_k=self._system_k,
+            elapsed_seconds=elapsed,
+        )
+
+    def queries_issued(self) -> int:
+        """Number of search queries served so far."""
+        return self._counter.count
+
+    def reset_query_count(self) -> None:
+        """Reset the query counter (used between benchmark repetitions)."""
+        self._counter.reset()
+
+    # ------------------------------------------------------------------ #
+    # Ground-truth helpers (tests / benchmark harness only)
+    # ------------------------------------------------------------------ #
+    @property
+    def size(self) -> int:
+        """Number of tuples in the catalog."""
+        return len(self._ranked_rows)
+
+    def all_matches(self, query: SearchQuery) -> List[Row]:
+        """Every tuple matching ``query`` (bypasses the top-k truncation)."""
+        return [dict(row) for row in self._ranked_rows if query.matches(row)]
+
+    def count_matches(self, query: SearchQuery) -> int:
+        """Number of tuples matching ``query``."""
+        return sum(1 for row in self._ranked_rows if query.matches(row))
+
+    def true_ranking(
+        self,
+        query: SearchQuery,
+        score: Callable[[Row], float],
+        limit: Optional[int] = None,
+    ) -> List[Row]:
+        """Ground-truth reranking of the query answers under ``score``
+        (ascending), used to validate the algorithms."""
+        matches = self.all_matches(query)
+        matches.sort(key=lambda row: (score(row), str(row[self._schema.key])))
+        if limit is not None:
+            return matches[:limit]
+        return matches
+
+    def tuple_by_key(self, key: object) -> Row:
+        """Fetch one tuple by its key (simulates opening its detail page)."""
+        if key not in self._by_key:
+            raise QueryError(f"unknown tuple key {key!r}")
+        return dict(self._by_key[key])
+
+    def attribute_values(self, attribute: str) -> List[float]:
+        """All values of a numeric attribute (ground truth for tests)."""
+        self._schema.require_numeric(attribute)
+        return [float(row[attribute]) for row in self._ranked_rows]  # type: ignore[arg-type]
+
+    def value_multiplicity(self, attribute: str) -> Dict[float, int]:
+        """Histogram of value multiplicities for ``attribute`` — used to find
+        general-positioning violations (values shared by more than ``k``
+        tuples)."""
+        counts: Dict[float, int] = {}
+        for value in self.attribute_values(attribute):
+            counts[value] = counts.get(value, 0) + 1
+        return counts
+
+    def system_rank_of(self, key: object) -> int:
+        """Position of a tuple in the hidden global ranking (diagnostics)."""
+        for index, row in enumerate(self._ranked_rows):
+            if row[self._schema.key] == key:
+                return index
+        raise QueryError(f"unknown tuple key {key!r}")
+
+    def describe(self) -> str:
+        """One-line description for logs and the source registry."""
+        return (
+            f"{self.name}: {self.size} tuples, k={self._system_k}, "
+            f"ranking={self._system_ranking.describe()}"
+        )
+
+
+def database_pair_for_tests(
+    catalog: ColumnTable,
+    schema: Schema,
+    system_ranking: SystemRankingFunction,
+    system_k: int,
+) -> Tuple[HiddenWebDatabase, HiddenWebDatabase]:
+    """Create two databases over the same catalog: one latency-free for ground
+    truth, one with accounting latency for timing experiments."""
+    live = HiddenWebDatabase(
+        catalog, schema, system_ranking, system_k=system_k, name="live"
+    )
+    timed = HiddenWebDatabase(
+        catalog,
+        schema,
+        system_ranking,
+        system_k=system_k,
+        latency=LatencyModel.accounted(1.0),
+        name="timed",
+    )
+    return live, timed

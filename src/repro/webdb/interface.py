@@ -1,0 +1,198 @@
+"""The top-k search interface contract.
+
+Everything the reranking service knows about a web database goes through this
+interface: submit a conjunctive :class:`~repro.webdb.query.SearchQuery`,
+receive at most ``system-k`` tuples ordered by the hidden system ranking, plus
+a flag telling whether the result was truncated (*overflow*).  The VLDB'16
+paper distinguishes three outcomes:
+
+* **overflow** — more than ``k`` tuples match; only the top ``k`` are returned,
+  so the caller has *not* seen every matching tuple;
+* **valid** — between 1 and ``k`` tuples match and all of them are returned;
+* **underflow** — no tuple matches.
+
+The algorithms' correctness hinges on this trichotomy: a region is "covered"
+(fully observed) exactly when its query did not overflow.
+"""
+
+from __future__ import annotations
+
+import enum
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.dataset.schema import Schema
+from repro.webdb.query import SearchQuery
+
+Row = Dict[str, object]
+
+
+class Outcome(enum.Enum):
+    """Result classification of a top-k query."""
+
+    UNDERFLOW = "underflow"
+    VALID = "valid"
+    OVERFLOW = "overflow"
+
+
+@dataclass(frozen=True)
+class SearchResult:
+    """Result of one top-k query.
+
+    Attributes
+    ----------
+    query:
+        The query that produced this result.
+    rows:
+        Returned tuples, ordered by the hidden system ranking (best first).
+        At most ``system_k`` rows.
+    outcome:
+        Overflow / valid / underflow classification.
+    system_k:
+        The interface's ``k`` at the time of the query.
+    elapsed_seconds:
+        Simulated (or real, for the HTTP adapter) round-trip time.
+    """
+
+    query: SearchQuery
+    rows: Tuple[Row, ...]
+    outcome: Outcome
+    system_k: int
+    elapsed_seconds: float = 0.0
+
+    @property
+    def is_overflow(self) -> bool:
+        """True when more tuples matched than were returned."""
+        return self.outcome is Outcome.OVERFLOW
+
+    @property
+    def is_underflow(self) -> bool:
+        """True when no tuple matched."""
+        return self.outcome is Outcome.UNDERFLOW
+
+    @property
+    def is_valid(self) -> bool:
+        """True when every matching tuple was returned."""
+        return self.outcome is Outcome.VALID
+
+    @property
+    def covers_query(self) -> bool:
+        """True when the caller has now observed *every* tuple matching the
+        query (the definition of a covered region in the paper)."""
+        return self.outcome in (Outcome.VALID, Outcome.UNDERFLOW)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def keys(self, key_column: str = "id") -> List[object]:
+        """Tuple identifiers of the returned rows, in rank order."""
+        return [row[key_column] for row in self.rows]
+
+
+class TopKInterface(ABC):
+    """Abstract top-k search interface of a (hidden) web database."""
+
+    @property
+    @abstractmethod
+    def schema(self) -> Schema:
+        """Schema advertised by the public search form."""
+
+    @property
+    @abstractmethod
+    def system_k(self) -> int:
+        """Number of results the interface returns per query."""
+
+    @abstractmethod
+    def search(self, query: SearchQuery) -> SearchResult:
+        """Execute ``query`` and return the top-k result."""
+
+    # Optional hooks ---------------------------------------------------- #
+    @property
+    def key_column(self) -> str:
+        """Name of the tuple identifier column."""
+        return self.schema.key
+
+    def queries_issued(self) -> int:
+        """Total number of queries this interface has served (0 when the
+        implementation does not track it)."""
+        return 0
+
+
+@dataclass
+class InterfaceStatistics:
+    """Mutable per-interface statistics, kept by instrumented wrappers."""
+
+    queries: int = 0
+    overflow_queries: int = 0
+    underflow_queries: int = 0
+    valid_queries: int = 0
+    rows_returned: int = 0
+    elapsed_seconds: float = 0.0
+    per_attribute_queries: Dict[str, int] = field(default_factory=dict)
+
+    def record(self, result: SearchResult) -> None:
+        """Fold one result into the statistics."""
+        self.queries += 1
+        self.rows_returned += len(result.rows)
+        self.elapsed_seconds += result.elapsed_seconds
+        if result.outcome is Outcome.OVERFLOW:
+            self.overflow_queries += 1
+        elif result.outcome is Outcome.UNDERFLOW:
+            self.underflow_queries += 1
+        else:
+            self.valid_queries += 1
+        for attribute in result.query.constrained_attributes:
+            self.per_attribute_queries[attribute] = (
+                self.per_attribute_queries.get(attribute, 0) + 1
+            )
+
+    def snapshot(self) -> Dict[str, object]:
+        """Plain-dictionary snapshot for the service statistics panel."""
+        return {
+            "queries": self.queries,
+            "overflow_queries": self.overflow_queries,
+            "underflow_queries": self.underflow_queries,
+            "valid_queries": self.valid_queries,
+            "rows_returned": self.rows_returned,
+            "elapsed_seconds": self.elapsed_seconds,
+            "per_attribute_queries": dict(self.per_attribute_queries),
+        }
+
+
+class InstrumentedInterface(TopKInterface):
+    """Wrapper adding statistics collection to any :class:`TopKInterface`.
+
+    The reranking algorithms receive an instrumented interface so that the
+    statistics panel can report the exact number of external queries a user
+    request cost — the headline metric of the paper's evaluation.
+    """
+
+    def __init__(self, inner: TopKInterface) -> None:
+        self._inner = inner
+        self.statistics = InterfaceStatistics()
+
+    @property
+    def schema(self) -> Schema:
+        return self._inner.schema
+
+    @property
+    def system_k(self) -> int:
+        return self._inner.system_k
+
+    @property
+    def key_column(self) -> str:
+        return self._inner.key_column
+
+    def search(self, query: SearchQuery) -> SearchResult:
+        result = self._inner.search(query)
+        self.statistics.record(result)
+        return result
+
+    def queries_issued(self) -> int:
+        return self.statistics.queries
+
+    @property
+    def inner(self) -> TopKInterface:
+        """The wrapped interface."""
+        return self._inner

@@ -1,0 +1,163 @@
+"""Hidden system ranking functions.
+
+A web database orders matching tuples with a proprietary ranking function
+before truncating to the top ``k``.  The reranking algorithms never see this
+function — they only observe the truncated, ordered result pages — but the
+simulation needs concrete implementations.  Several families are provided so
+the workloads can construct user ranking functions that are positively
+correlated, negatively correlated, or independent with respect to the system
+ranking, which is the main axis of the paper's demonstration scenarios.
+
+All rankings produce a *score*; tuples are returned in ascending score order
+(score is "position pressure": lower is shown earlier).  Ties are broken by the
+tuple key so that result ordering is deterministic.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from abc import ABC, abstractmethod
+from typing import Mapping, Sequence
+
+Row = Mapping[str, object]
+
+
+class SystemRankingFunction(ABC):
+    """Interface of the hidden ranking used by a simulated web database."""
+
+    @abstractmethod
+    def score(self, row: Row) -> float:
+        """Score of ``row``; lower scores are ranked earlier."""
+
+    def describe(self) -> str:
+        """Human-readable description (used only by diagnostics, never shown
+        to the reranking algorithms)."""
+        return type(self).__name__
+
+    def sort_key(self, key_column: str):
+        """Return a sort key callable combining the score with the tuple key
+        for deterministic tie-breaking."""
+
+        def _key(row: Row):
+            return (self.score(row), str(row.get(key_column, "")))
+
+        return _key
+
+
+class AttributeOrderRanking(SystemRankingFunction):
+    """Rank by a single attribute, ascending or descending.
+
+    Real sites frequently default to "price: low to high" or "newest first";
+    this captures both.
+    """
+
+    def __init__(self, attribute: str, ascending: bool = True) -> None:
+        self.attribute = attribute
+        self.ascending = ascending
+
+    def score(self, row: Row) -> float:
+        value = float(row[self.attribute])  # type: ignore[arg-type]
+        return value if self.ascending else -value
+
+    def describe(self) -> str:
+        direction = "asc" if self.ascending else "desc"
+        return f"order by {self.attribute} {direction}"
+
+
+class LinearSystemRanking(SystemRankingFunction):
+    """Rank by a hidden linear combination of numeric attributes."""
+
+    def __init__(self, weights: Mapping[str, float]) -> None:
+        if not weights:
+            raise ValueError("LinearSystemRanking requires at least one weight")
+        self.weights = dict(weights)
+
+    def score(self, row: Row) -> float:
+        return sum(
+            weight * float(row[attribute])  # type: ignore[arg-type]
+            for attribute, weight in self.weights.items()
+        )
+
+    def describe(self) -> str:
+        terms = " + ".join(f"{w:g}*{a}" for a, w in sorted(self.weights.items()))
+        return f"linear({terms})"
+
+
+class FeaturedScoreRanking(SystemRankingFunction):
+    """A "featured"/relevance style ranking that mixes a visible attribute with
+    a stable pseudo-random per-tuple boost.
+
+    This mimics rankings like Zillow's default ordering, which is correlated
+    with — but not a deterministic function of — any single visible attribute.
+    The boost is derived from a hash of the tuple key so it is stable across
+    queries (a requirement of the top-k interface contract).
+    """
+
+    def __init__(
+        self,
+        attribute: str,
+        key_column: str = "id",
+        attribute_weight: float = 1.0,
+        boost_weight: float = 0.35,
+        ascending: bool = True,
+    ) -> None:
+        self.attribute = attribute
+        self.key_column = key_column
+        self.attribute_weight = attribute_weight
+        self.boost_weight = boost_weight
+        self.ascending = ascending
+
+    def _boost(self, row: Row) -> float:
+        key = str(row.get(self.key_column, ""))
+        digest = hashlib.sha256(key.encode("utf-8")).digest()
+        return int.from_bytes(digest[:8], "big") / float(1 << 64)
+
+    def score(self, row: Row) -> float:
+        value = float(row[self.attribute])  # type: ignore[arg-type]
+        direction = 1.0 if self.ascending else -1.0
+        return direction * self.attribute_weight * value + self.boost_weight * self._boost(row)
+
+    def describe(self) -> str:
+        return f"featured({self.attribute}, boost={self.boost_weight:g})"
+
+
+class RandomTieBreakRanking(SystemRankingFunction):
+    """A ranking completely independent of every visible attribute.
+
+    Each tuple receives a stable pseudo-random score derived from its key.
+    User ranking functions are, by construction, independent of this ordering,
+    which is the hardest regime for the BASELINE algorithms.
+    """
+
+    def __init__(self, key_column: str = "id", salt: str = "qr2") -> None:
+        self.key_column = key_column
+        self.salt = salt
+
+    def score(self, row: Row) -> float:
+        key = f"{self.salt}:{row.get(self.key_column, '')}"
+        digest = hashlib.sha256(key.encode("utf-8")).digest()
+        return int.from_bytes(digest[:8], "big") / float(1 << 64)
+
+    def describe(self) -> str:
+        return "random(stable)"
+
+
+def composite_ranking(
+    rankings: Sequence[SystemRankingFunction], weights: Sequence[float]
+) -> SystemRankingFunction:
+    """Weighted combination of several rankings (used to build system rankings
+    with a controlled degree of correlation to a visible attribute)."""
+    if len(rankings) != len(weights) or not rankings:
+        raise ValueError("rankings and weights must be non-empty and equal length")
+
+    class _Composite(SystemRankingFunction):
+        def score(self, row: Row) -> float:
+            return sum(w * r.score(row) for r, w in zip(rankings, weights))
+
+        def describe(self) -> str:
+            parts = ", ".join(
+                f"{w:g}*{r.describe()}" for r, w in zip(rankings, weights)
+            )
+            return f"composite({parts})"
+
+    return _Composite()

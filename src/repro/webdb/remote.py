@@ -1,0 +1,87 @@
+"""HTTP-backed implementation of the top-k interface.
+
+:class:`RemoteTopKInterface` is what the deployed QR2 actually uses: it knows
+nothing about the database's internals and reaches it exclusively through the
+public search API (here: the endpoints served by
+:class:`~repro.httpsim.server.SearchHttpServer`).  The schema is discovered
+once from ``/api/schema``; every ``search`` call serializes the query to URL
+parameters, performs a GET, and parses the JSON result back into a
+:class:`~repro.webdb.interface.SearchResult`.
+
+Running the reranking algorithms against this adapter (instead of directly
+against :class:`~repro.webdb.database.HiddenWebDatabase`) exercises exactly
+the code path the paper's third-party service runs in production.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.dataset.schema import Schema
+from repro.exceptions import RemoteInterfaceError
+from repro.httpsim import wire
+from repro.httpsim.client import HttpClient
+from repro.webdb.counters import QueryCounter
+from repro.webdb.interface import SearchResult, TopKInterface
+from repro.webdb.query import SearchQuery
+
+
+class RemoteTopKInterface(TopKInterface):
+    """Top-k interface backed by a remote (or in-process) search API."""
+
+    def __init__(self, client: HttpClient) -> None:
+        self._client = client
+        self._counter = QueryCounter()
+        self._schema: Optional[Schema] = None
+        self._system_k: Optional[int] = None
+        self._name: Optional[str] = None
+
+    # ------------------------------------------------------------------ #
+    # Lazy discovery of the remote search form
+    # ------------------------------------------------------------------ #
+    def _discover(self) -> None:
+        if self._schema is not None and self._system_k is not None:
+            return
+        schema_payload = self._client.get_json("/api/schema")
+        meta_payload = self._client.get_json("/api/meta")
+        if not isinstance(schema_payload, dict) or not isinstance(meta_payload, dict):
+            raise RemoteInterfaceError("malformed discovery payloads")
+        self._schema = wire.decode_schema(schema_payload)
+        self._system_k = int(meta_payload["system_k"])
+        self._name = str(meta_payload.get("name", "remote"))
+
+    @property
+    def schema(self) -> Schema:
+        self._discover()
+        assert self._schema is not None
+        return self._schema
+
+    @property
+    def system_k(self) -> int:
+        self._discover()
+        assert self._system_k is not None
+        return self._system_k
+
+    @property
+    def name(self) -> str:
+        """Display name advertised by the remote database."""
+        self._discover()
+        assert self._name is not None
+        return self._name
+
+    # ------------------------------------------------------------------ #
+    # Search
+    # ------------------------------------------------------------------ #
+    def search(self, query: SearchQuery) -> SearchResult:
+        """Execute a top-k query against the remote search API."""
+        self._discover()
+        params = wire.encode_query(query)
+        payload = self._client.get_json("/api/search", params)
+        if not isinstance(payload, dict):
+            raise RemoteInterfaceError("malformed search payload")
+        self._counter.increment()
+        return wire.decode_result(payload, query)
+
+    def queries_issued(self) -> int:
+        """Number of search queries sent through this adapter."""
+        return self._counter.count

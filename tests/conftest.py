@@ -1,0 +1,145 @@
+"""Shared fixtures for the QR2 reproduction test suite.
+
+The fixtures deliberately use *small* catalogs (a few hundred tuples) and a
+small ``system-k`` so the algorithm tests — which compare against brute-force
+ground truth — stay fast while still exercising overflow, dense regions, and
+the general-positioning fallback.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import RerankConfig
+from repro.core.reranker import QueryReranker
+from repro.dataset.diamonds import (
+    DiamondCatalogConfig,
+    diamond_schema,
+    generate_diamond_catalog,
+)
+from repro.dataset.housing import (
+    HousingCatalogConfig,
+    generate_housing_catalog,
+    housing_schema,
+)
+from repro.webdb.database import HiddenWebDatabase
+from repro.webdb.ranking import AttributeOrderRanking, FeaturedScoreRanking
+
+
+SMALL_DIAMONDS = DiamondCatalogConfig(size=400, seed=99)
+SMALL_HOUSING = HousingCatalogConfig(size=500, seed=77)
+
+
+@pytest.fixture(scope="session")
+def diamond_config() -> DiamondCatalogConfig:
+    """Configuration of the small diamond catalog used across the suite."""
+    return SMALL_DIAMONDS
+
+
+@pytest.fixture(scope="session")
+def housing_config() -> HousingCatalogConfig:
+    """Configuration of the small housing catalog used across the suite."""
+    return SMALL_HOUSING
+
+
+@pytest.fixture(scope="session")
+def diamond_catalog(diamond_config):
+    """A small, deterministic diamond catalog."""
+    return generate_diamond_catalog(diamond_config)
+
+
+@pytest.fixture(scope="session")
+def housing_catalog(housing_config):
+    """A small, deterministic housing catalog."""
+    return generate_housing_catalog(housing_config)
+
+
+@pytest.fixture(scope="session")
+def diamond_schema_fixture(diamond_config):
+    """Schema of the diamond catalog."""
+    return diamond_schema(diamond_config)
+
+
+@pytest.fixture(scope="session")
+def housing_schema_fixture(housing_config):
+    """Schema of the housing catalog."""
+    return housing_schema(housing_config)
+
+
+@pytest.fixture(scope="session")
+def bluenile_db(diamond_catalog, diamond_schema_fixture) -> HiddenWebDatabase:
+    """Simulated Blue Nile with a price-correlated hidden ranking and k=10."""
+    return HiddenWebDatabase(
+        diamond_catalog,
+        diamond_schema_fixture,
+        FeaturedScoreRanking("price", boost_weight=2500.0),
+        system_k=10,
+        name="bluenile-test",
+    )
+
+
+@pytest.fixture(scope="session")
+def bluenile_price_db(diamond_catalog, diamond_schema_fixture) -> HiddenWebDatabase:
+    """Simulated Blue Nile ranked strictly by ascending price."""
+    return HiddenWebDatabase(
+        diamond_catalog,
+        diamond_schema_fixture,
+        AttributeOrderRanking("price", ascending=True),
+        system_k=10,
+        name="bluenile-price-test",
+    )
+
+
+@pytest.fixture(scope="session")
+def zillow_db(housing_catalog, housing_schema_fixture) -> HiddenWebDatabase:
+    """Simulated Zillow with a price-correlated hidden ranking and k=10."""
+    return HiddenWebDatabase(
+        housing_catalog,
+        housing_schema_fixture,
+        FeaturedScoreRanking("price", boost_weight=150000.0),
+        system_k=10,
+        name="zillow-test",
+    )
+
+
+@pytest.fixture()
+def rerank_config() -> RerankConfig:
+    """Default algorithm configuration for the tests."""
+    return RerankConfig()
+
+
+@pytest.fixture()
+def bluenile_reranker(bluenile_db, rerank_config) -> QueryReranker:
+    """A fresh reranker (fresh dense index) over the Blue Nile fixture."""
+    return QueryReranker(bluenile_db, config=rerank_config)
+
+
+@pytest.fixture()
+def zillow_reranker(zillow_db, rerank_config) -> QueryReranker:
+    """A fresh reranker (fresh dense index) over the Zillow fixture."""
+    return QueryReranker(zillow_db, config=rerank_config)
+
+
+def assert_matches_ground_truth(stream_rows, truth_rows, ranking, key_column="id"):
+    """Assert that ``stream_rows`` is a correct reranked prefix.
+
+    Exact ties are allowed to appear in any order, so the comparison is on the
+    score sequence plus set-equality of keys within each equal-score group.
+    """
+    got_scores = [round(ranking.score(row), 9) for row in stream_rows]
+    truth_scores = [round(ranking.score(row), 9) for row in truth_rows]
+    assert got_scores == truth_scores, (
+        f"score sequences differ:\n got   {got_scores}\n truth {truth_scores}"
+    )
+    # Group keys by score and compare group memberships where fully contained.
+    def group(rows):
+        groups = {}
+        for row in rows:
+            groups.setdefault(round(ranking.score(row), 9), set()).add(row[key_column])
+        return groups
+
+    got_groups, truth_groups = group(stream_rows), group(truth_rows)
+    for score, keys in got_groups.items():
+        assert keys <= truth_groups.get(score, set()) or keys >= truth_groups.get(score, set()), (
+            f"keys at score {score} differ: {keys} vs {truth_groups.get(score)}"
+        )

@@ -1,0 +1,117 @@
+"""Tests for the on-the-fly dense-region index."""
+
+import pytest
+
+from repro.core.dense_index import DenseRegionIndex
+from repro.core.regions import HyperRectangle
+from repro.exceptions import DenseRegionError
+from repro.sqlstore.dense_cache import DenseRegionCache
+from repro.webdb.query import RangePredicate, SearchQuery
+
+
+ROWS = [
+    {"id": "a", "price": 10.0, "carat": 1.0},
+    {"id": "b", "price": 20.0, "carat": 1.5},
+    {"id": "c", "price": 30.0, "carat": 2.0},
+]
+
+
+@pytest.fixture()
+def index(diamond_schema_fixture) -> DenseRegionIndex:
+    return DenseRegionIndex(diamond_schema_fixture)
+
+
+class TestCoverage:
+    def test_interval_coverage(self, index):
+        index.add_interval("price", 0.0, 100.0, ROWS)
+        assert index.covers_interval("price", RangePredicate("price", 10.0, 50.0))
+        assert not index.covers_interval("price", RangePredicate("price", 50.0, 150.0))
+        assert not index.covers_interval("carat", RangePredicate("carat", 1.0, 2.0))
+
+    def test_box_coverage_same_signature_only(self, index):
+        box = HyperRectangle.from_bounds({"price": (0.0, 100.0), "carat": (0.0, 3.0)})
+        index.add_region(box, ROWS)
+        inner = HyperRectangle.from_bounds({"price": (10.0, 20.0), "carat": (1.0, 2.0)})
+        assert index.covers(inner)
+        # A 1D question is not answered by the 2D region.
+        assert not index.covers_interval("price", RangePredicate("price", 10.0, 20.0))
+
+    def test_half_open_request_covered_by_closed_region(self, index):
+        index.add_interval("price", 0.0, 100.0, ROWS)
+        half_open = RangePredicate("price", 10.0, 100.0, include_lower=False)
+        assert index.covers_interval("price", half_open)
+
+    def test_rows_in_requires_coverage(self, index):
+        with pytest.raises(DenseRegionError):
+            index.rows_in(HyperRectangle.from_bounds({"price": (0.0, 1.0)}))
+
+
+class TestLookups:
+    def test_rows_in_interval_filters_by_interval(self, index):
+        index.add_interval("price", 0.0, 100.0, ROWS)
+        rows = index.rows_in_interval("price", RangePredicate("price", 15.0, 100.0))
+        assert {row["id"] for row in rows} == {"b", "c"}
+
+    def test_rows_in_interval_filters_by_base_query(self, index):
+        index.add_interval("price", 0.0, 100.0, ROWS)
+        base = SearchQuery.build(ranges={"carat": (1.4, 3.0)})
+        rows = index.rows_in_interval("price", RangePredicate("price", 0.0, 100.0), base)
+        assert {row["id"] for row in rows} == {"b", "c"}
+
+    def test_rows_are_copies(self, index):
+        index.add_interval("price", 0.0, 100.0, ROWS)
+        rows = index.rows_in_interval("price", RangePredicate("price", 0.0, 100.0))
+        rows[0]["price"] = -1
+        again = index.rows_in_interval("price", RangePredicate("price", 0.0, 100.0))
+        assert all(row["price"] >= 0 for row in again)
+
+
+class TestBookkeeping:
+    def test_counts_and_signatures(self, index):
+        index.add_interval("price", 0.0, 50.0, ROWS[:2])
+        index.add_region(
+            HyperRectangle.from_bounds({"price": (0.0, 50.0), "carat": (0.0, 3.0)}), ROWS
+        )
+        assert index.region_count() == 2
+        assert index.tuple_count() == 5
+        assert ("price",) in index.signatures()
+        assert ("carat", "price") in index.signatures()
+        description = index.describe()
+        assert description["regions"] == 2 and not description["persistent"]
+
+    def test_clear(self, index):
+        index.add_interval("price", 0.0, 50.0, ROWS)
+        index.clear()
+        assert index.region_count() == 0
+
+
+class TestPersistence:
+    def test_regions_survive_reload(self, diamond_schema_fixture, tmp_path):
+        path = str(tmp_path / "dense.sqlite")
+        cache = DenseRegionCache(diamond_schema_fixture, path=path)
+        first = DenseRegionIndex(diamond_schema_fixture, cache=cache)
+        rows = [
+            {
+                "id": f"d{i}",
+                "price": 1000.0 + i,
+                "carat": 1.0,
+                "depth": 60.0,
+                "table": 55.0,
+                "length_width_ratio": 1.0,
+                "shape": "round",
+                "cut": "ideal",
+                "color": "D",
+                "clarity": "IF",
+            }
+            for i in range(4)
+        ]
+        first.add_interval("length_width_ratio", 1.0, 1.0, rows)
+        cache.close()
+
+        cache2 = DenseRegionCache(diamond_schema_fixture, path=path)
+        second = DenseRegionIndex(diamond_schema_fixture, cache=cache2)
+        point = RangePredicate("length_width_ratio", 1.0, 1.0)
+        assert second.covers_interval("length_width_ratio", point)
+        assert len(second.rows_in_interval("length_width_ratio", point)) == 4
+        assert second.describe()["persistent"]
+        cache2.close()

@@ -1,0 +1,218 @@
+"""Tests for sessions, request statistics, and the parallel query engine."""
+
+import math
+import threading
+
+import pytest
+
+from repro.config import RerankConfig
+from repro.core.functions import SingleAttributeRanking
+from repro.core.parallel import QueryEngine
+from repro.core.session import Session
+from repro.core.stats import RerankStatistics
+from repro.exceptions import QueryBudgetExceeded
+from repro.webdb.counters import QueryBudget
+from repro.webdb.query import SearchQuery
+
+
+class TestSession:
+    def test_remember_and_seen_count(self):
+        session = Session("s1")
+        added = session.remember([{"id": "a", "price": 1.0}, {"id": "b", "price": 2.0}], "id")
+        assert added == 2
+        assert session.remember([{"id": "a", "price": 1.0}], "id") == 0
+        assert session.seen_count() == 2
+
+    def test_cached_candidates_filters_and_sorts(self):
+        session = Session("s1")
+        rows = [
+            {"id": "a", "price": 5.0},
+            {"id": "b", "price": 1.0},
+            {"id": "c", "price": 3.0},
+        ]
+        session.remember(rows, "id")
+        session.mark_emitted(rows[1], "id")  # b already shown
+        ranking = SingleAttributeRanking("price")
+        candidates = session.cached_candidates(
+            SearchQuery.everything(), ranking, frontier_score=-math.inf, key_column="id"
+        )
+        assert [row["id"] for row in candidates] == ["c", "a"]
+
+    def test_cached_candidates_respects_query_and_frontier(self):
+        session = Session("s1")
+        session.remember(
+            [{"id": "a", "price": 5.0}, {"id": "b", "price": 50.0}], "id"
+        )
+        ranking = SingleAttributeRanking("price")
+        query = SearchQuery.build(ranges={"price": (0.0, 10.0)})
+        candidates = session.cached_candidates(query, ranking, frontier_score=-math.inf, key_column="id")
+        assert [row["id"] for row in candidates] == ["a"]
+        candidates = session.cached_candidates(query, ranking, frontier_score=10.0, key_column="id")
+        assert candidates == []
+
+    def test_emission_history(self):
+        session = Session("s1")
+        session.mark_emitted({"id": "a", "price": 1.0}, "id")
+        session.mark_emitted({"id": "b", "price": 2.0}, "id")
+        assert session.emitted_keys() == ["a", "b"]
+        assert session.emitted_count() == 2
+
+    def test_pending_queue_fifo(self):
+        session = Session("s1")
+        session.push_pending([{"id": "a"}, {"id": "b"}])
+        assert session.pending_count() == 2
+        assert session.pop_pending()["id"] == "a"
+        assert session.pop_pending()["id"] == "b"
+        assert session.pop_pending() is None
+
+    def test_clear_pending(self):
+        session = Session("s1")
+        session.push_pending([{"id": "a"}])
+        session.clear_pending()
+        assert session.pending_count() == 0
+
+    def test_reset_for_new_request_keeps_cache(self):
+        session = Session("s1")
+        session.remember([{"id": "a", "price": 1.0}], "id")
+        session.mark_emitted({"id": "a", "price": 1.0}, "id")
+        session.push_pending([{"id": "b"}])
+        session.statistics.record_get_next(returned=True)
+        session.reset_for_new_request()
+        assert session.seen_count() == 1
+        assert session.emitted_count() == 0
+        assert session.pending_count() == 0
+        assert session.statistics.get_next_calls == 0
+
+    def test_describe_and_idle(self):
+        session = Session("s1")
+        info = session.describe()
+        assert info["session_id"] == "s1"
+        assert session.idle_seconds() >= 0.0
+        session.touch()
+
+
+class TestRerankStatistics:
+    def test_record_iteration_accumulates(self):
+        stats = RerankStatistics()
+        stats.record_iteration(1, 1.0)
+        stats.record_iteration(4, 1.5)
+        assert stats.external_queries == 5
+        assert stats.iterations == 2
+        assert stats.parallel_iterations == 1
+        assert stats.parallel_queries == 4
+        assert stats.sequential_queries == 1
+        assert stats.parallel_fraction == 0.5
+        assert stats.parallel_query_fraction == 0.8
+        assert stats.simulated_seconds == pytest.approx(2.5)
+
+    def test_zero_group_ignored(self):
+        stats = RerankStatistics()
+        stats.record_iteration(0, 1.0)
+        assert stats.iterations == 0
+
+    def test_counters(self):
+        stats = RerankStatistics()
+        stats.record_cache_hit()
+        stats.record_dense_index_hit(2)
+        stats.record_dense_region(30)
+        stats.record_get_next(returned=True)
+        stats.record_get_next(returned=False)
+        snapshot = stats.snapshot()
+        assert snapshot["cache_hits"] == 1
+        assert snapshot["dense_index_hits"] == 2
+        assert snapshot["dense_regions_built"] == 1
+        assert snapshot["crawled_tuples"] == 30
+        assert snapshot["get_next_calls"] == 2
+        assert snapshot["tuples_returned"] == 1
+
+    def test_timer(self):
+        stats = RerankStatistics()
+        stats.start_timer()
+        stats.stop_timer()
+        assert stats.wall_seconds >= 0.0
+        assert stats.processing_seconds >= stats.simulated_seconds
+
+    def test_merge(self):
+        a, b = RerankStatistics(), RerankStatistics()
+        a.record_iteration(2, 1.0)
+        b.record_iteration(3, 2.0)
+        b.record_cache_hit()
+        a.merge(b)
+        assert a.external_queries == 5
+        assert a.cache_hits == 1
+        assert len(a.iteration_group_sizes) == 2
+
+    def test_parallel_fraction_empty(self):
+        assert RerankStatistics().parallel_fraction == 0.0
+        assert RerankStatistics().parallel_query_fraction == 0.0
+
+
+class TestQueryEngine:
+    def test_single_search_counts_sequential_iteration(self, bluenile_db):
+        engine = QueryEngine(bluenile_db)
+        engine.search(SearchQuery.everything())
+        assert engine.statistics.iterations == 1
+        assert engine.statistics.sequential_queries == 1
+        assert engine.queries_issued() == 1
+        assert len(engine.query_log) == 1
+
+    def test_group_search_is_one_parallel_iteration(self, bluenile_db):
+        engine = QueryEngine(bluenile_db)
+        queries = [
+            SearchQuery.build(ranges={"price": (300.0 + i, 4000.0 + i)}) for i in range(4)
+        ]
+        results = engine.search_group(queries)
+        assert len(results) == 4
+        assert engine.statistics.iterations == 1
+        assert engine.statistics.parallel_iterations == 1
+        assert engine.statistics.parallel_queries == 4
+
+    def test_group_latency_is_max_when_parallel(self, diamond_catalog, diamond_schema_fixture):
+        from repro.webdb.database import HiddenWebDatabase
+        from repro.webdb.latency import LatencyModel
+        from repro.webdb.ranking import AttributeOrderRanking
+
+        timed = HiddenWebDatabase(
+            diamond_catalog,
+            diamond_schema_fixture,
+            AttributeOrderRanking("price"),
+            system_k=10,
+            latency=LatencyModel.accounted(2.0, jitter=0.0),
+        )
+        parallel_engine = QueryEngine(timed, config=RerankConfig(enable_parallel=True))
+        sequential_engine = QueryEngine(timed, config=RerankConfig(enable_parallel=False))
+        queries = [SearchQuery.build(ranges={"carat": (0.5, 1.0 + i)}) for i in range(3)]
+        parallel_engine.search_group(queries)
+        sequential_engine.search_group(queries)
+        assert parallel_engine.statistics.simulated_seconds == pytest.approx(2.0)
+        assert sequential_engine.statistics.simulated_seconds == pytest.approx(6.0)
+        # Sequential groups do not count as parallel iterations.
+        assert sequential_engine.statistics.parallel_iterations == 0
+
+    def test_empty_group_is_noop(self, bluenile_db):
+        engine = QueryEngine(bluenile_db)
+        assert engine.search_group([]) == []
+        assert engine.statistics.iterations == 0
+
+    def test_budget_enforced_across_groups(self, bluenile_db):
+        engine = QueryEngine(bluenile_db, budget=QueryBudget(2))
+        engine.search(SearchQuery.everything())
+        with pytest.raises(QueryBudgetExceeded):
+            engine.search_group(
+                [SearchQuery.everything(), SearchQuery.build(ranges={"carat": (1, 2)})]
+            )
+
+    def test_context_manager_shutdown(self, bluenile_db):
+        with QueryEngine(bluenile_db) as engine:
+            engine.search_group(
+                [SearchQuery.everything(), SearchQuery.build(ranges={"carat": (1, 2)})]
+            )
+        # After shutdown a new pool is created lazily if needed.
+        engine.search(SearchQuery.everything())
+
+    def test_properties_delegate(self, bluenile_db):
+        engine = QueryEngine(bluenile_db)
+        assert engine.schema is bluenile_db.schema
+        assert engine.system_k == bluenile_db.system_k
+        assert engine.key_column == "id"
+        assert engine.interface is bluenile_db

@@ -1,0 +1,139 @@
+"""Tests for the hidden-database crawler."""
+
+import pytest
+
+from repro.crawl.crawler import HiddenDatabaseCrawler, crawl_value_group
+from repro.dataset.schema import Attribute, Schema
+from repro.dataset.table import ColumnTable
+from repro.exceptions import CrawlError, QueryBudgetExceeded
+from repro.webdb.counters import QueryBudget
+from repro.webdb.database import HiddenWebDatabase
+from repro.webdb.query import SearchQuery
+from repro.webdb.ranking import AttributeOrderRanking, RandomTieBreakRanking
+
+
+def _clustered_db(cluster_size=60, other=40, system_k=10) -> HiddenWebDatabase:
+    """A database where ``cluster_size`` tuples share ratio == 1.0 (a
+    general-positioning violation for any k < cluster_size)."""
+    schema = Schema(
+        key="id",
+        attributes=(
+            Attribute.numeric("price", 0, 1000),
+            Attribute.numeric("ratio", 0.5, 3.0),
+            Attribute.categorical("kind", ["a", "b", "c"]),
+        ),
+    )
+    rows = []
+    for i in range(cluster_size):
+        rows.append(
+            {"id": f"c{i}", "price": float(i * 3 % 997), "ratio": 1.0, "kind": "abc"[i % 3]}
+        )
+    for i in range(other):
+        rows.append(
+            {"id": f"o{i}", "price": float(i * 7 % 997), "ratio": 1.5 + (i % 20) * 0.05, "kind": "abc"[i % 3]}
+        )
+    return HiddenWebDatabase(
+        ColumnTable.from_rows(rows),
+        schema,
+        RandomTieBreakRanking(),
+        system_k=system_k,
+    )
+
+
+class TestCrawlCompleteness:
+    def test_crawl_retrieves_every_matching_tuple(self, bluenile_db):
+        query = SearchQuery.build(ranges={"price": (500, 5000)})
+        crawler = HiddenDatabaseCrawler(bluenile_db)
+        rows, stats = crawler.crawl(query)
+        truth = bluenile_db.all_matches(query)
+        assert {row["id"] for row in rows} == {row["id"] for row in truth}
+        assert stats.tuples_retrieved == len(truth)
+        assert stats.queries_issued >= 1
+
+    def test_crawl_of_valid_region_costs_one_query(self, bluenile_db):
+        # A narrow region that does not overflow should cost exactly one query.
+        query = SearchQuery.build(ranges={"carat": (4.5, 5.0)})
+        assert not bluenile_db.search(query).is_overflow
+        crawler = HiddenDatabaseCrawler(bluenile_db)
+        rows, stats = crawler.crawl(query)
+        assert stats.queries_issued == 1
+        assert {row["id"] for row in rows} == {
+            row["id"] for row in bluenile_db.all_matches(query)
+        }
+
+    def test_crawl_value_group_with_general_positioning_violation(self):
+        database = _clustered_db()
+        rows, stats = crawl_value_group(
+            database, SearchQuery.everything(), "ratio", 1.0
+        )
+        assert len(rows) == 60
+        assert all(row["ratio"] == 1.0 for row in rows)
+        assert stats.overflow_queries >= 1
+        # Splitting happened on *other* attributes (ratio is pinned).
+        assert "ratio" not in stats.splits_per_attribute
+
+    def test_crawl_whole_clustered_database(self):
+        database = _clustered_db()
+        crawler = HiddenDatabaseCrawler(database)
+        rows, _ = crawler.crawl(SearchQuery.everything())
+        assert len(rows) == database.size
+
+    def test_crawl_respects_base_filter(self):
+        database = _clustered_db()
+        query = SearchQuery.build(memberships={"kind": ["a"]})
+        crawler = HiddenDatabaseCrawler(database)
+        rows, _ = crawler.crawl(query)
+        assert all(row["kind"] == "a" for row in rows)
+        assert {row["id"] for row in rows} == {
+            row["id"] for row in database.all_matches(query)
+        }
+
+    def test_lwr_cluster_on_diamond_catalog(self, bluenile_db):
+        rows, _ = crawl_value_group(
+            bluenile_db, SearchQuery.everything(), "length_width_ratio", 1.0
+        )
+        truth = [
+            row
+            for row in bluenile_db.all_matches(SearchQuery.everything())
+            if row["length_width_ratio"] == 1.0
+        ]
+        assert len(rows) == len(truth)
+        assert len(rows) > bluenile_db.system_k  # it really is a violation
+
+
+class TestCrawlLimits:
+    def test_budget_enforced(self, bluenile_db):
+        budget = QueryBudget(3)
+        crawler = HiddenDatabaseCrawler(bluenile_db, budget=budget)
+        with pytest.raises(QueryBudgetExceeded):
+            crawler.crawl(SearchQuery.everything())
+
+    def test_unsplittable_identical_tuples_raise(self):
+        # More than k tuples identical on every searchable attribute cannot be
+        # separated by any query; the crawler must refuse rather than loop.
+        schema = Schema(
+            key="id",
+            attributes=(Attribute.numeric("price", 0, 10),),
+        )
+        rows = [{"id": f"t{i}", "price": 5.0} for i in range(20)]
+        database = HiddenWebDatabase(
+            ColumnTable.from_rows(rows),
+            schema,
+            AttributeOrderRanking("price"),
+            system_k=5,
+        )
+        crawler = HiddenDatabaseCrawler(database)
+        with pytest.raises(CrawlError):
+            crawler.crawl(SearchQuery.everything())
+
+    def test_max_depth_enforced(self):
+        database = _clustered_db()
+        crawler = HiddenDatabaseCrawler(database, max_depth=1)
+        with pytest.raises(CrawlError):
+            crawler.crawl(SearchQuery.everything())
+
+    def test_statistics_snapshot_keys(self, bluenile_db):
+        crawler = HiddenDatabaseCrawler(bluenile_db)
+        _, stats = crawler.crawl(SearchQuery.build(ranges={"carat": (0.2, 0.6)}))
+        snapshot = stats.snapshot()
+        assert {"queries_issued", "overflow_queries", "leaves", "tuples_retrieved"} <= set(snapshot)

@@ -1,0 +1,76 @@
+"""Tests for the HTTP request/response value objects."""
+
+import pytest
+
+from repro.exceptions import WireFormatError
+from repro.httpsim.messages import HttpRequest, HttpResponse, merge_headers
+
+
+class TestHttpRequest:
+    def test_get_constructor_and_url(self):
+        request = HttpRequest.get("/api/search", {"price_min": "10"})
+        assert request.method == "GET"
+        assert request.url == "/api/search?price_min=10"
+
+    def test_url_without_params(self):
+        assert HttpRequest.get("/api/schema").url == "/api/schema"
+
+    def test_post_json_roundtrip(self):
+        request = HttpRequest.post_json("/qr2/query", {"a": [1, 2]})
+        assert request.json() == {"a": [1, 2]}
+        assert request.headers["content-type"] == "application/json"
+
+    def test_json_without_body_raises(self):
+        with pytest.raises(WireFormatError):
+            HttpRequest.get("/x").json()
+
+    def test_json_with_invalid_body_raises(self):
+        request = HttpRequest(method="POST", path="/x", body="{not json")
+        with pytest.raises(WireFormatError):
+            request.json()
+
+    def test_invalid_method_rejected(self):
+        with pytest.raises(WireFormatError):
+            HttpRequest(method="FETCH", path="/x")
+
+    def test_path_must_start_with_slash(self):
+        with pytest.raises(WireFormatError):
+            HttpRequest(method="GET", path="x")
+
+    def test_from_url_parses_query_string(self):
+        request = HttpRequest.from_url("GET", "/api/search?price_min=10&cut=good")
+        assert request.path == "/api/search"
+        assert request.query_params == {"price_min": "10", "cut": "good"}
+
+    def test_from_url_without_query(self):
+        request = HttpRequest.from_url("GET", "/api/meta")
+        assert request.path == "/api/meta"
+        assert request.query_params == {}
+
+
+class TestHttpResponse:
+    def test_ok_statuses(self):
+        assert HttpResponse(status=200).ok
+        assert HttpResponse(status=204).ok
+        assert not HttpResponse(status=404).ok
+        assert not HttpResponse(status=500).ok
+
+    def test_json_response_roundtrip(self):
+        response = HttpResponse.json_response({"rows": [1, 2]})
+        assert response.ok
+        assert response.json() == {"rows": [1, 2]}
+
+    def test_error_response(self):
+        response = HttpResponse.error(400, "bad request")
+        assert response.status == 400
+        assert response.json() == {"error": "bad request"}
+
+    def test_invalid_json_body(self):
+        with pytest.raises(WireFormatError):
+            HttpResponse(status=200, body="nope").json()
+
+
+class TestMergeHeaders:
+    def test_later_values_win_and_keys_lowercase(self):
+        merged = merge_headers({"Content-Type": "a"}, {"content-type": "b", "X-Y": "z"})
+        assert merged == {"content-type": "b", "x-y": "z"}

@@ -1,0 +1,180 @@
+"""Tests for the search wire format, the HTTP servers/clients, and the
+HTTP-backed remote top-k interface."""
+
+import math
+
+import pytest
+
+from repro.exceptions import RemoteInterfaceError, WireFormatError
+from repro.httpsim import wire
+from repro.httpsim.client import HttpClient, InProcessTransport, UrllibTransport
+from repro.httpsim.messages import HttpRequest, HttpResponse
+from repro.httpsim.server import SearchHttpServer, serve_database_over_socket
+from repro.webdb.interface import Outcome
+from repro.webdb.query import RangePredicate, SearchQuery
+from repro.webdb.remote import RemoteTopKInterface
+
+
+class TestQueryWireFormat:
+    def test_encode_decode_roundtrip(self, diamond_schema_fixture):
+        query = SearchQuery.build(
+            ranges={"price": (500, 2000), "carat": (0.5, 2.0)},
+            memberships={"cut": ["ideal", "good"]},
+        )
+        params = wire.encode_query(query)
+        decoded = wire.decode_query(params, diamond_schema_fixture)
+        assert decoded.canonical_key() == query.canonical_key()
+
+    def test_exclusive_bounds_roundtrip(self, diamond_schema_fixture):
+        query = SearchQuery(
+            (RangePredicate("price", 500, 2000, include_lower=False, include_upper=False),),
+            (),
+        )
+        decoded = wire.decode_query(wire.encode_query(query), diamond_schema_fixture)
+        predicate = decoded.range_on("price")
+        assert predicate is not None
+        assert not predicate.include_lower and not predicate.include_upper
+
+    def test_one_sided_range(self, diamond_schema_fixture):
+        query = SearchQuery((RangePredicate("price", 500, math.inf),), ())
+        params = wire.encode_query(query)
+        assert "price_max" not in params
+        decoded = wire.decode_query(params, diamond_schema_fixture)
+        predicate = decoded.range_on("price")
+        assert predicate is not None and predicate.upper == math.inf
+
+    def test_decode_rejects_unknown_attribute(self, diamond_schema_fixture):
+        with pytest.raises(Exception):
+            wire.decode_query({"bogus_min": "1"}, diamond_schema_fixture)
+
+    def test_decode_rejects_non_numeric_value(self, diamond_schema_fixture):
+        with pytest.raises(WireFormatError):
+            wire.decode_query({"price_min": "cheap"}, diamond_schema_fixture)
+
+    def test_decode_rejects_categorical_range(self, diamond_schema_fixture):
+        with pytest.raises(Exception):
+            wire.decode_query({"cut_min": "1"}, diamond_schema_fixture)
+
+    def test_schema_roundtrip(self, diamond_schema_fixture):
+        payload = wire.encode_schema(diamond_schema_fixture)
+        rebuilt = wire.decode_schema(payload)
+        assert rebuilt.names == diamond_schema_fixture.names
+        assert rebuilt.key == diamond_schema_fixture.key
+        assert rebuilt.domain_bounds("price") == diamond_schema_fixture.domain_bounds("price")
+
+    def test_decode_schema_malformed(self):
+        with pytest.raises(WireFormatError):
+            wire.decode_schema({"attributes": [{"name": "x"}]})
+
+
+class TestSearchHttpServer:
+    @pytest.fixture()
+    def server(self, bluenile_db):
+        return SearchHttpServer(bluenile_db)
+
+    def test_schema_endpoint(self, server):
+        response = server.handle(HttpRequest.get("/api/schema"))
+        assert response.ok
+        assert "attributes" in response.json()
+
+    def test_meta_endpoint(self, server, bluenile_db):
+        response = server.handle(HttpRequest.get("/api/meta"))
+        payload = response.json()
+        assert payload["system_k"] == bluenile_db.system_k
+        assert payload["size"] == bluenile_db.size
+
+    def test_search_endpoint_matches_direct_search(self, server, bluenile_db):
+        query = SearchQuery.build(ranges={"price": (500, 3000)})
+        direct = bluenile_db.search(query)
+        response = server.handle(HttpRequest.get("/api/search", wire.encode_query(query)))
+        payload = response.json()
+        remote = wire.decode_result(payload, query)
+        assert remote.outcome == direct.outcome
+        assert [row["id"] for row in remote.rows] == [row["id"] for row in direct.rows]
+
+    def test_unknown_route_404(self, server):
+        assert server.handle(HttpRequest.get("/nope")).status == 404
+
+    def test_bad_query_400(self, server):
+        response = server.handle(HttpRequest.get("/api/search", {"bogus_min": "1"}))
+        assert response.status == 400
+
+
+class TestHttpClient:
+    def test_retries_on_server_error(self):
+        class FlakyApplication:
+            def __init__(self):
+                self.calls = 0
+
+            def handle(self, request):
+                self.calls += 1
+                if self.calls < 3:
+                    return HttpResponse.error(503, "busy")
+                return HttpResponse.json_response({"ok": True})
+
+        application = FlakyApplication()
+        client = HttpClient(InProcessTransport(application), max_retries=3)
+        assert client.get_json("/x") == {"ok": True}
+        assert application.calls == 3
+
+    def test_gives_up_after_retries(self):
+        class AlwaysBroken:
+            def handle(self, request):
+                return HttpResponse.error(500, "broken")
+
+        client = HttpClient(InProcessTransport(AlwaysBroken()), max_retries=1)
+        with pytest.raises(RemoteInterfaceError):
+            client.get_json("/x")
+
+    def test_non_2xx_raises_in_get_json(self):
+        class NotFound:
+            def handle(self, request):
+                return HttpResponse.error(404, "missing")
+
+        client = HttpClient(InProcessTransport(NotFound()))
+        with pytest.raises(RemoteInterfaceError):
+            client.get_json("/x")
+
+    def test_negative_retries_rejected(self):
+        with pytest.raises(ValueError):
+            HttpClient(InProcessTransport(None), max_retries=-1)
+
+
+class TestRemoteInterface:
+    @pytest.fixture()
+    def remote(self, bluenile_db) -> RemoteTopKInterface:
+        client = HttpClient(InProcessTransport(SearchHttpServer(bluenile_db)))
+        return RemoteTopKInterface(client)
+
+    def test_schema_discovery(self, remote, bluenile_db):
+        assert remote.schema.names == bluenile_db.schema.names
+        assert remote.system_k == bluenile_db.system_k
+        assert remote.name == bluenile_db.name
+
+    def test_search_matches_direct(self, remote, bluenile_db):
+        query = SearchQuery.build(ranges={"carat": (1.0, 2.0)})
+        direct = bluenile_db.search(query)
+        via_http = remote.search(query)
+        assert via_http.outcome == direct.outcome
+        assert [r["id"] for r in via_http.rows] == [r["id"] for r in direct.rows]
+        assert remote.queries_issued() == 1
+
+    def test_underflow_roundtrip(self, remote):
+        # Prices are whole dollars, so a sub-dollar window strictly between two
+        # integers can never match anything.
+        query = SearchQuery.build(ranges={"price": (300.4, 300.6)})
+        result = remote.search(query)
+        assert result.outcome is Outcome.UNDERFLOW
+
+
+class TestSocketServer:
+    def test_real_socket_roundtrip(self, bluenile_db):
+        handle = serve_database_over_socket(bluenile_db)
+        try:
+            client = HttpClient(UrllibTransport(handle.base_url))
+            remote = RemoteTopKInterface(client)
+            assert remote.system_k == bluenile_db.system_k
+            result = remote.search(SearchQuery.build(ranges={"price": (500, 5000)}))
+            assert len(result.rows) > 0
+        finally:
+            handle.shutdown()

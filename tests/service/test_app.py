@@ -1,0 +1,228 @@
+"""Tests for the data-source registry and the QR2 service application."""
+
+import pytest
+
+from repro.config import DatabaseConfig, RerankConfig, ServiceConfig
+from repro.dataset.diamonds import DiamondCatalogConfig
+from repro.dataset.housing import HousingCatalogConfig
+from repro.exceptions import DataSourceError, QueryError, SessionError
+from repro.service.app import QR2Service
+from repro.service.sources import DataSourceRegistry, build_default_registry
+
+
+@pytest.fixture(scope="module")
+def registry() -> DataSourceRegistry:
+    return build_default_registry(
+        diamond_config=DiamondCatalogConfig(size=350, seed=5),
+        housing_config=HousingCatalogConfig(size=400, seed=6),
+        database_config=DatabaseConfig(system_k=10),
+        rerank_config=RerankConfig(),
+    )
+
+
+@pytest.fixture()
+def service(registry) -> QR2Service:
+    return QR2Service(registry=registry, config=ServiceConfig(default_page_size=5))
+
+
+class TestRegistry:
+    def test_default_registry_has_both_sources(self, registry):
+        assert registry.names() == ["bluenile", "zillow"]
+
+    def test_unknown_source_raises(self, registry):
+        with pytest.raises(DataSourceError):
+            registry.get("amazon")
+
+    def test_source_description(self, registry):
+        description = registry.get("bluenile").describe()
+        assert description["name"] == "bluenile"
+        assert "price" in description["ranking_attributes"]
+        assert "shape" in description["filtering_attributes"]
+        assert description["system_k"] == 10
+
+    def test_describe_all(self, registry):
+        assert len(registry.describe_all()) == 2
+
+
+class TestSessions:
+    def test_create_and_inspect_session(self, service):
+        session_id = service.create_session()
+        info = service.session_info(session_id)
+        assert info["session_id"] == session_id
+        assert info["emitted"] == 0
+
+    def test_unknown_session_raises(self, service):
+        with pytest.raises(SessionError):
+            service.session_info("nope")
+        with pytest.raises(SessionError):
+            service.get_next_page("nope")
+
+    def test_statistics_requires_active_query(self, service):
+        session_id = service.create_session()
+        with pytest.raises(SessionError):
+            service.statistics(session_id)
+
+    def test_expire_idle_sessions(self, registry):
+        quick = QR2Service(
+            registry=registry, config=ServiceConfig(session_ttl_seconds=0.0)
+        )
+        quick.create_session()
+        assert quick.expire_idle_sessions() == 1
+
+
+class TestQueryFlow:
+    def test_submit_query_with_sliders_returns_ranked_page(self, service, registry):
+        session_id = service.create_session()
+        response = service.submit_query(
+            session_id,
+            "bluenile",
+            filters={"ranges": {"carat": (0.5, 3.0)}},
+            sliders={"price": 1.0, "carat": -0.5},
+            page_size=5,
+        )
+        assert response["source"] == "bluenile"
+        assert len(response["rows"]) == 5
+        assert response["page"] == 1
+        statistics = response["statistics"]
+        assert statistics["external_queries"] > 0
+        assert statistics["tuples_returned"] == 5
+        # The page must be sorted by the requested function (ascending score).
+        database = registry.get("bluenile").interface
+        from repro.service.sliders import ranking_from_sliders
+
+        ranking = ranking_from_sliders({"price": 1.0, "carat": -0.5}, database.schema)
+        scores = [ranking.score(row) for row in response["rows"]]
+        assert scores == sorted(scores)
+
+    def test_submit_query_matches_ground_truth(self, service, registry):
+        session_id = service.create_session()
+        response = service.submit_query(
+            session_id,
+            "zillow",
+            filters={"memberships": {"city": ["arlington", "dallas"]}},
+            ranking={"attribute": "price", "ascending": True},
+            page_size=8,
+        )
+        database = registry.get("zillow").interface
+        from repro.webdb.query import SearchQuery
+
+        query = SearchQuery.build(memberships={"city": ["arlington", "dallas"]})
+        truth = database.true_ranking(query, lambda row: float(row["price"]), limit=8)
+        assert [row["id"] for row in response["rows"]] == [row["id"] for row in truth]
+
+    def test_get_next_page_continues_the_ranking(self, service, registry):
+        session_id = service.create_session()
+        first = service.submit_query(
+            session_id,
+            "zillow",
+            sliders={"price": 1.0, "squarefeet": -0.3},
+            page_size=4,
+        )
+        second = service.get_next_page(session_id)
+        assert second["page"] == 2
+        assert len(second["rows"]) == 4
+        assert not (
+            {row["id"] for row in first["rows"]} & {row["id"] for row in second["rows"]}
+        )
+        database = registry.get("zillow").interface
+        from repro.service.sliders import ranking_from_sliders
+        from repro.webdb.query import SearchQuery
+
+        ranking = ranking_from_sliders({"price": 1.0, "squarefeet": -0.3}, database.schema)
+        truth = database.true_ranking(SearchQuery.everything(), ranking.score, limit=8)
+        got = [row["id"] for row in first["rows"] + second["rows"]]
+        assert got == [row["id"] for row in truth]
+
+    def test_statistics_panel_fields(self, service):
+        session_id = service.create_session()
+        service.submit_query(session_id, "bluenile", sliders={"price": 1.0})
+        panel = service.statistics(session_id)
+        assert {"external_queries", "processing_seconds", "parallel_fraction", "dense_index"} <= set(panel)
+
+    def test_new_query_resets_results_but_keeps_cache(self, service):
+        session_id = service.create_session()
+        service.submit_query(session_id, "bluenile", sliders={"price": 1.0}, page_size=5)
+        seen_before = service.session_info(session_id)["seen_tuples"]
+        response = service.submit_query(
+            session_id, "bluenile", sliders={"carat": -1.0}, page_size=5
+        )
+        assert response["statistics"]["tuples_returned"] == 5
+        assert service.session_info(session_id)["seen_tuples"] >= seen_before
+
+    def test_rendered_table_present(self, service):
+        session_id = service.create_session()
+        response = service.submit_query(session_id, "bluenile", sliders={"price": 1.0})
+        assert "price" in response["rendered"]
+
+    def test_exhausted_flag_on_small_result(self, service):
+        session_id = service.create_session()
+        response = service.submit_query(
+            session_id,
+            "bluenile",
+            filters={"ranges": {"carat": (4.5, 5.0)}},
+            sliders={"price": 1.0},
+            page_size=50,
+        )
+        assert response["exhausted"] in (True, False)
+        follow_up = service.get_next_page(session_id)
+        assert follow_up["exhausted"]
+
+    def test_list_and_describe_sources(self, service):
+        sources = service.list_sources()
+        assert {entry["name"] for entry in sources} == {"bluenile", "zillow"}
+        description = service.describe_source("zillow")
+        assert any(f["name"] == "paper_fig4_demo" for f in description["popular_functions"])
+
+
+class TestValidation:
+    def test_missing_ranking_rejected(self, service):
+        session_id = service.create_session()
+        with pytest.raises(QueryError):
+            service.submit_query(session_id, "bluenile")
+
+    def test_both_sliders_and_ranking_rejected(self, service):
+        session_id = service.create_session()
+        with pytest.raises(QueryError):
+            service.submit_query(
+                session_id,
+                "bluenile",
+                sliders={"price": 1.0},
+                ranking={"attribute": "price"},
+            )
+
+    def test_bad_page_size_rejected(self, service):
+        session_id = service.create_session()
+        with pytest.raises(QueryError):
+            service.submit_query(session_id, "bluenile", sliders={"price": 1.0}, page_size=0)
+
+    def test_page_size_capped(self, registry):
+        service = QR2Service(
+            registry=registry, config=ServiceConfig(default_page_size=5, max_page_size=7)
+        )
+        session_id = service.create_session()
+        response = service.submit_query(
+            session_id, "bluenile", sliders={"price": 1.0}, page_size=100
+        )
+        assert response["page_size"] == 7
+
+    def test_unknown_source_rejected(self, service):
+        session_id = service.create_session()
+        with pytest.raises(DataSourceError):
+            service.submit_query(session_id, "amazon", sliders={"price": 1.0})
+
+    def test_bad_filters_shape_rejected(self, service):
+        session_id = service.create_session()
+        with pytest.raises(QueryError):
+            service.submit_query(
+                session_id, "bluenile", filters={"ranges": [1, 2]}, sliders={"price": 1.0}
+            )
+
+    def test_unknown_filter_attribute_rejected(self, service):
+        session_id = service.create_session()
+        with pytest.raises(Exception):
+            service.submit_query(
+                session_id,
+                "bluenile",
+                filters={"ranges": {"bogus": (0, 1)}},
+                sliders={"price": 1.0},
+            )

@@ -1,0 +1,144 @@
+"""Tests for the persistent dense-region cache and the SQL-over-tables helper."""
+
+import pytest
+
+from repro.dataset.schema import Attribute, Schema
+from repro.dataset.table import ColumnTable
+from repro.exceptions import DenseRegionError, QueryError
+from repro.sqlstore.dense_cache import DenseRegionCache
+from repro.sqlstore.rowsql import page, sql_over_table, sql_over_tables
+
+
+@pytest.fixture()
+def schema() -> Schema:
+    return Schema(
+        key="id",
+        attributes=(
+            Attribute.numeric("price", 0, 1000),
+            Attribute.numeric("ratio", 0, 3),
+            Attribute.categorical("kind", ["a", "b"]),
+        ),
+    )
+
+
+def _rows(count=6):
+    return [
+        {"id": f"t{i}", "price": float(i), "ratio": 1.0, "kind": "a"} for i in range(count)
+    ]
+
+
+class TestDenseRegionCache:
+    def test_store_and_list_regions(self, schema):
+        cache = DenseRegionCache(schema)
+        stored = cache.store_region({"ratio": (1.0, 1.0)}, _rows(4))
+        assert stored.region_id >= 1
+        assert stored.attributes == ("ratio",)
+        regions = cache.regions()
+        assert len(regions) == 1
+        assert regions[0].bounds == {"ratio": (1.0, 1.0)}
+        assert cache.tuple_count() == 4
+
+    def test_rows_for_region_roundtrip(self, schema):
+        cache = DenseRegionCache(schema)
+        stored = cache.store_region({"price": (0.0, 5.0)}, _rows(5))
+        rows = cache.rows_for_region(stored)
+        assert {row["id"] for row in rows} == {f"t{i}" for i in range(5)}
+
+    def test_store_region_requires_bounds(self, schema):
+        cache = DenseRegionCache(schema)
+        with pytest.raises(DenseRegionError):
+            cache.store_region({}, _rows(2))
+
+    def test_store_region_rejects_inverted_bounds(self, schema):
+        cache = DenseRegionCache(schema)
+        with pytest.raises(DenseRegionError):
+            cache.store_region({"price": (5.0, 1.0)}, _rows(2))
+
+    def test_md_region_bounds(self, schema):
+        cache = DenseRegionCache(schema)
+        stored = cache.store_region({"price": (0.0, 10.0), "ratio": (0.9, 1.1)}, _rows(3))
+        assert stored.attributes == ("price", "ratio")
+
+    def test_drop_and_clear(self, schema):
+        cache = DenseRegionCache(schema)
+        stored = cache.store_region({"price": (0.0, 5.0)}, _rows(3))
+        cache.drop_region(stored.region_id)
+        assert cache.regions() == []
+        cache.store_region({"price": (0.0, 5.0)}, _rows(3))
+        cache.clear()
+        assert cache.regions() == [] and cache.tuple_count() == 0
+
+    def test_persistence_across_instances(self, schema, tmp_path):
+        path = str(tmp_path / "cache.sqlite")
+        first = DenseRegionCache(schema, path=path)
+        first.store_region({"ratio": (1.0, 1.0)}, _rows(4))
+        first.close()
+        second = DenseRegionCache(schema, path=path)
+        assert len(second.regions()) == 1
+        assert second.tuple_count() == 4
+        second.close()
+
+    def test_verify_and_refresh_detects_changes(self, schema):
+        cache = DenseRegionCache(schema)
+        cache.store_region({"ratio": (1.0, 1.0)}, _rows(3))
+        cache.store_region({"price": (0.0, 2.0)}, _rows(2))
+
+        def crawl(bounds):
+            if "ratio" in bounds:
+                return _rows(5)  # the region grew
+            return _rows(2)  # unchanged
+
+        counters = cache.verify_and_refresh(crawl)
+        assert counters == {"checked": 2, "refreshed": 1, "unchanged": 1}
+        sizes = sorted(len(region.tuple_keys) for region in cache.regions())
+        assert sizes == [2, 5]
+
+
+class TestRowSql:
+    @pytest.fixture()
+    def table(self) -> ColumnTable:
+        return ColumnTable(
+            {
+                "id": ["a", "b", "c"],
+                "price": [10.0, 30.0, 20.0],
+                "cut": ["good", "ideal", "good"],
+            }
+        )
+
+    def test_select_with_filter_and_order(self, table):
+        result = sql_over_table(
+            "SELECT id, price FROM result WHERE price > 15 ORDER BY price DESC", table
+        )
+        assert result.column("id") == ["b", "c"]
+
+    def test_aggregate(self, table):
+        result = sql_over_table("SELECT cut, COUNT(*) AS n FROM result GROUP BY cut ORDER BY cut", table)
+        assert result.column("n") == [2, 1]
+
+    def test_join_over_two_tables(self, table):
+        other = ColumnTable({"id": ["a", "b"], "tax": [1.0, 3.0]})
+        result = sql_over_tables(
+            "SELECT r.id, r.price + o.tax AS total FROM result r JOIN other o ON r.id = o.id ORDER BY r.id",
+            {"result": table, "other": other},
+        )
+        assert result.column("total") == [11.0, 33.0]
+
+    def test_only_select_allowed(self, table):
+        with pytest.raises(QueryError):
+            sql_over_table("DELETE FROM result", table)
+
+    def test_requires_tables(self):
+        with pytest.raises(QueryError):
+            sql_over_tables("SELECT 1", {})
+
+    def test_sql_error_wrapped(self, table):
+        with pytest.raises(QueryError):
+            sql_over_table("SELECT missing FROM result", table)
+
+    def test_page_helper(self, table):
+        first = page(table, 0, 2)
+        second = page(table, 1, 2)
+        assert len(first) == 2 and len(second) == 1
+        assert page(table, 5, 2).columns == table.columns
+        with pytest.raises(QueryError):
+            page(table, -1, 2)

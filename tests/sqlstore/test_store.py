@@ -1,0 +1,128 @@
+"""Tests for the SQLite tuple store (the MySQL substitute)."""
+
+import threading
+
+import pytest
+
+from repro.dataset.schema import Attribute, Schema
+from repro.exceptions import SchemaError
+from repro.sqlstore.store import SQLiteTupleStore
+
+
+@pytest.fixture()
+def schema() -> Schema:
+    return Schema(
+        key="id",
+        attributes=(
+            Attribute.numeric("price", 0, 1000),
+            Attribute.numeric("carat", 0, 5),
+            Attribute.categorical("cut", ["good", "ideal"]),
+        ),
+    )
+
+
+@pytest.fixture()
+def store(schema) -> SQLiteTupleStore:
+    return SQLiteTupleStore(schema)
+
+
+def _rows(count=5):
+    return [
+        {"id": f"t{i}", "price": float(i * 10), "carat": float(i) / 2.0, "cut": "good" if i % 2 else "ideal"}
+        for i in range(count)
+    ]
+
+
+class TestUpsertAndGet:
+    def test_upsert_and_count(self, store):
+        assert store.upsert(_rows(5)) == 5
+        assert store.count() == 5
+
+    def test_upsert_empty_is_noop(self, store):
+        assert store.upsert([]) == 0
+
+    def test_upsert_replaces_existing(self, store):
+        store.upsert(_rows(3))
+        store.upsert([{"id": "t1", "price": 999.0, "carat": 1.0, "cut": "good"}])
+        assert store.count() == 3
+        assert store.get("t1")["price"] == 999.0
+
+    def test_get_missing_returns_none(self, store):
+        assert store.get("nope") is None
+
+    def test_get_converts_numeric_types(self, store):
+        store.upsert(_rows(1))
+        row = store.get("t0")
+        assert isinstance(row["price"], float) and isinstance(row["carat"], float)
+        assert isinstance(row["cut"], str)
+
+    def test_upsert_validates_rows(self, store):
+        with pytest.raises(SchemaError):
+            store.upsert([{"id": "bad", "price": 99999.0, "carat": 1.0, "cut": "good"}])
+
+    def test_delete_all(self, store):
+        store.upsert(_rows(4))
+        store.delete_all()
+        assert store.count() == 0
+
+
+class TestRangeScan:
+    def test_range_scan_inclusive(self, store):
+        store.upsert(_rows(10))
+        rows = store.range_scan("price", 20, 50)
+        assert [row["id"] for row in rows] == ["t2", "t3", "t4", "t5"]
+
+    def test_range_scan_exclusive_bounds(self, store):
+        store.upsert(_rows(10))
+        rows = store.range_scan("price", 20, 50, include_lower=False, include_upper=False)
+        assert [row["id"] for row in rows] == ["t3", "t4"]
+
+    def test_range_scan_orders_by_attribute(self, store):
+        store.upsert(reversed(_rows(6)))
+        rows = store.range_scan("price", 0, 1000)
+        prices = [row["price"] for row in rows]
+        assert prices == sorted(prices)
+
+    def test_range_scan_on_categorical_rejected(self, store):
+        with pytest.raises(SchemaError):
+            store.range_scan("cut", 0, 1)
+
+    def test_all_rows(self, store):
+        store.upsert(_rows(3))
+        assert len(store.all_rows()) == 3
+
+
+class TestIdentifiersAndPersistence:
+    def test_illegal_identifier_rejected(self):
+        hostile = Schema(
+            key="id",
+            attributes=(Attribute.numeric("price; drop table", 0, 1),),
+        )
+        with pytest.raises(SchemaError):
+            SQLiteTupleStore(hostile)
+
+    def test_on_disk_persistence(self, schema, tmp_path):
+        path = str(tmp_path / "tuples.sqlite")
+        first = SQLiteTupleStore(schema, path=path)
+        first.upsert(_rows(4))
+        first.close()
+        second = SQLiteTupleStore(schema, path=path)
+        assert second.count() == 4
+        assert second.get("t2") is not None
+        second.close()
+
+    def test_concurrent_writes(self, store):
+        def work(offset):
+            store.upsert(
+                [
+                    {"id": f"w{offset}-{i}", "price": 1.0, "carat": 1.0, "cut": "good"}
+                    for i in range(50)
+                ]
+            )
+
+        threads = [threading.Thread(target=work, args=(n,)) for n in range(6)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert store.count() == 300

@@ -1,0 +1,282 @@
+"""Property-based tests (hypothesis) for the core data structures and the
+reranking invariants.
+
+Two kinds of properties are covered:
+
+* algebraic invariants of the building blocks (query algebra, region algebra,
+  score bounds, normalization) under randomly generated inputs, and
+* the end-to-end reranking invariant: for random catalogs, random conjunctive
+  filters, and random monotone linear ranking functions, every algorithm
+  returns exactly the brute-force reranked prefix while never reading a tuple
+  that does not match the filter.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import HealthCheck, assume, given, settings
+from hypothesis import strategies as st
+
+from repro.config import RerankConfig
+from repro.core import contour
+from repro.core.functions import LinearRankingFunction, SingleAttributeRanking
+from repro.core.normalization import MinMaxNormalizer
+from repro.core.regions import HyperRectangle
+from repro.core.reranker import Algorithm, QueryReranker
+from repro.dataset.schema import Attribute, Schema
+from repro.dataset.table import ColumnTable
+from repro.webdb.database import HiddenWebDatabase
+from repro.webdb.query import RangePredicate, SearchQuery
+from repro.webdb.ranking import AttributeOrderRanking, RandomTieBreakRanking
+
+# --------------------------------------------------------------------------- #
+# Strategies
+# --------------------------------------------------------------------------- #
+finite_floats = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def range_predicates(draw, attribute="x"):
+    lower = draw(st.floats(min_value=-100, max_value=100, allow_nan=False))
+    width = draw(st.floats(min_value=0.0, max_value=50.0, allow_nan=False))
+    include_lower = draw(st.booleans())
+    include_upper = draw(st.booleans())
+    upper = lower + width
+    if upper <= lower:
+        # Degenerate (possibly through float underflow) ranges must be closed.
+        upper = lower
+        include_lower = include_upper = True
+    return RangePredicate(attribute, lower, upper, include_lower, include_upper)
+
+
+@st.composite
+def small_catalogs(draw):
+    """A random catalog over two numeric attributes plus a categorical facet.
+
+    ``x`` may contain arbitrary ties (that is what stresses the value-group
+    logic); ``y`` is a permutation of distinct values so that no group of
+    tuples is identical on *every* searchable attribute — such tuples cannot
+    be separated by any top-k interface without pagination, which is outside
+    the paper's model.
+    """
+    size = draw(st.integers(min_value=8, max_value=60))
+    xs = draw(
+        st.lists(
+            st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+            min_size=size,
+            max_size=size,
+        )
+    )
+    base_y = [round(i * 10.0 / size, 3) for i in range(size)]
+    ys = draw(st.permutations(base_y))
+    kinds = draw(
+        st.lists(st.sampled_from(["a", "b", "c"]), min_size=size, max_size=size)
+    )
+    rows = [
+        {"id": f"t{i}", "x": round(xs[i], 2), "y": ys[i], "kind": kinds[i]}
+        for i in range(size)
+    ]
+    return rows
+
+
+def catalog_schema() -> Schema:
+    return Schema(
+        key="id",
+        attributes=(
+            Attribute.numeric("x", 0.0, 100.0),
+            Attribute.numeric("y", 0.0, 10.0),
+            Attribute.categorical("kind", ["a", "b", "c"]),
+        ),
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Query algebra properties
+# --------------------------------------------------------------------------- #
+class TestQueryAlgebraProperties:
+    @given(range_predicates(), range_predicates(), finite_floats)
+    @settings(max_examples=100, deadline=None)
+    def test_intersection_matches_conjunction(self, a, b, value):
+        merged = a.intersect(b)
+        both = a.matches(value) and b.matches(value)
+        if merged is None:
+            assert not both
+        else:
+            assert merged.matches(value) == both
+
+    @given(range_predicates(), st.floats(min_value=-100, max_value=160, allow_nan=False))
+    @settings(max_examples=100, deadline=None)
+    def test_split_is_a_partition(self, predicate, value):
+        assume(predicate.width > 0)
+        midpoint = predicate.lower + predicate.width / 2
+        low, high = predicate.split(midpoint)
+        inside_parent = predicate.matches(value)
+        assert (low.matches(value) or high.matches(value)) == inside_parent
+        assert not (low.matches(value) and high.matches(value))
+
+    @given(
+        st.floats(min_value=0, max_value=99, allow_nan=False),
+        st.floats(min_value=0, max_value=9, allow_nan=False),
+        st.sampled_from(["a", "b", "c"]),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_query_dict_roundtrip_preserves_matching(self, x, y, kind):
+        query = SearchQuery.build(
+            ranges={"x": (x, min(x + 10, 100)), "y": (0, y + 1)},
+            memberships={"kind": ["a", "b"]},
+        )
+        rebuilt = SearchQuery.from_dict(query.to_dict())
+        row = {"x": x + 1, "y": y, "kind": kind}
+        assert query.matches(row) == rebuilt.matches(row)
+
+
+# --------------------------------------------------------------------------- #
+# Geometry properties
+# --------------------------------------------------------------------------- #
+class TestGeometryProperties:
+    @given(
+        st.floats(min_value=0, max_value=90, allow_nan=False),
+        st.floats(min_value=0.5, max_value=10, allow_nan=False),
+        st.floats(min_value=0, max_value=9, allow_nan=False),
+        st.floats(min_value=0.1, max_value=1, allow_nan=False),
+        st.floats(min_value=-1, max_value=1, allow_nan=False),
+        st.floats(min_value=-1, max_value=1, allow_nan=False),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_score_bounds_contain_all_interior_points(self, x0, xw, y0, yw, wx, wy):
+        assume(abs(wx) > 1e-6 or abs(wy) > 1e-6)
+        box = HyperRectangle.from_bounds({"x": (x0, x0 + xw), "y": (y0, y0 + yw)})
+        weights = {}
+        if abs(wx) > 1e-6:
+            weights["x"] = wx
+        if abs(wy) > 1e-6:
+            weights["y"] = wy
+        function = LinearRankingFunction(weights)
+        bounds = contour.score_bounds(function, box)
+        for fx in (0.0, 0.3, 0.7, 1.0):
+            for fy in (0.0, 0.5, 1.0):
+                point = {"x": x0 + fx * xw, "y": y0 + fy * yw}
+                score = function.score(point)
+                assert bounds.minimum - 1e-6 <= score <= bounds.maximum + 1e-6
+
+    @given(
+        st.floats(min_value=0, max_value=90, allow_nan=False),
+        st.floats(min_value=1.0, max_value=10, allow_nan=False),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_box_split_partitions_rows(self, x0, xw):
+        box = HyperRectangle.from_bounds({"x": (x0, x0 + xw), "y": (0.0, 10.0)})
+        low, high = box.split("x")
+        for fraction in (0.0, 0.25, 0.5, 0.75, 1.0):
+            row = {"x": x0 + fraction * xw, "y": 5.0}
+            assert low.contains(row) != high.contains(row)
+
+    @given(st.floats(min_value=0.0, max_value=1.0), st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=50, deadline=None)
+    def test_normalizer_roundtrip(self, a, b):
+        lower, upper = min(a, b) * 100, max(a, b) * 100 + 1.0
+        normalizer = MinMaxNormalizer({"x": (lower, upper)})
+        for fraction in (0.0, 0.5, 1.0):
+            value = lower + fraction * (upper - lower)
+            normalized = normalizer.normalize("x", value)
+            assert 0.0 <= normalized <= 1.0
+            assert normalizer.denormalize("x", normalized) == pytest.approx(value, abs=1e-6)
+
+
+# --------------------------------------------------------------------------- #
+# End-to-end reranking invariants
+# --------------------------------------------------------------------------- #
+def _ground_truth(database, query, ranking, limit):
+    return database.true_ranking(query, ranking.score, limit=limit)
+
+
+class TestRerankingProperties:
+    @given(
+        rows=small_catalogs(),
+        ascending=st.booleans(),
+        hidden_ascending=st.booleans(),
+        attribute=st.sampled_from(["x", "y"]),
+        depth=st.integers(min_value=1, max_value=8),
+    )
+    @settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_onedim_matches_bruteforce(self, rows, ascending, hidden_ascending, attribute, depth):
+        database = HiddenWebDatabase(
+            ColumnTable.from_rows(rows),
+            catalog_schema(),
+            AttributeOrderRanking("x", ascending=hidden_ascending),
+            system_k=5,
+        )
+        ranking = SingleAttributeRanking(attribute, ascending=ascending)
+        reranker = QueryReranker(database, config=RerankConfig())
+        for algorithm in (Algorithm.BASELINE, Algorithm.BINARY, Algorithm.RERANK):
+            stream = reranker.rerank(SearchQuery.everything(), ranking, algorithm=algorithm)
+            got = stream.top(depth)
+            truth = _ground_truth(database, SearchQuery.everything(), ranking, depth)
+            got_scores = [round(ranking.score(row), 6) for row in got]
+            truth_scores = [round(ranking.score(row), 6) for row in truth]
+            assert got_scores == truth_scores
+
+    @given(
+        rows=small_catalogs(),
+        wx=st.sampled_from([-1.0, -0.5, 0.3, 1.0]),
+        wy=st.sampled_from([-1.0, -0.4, 0.6, 1.0]),
+        depth=st.integers(min_value=1, max_value=6),
+        lower=st.floats(min_value=0.0, max_value=50.0, allow_nan=False),
+    )
+    @settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_multidim_matches_bruteforce(self, rows, wx, wy, depth, lower):
+        database = HiddenWebDatabase(
+            ColumnTable.from_rows(rows),
+            catalog_schema(),
+            RandomTieBreakRanking(),
+            system_k=5,
+        )
+        query = SearchQuery.build(ranges={"x": (lower, 100.0)})
+        normalizer = MinMaxNormalizer({"x": (0.0, 100.0), "y": (0.0, 10.0)})
+        ranking = LinearRankingFunction({"x": wx, "y": wy}, normalizer=normalizer)
+        reranker = QueryReranker(database, config=RerankConfig())
+        truth = _ground_truth(database, query, ranking, depth)
+        for algorithm in (Algorithm.BINARY, Algorithm.RERANK, Algorithm.TA):
+            stream = reranker.rerank(query, ranking, algorithm=algorithm)
+            got = stream.top(depth)
+            got_scores = [round(ranking.score(row), 6) for row in got]
+            truth_scores = [round(ranking.score(row), 6) for row in truth]
+            assert got_scores == truth_scores
+
+    @given(rows=small_catalogs(), depth=st.integers(min_value=1, max_value=10))
+    @settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_stream_never_returns_filtered_out_or_duplicate_tuples(self, rows, depth):
+        database = HiddenWebDatabase(
+            ColumnTable.from_rows(rows),
+            catalog_schema(),
+            AttributeOrderRanking("y", ascending=True),
+            system_k=5,
+        )
+        query = SearchQuery.build(memberships={"kind": ["a", "b"]})
+        ranking = SingleAttributeRanking("x", ascending=True)
+        stream = QueryReranker(database).rerank(query, ranking, algorithm=Algorithm.RERANK)
+        got = stream.top(depth)
+        keys = [row["id"] for row in got]
+        assert len(keys) == len(set(keys))
+        for row in got:
+            assert query.matches(row)
+
+    @given(rows=small_catalogs())
+    @settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_full_stream_is_a_permutation_of_matching_tuples(self, rows):
+        database = HiddenWebDatabase(
+            ColumnTable.from_rows(rows),
+            catalog_schema(),
+            AttributeOrderRanking("x", ascending=False),
+            system_k=5,
+        )
+        query = SearchQuery.build(ranges={"y": (0.0, 5.0)})
+        ranking = SingleAttributeRanking("y", ascending=False)
+        stream = QueryReranker(database).rerank(query, ranking, algorithm=Algorithm.RERANK)
+        got = list(stream)
+        expected = database.all_matches(query)
+        assert {row["id"] for row in got} == {row["id"] for row in expected}
+        scores = [ranking.score(row) for row in got]
+        assert scores == sorted(scores)

@@ -1,0 +1,135 @@
+"""Tests for query accounting (counters, budgets, logs) and latency models."""
+
+import threading
+import time
+
+import pytest
+
+from repro.exceptions import QueryBudgetExceeded
+from repro.webdb.counters import QueryBudget, QueryCounter, QueryLog
+from repro.webdb.interface import Outcome, SearchResult
+from repro.webdb.latency import LatencyModel
+from repro.webdb.query import SearchQuery
+
+
+class TestQueryCounter:
+    def test_increment_and_reset(self):
+        counter = QueryCounter()
+        assert counter.increment() == 1
+        assert counter.increment(4) == 5
+        assert counter.count == 5
+        counter.reset()
+        assert counter.count == 0
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ValueError):
+            QueryCounter().increment(-1)
+
+    def test_thread_safety(self):
+        counter = QueryCounter()
+
+        def work():
+            for _ in range(500):
+                counter.increment()
+
+        threads = [threading.Thread(target=work) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter.count == 4000
+
+
+class TestQueryBudget:
+    def test_unlimited_budget(self):
+        budget = QueryBudget(None)
+        budget.charge(1000)
+        assert budget.limit is None and budget.remaining is None
+        assert budget.can_afford(10**9)
+
+    def test_limited_budget_enforced(self):
+        budget = QueryBudget(3)
+        budget.charge(2)
+        assert budget.remaining == 1
+        assert budget.can_afford(1) and not budget.can_afford(2)
+        with pytest.raises(QueryBudgetExceeded) as excinfo:
+            budget.charge(2)
+        assert excinfo.value.budget == 3
+
+    def test_negative_limit_rejected(self):
+        with pytest.raises(ValueError):
+            QueryBudget(-1)
+
+
+def _result(query=None, outcome=Outcome.VALID, rows=(), elapsed=0.5):
+    return SearchResult(
+        query=query or SearchQuery.everything(),
+        rows=tuple(rows),
+        outcome=outcome,
+        system_k=10,
+        elapsed_seconds=elapsed,
+    )
+
+
+class TestQueryLog:
+    def test_record_and_counts(self):
+        log = QueryLog()
+        log.record(_result(outcome=Outcome.VALID))
+        log.record(_result(outcome=Outcome.OVERFLOW), parallel_group=3)
+        log.record(_result(outcome=Outcome.OVERFLOW))
+        assert len(log) == 3
+        assert log.outcome_counts() == {"valid": 1, "overflow": 2}
+        assert log.total_elapsed() == pytest.approx(1.5)
+
+    def test_duplicate_queries_detected(self):
+        log = QueryLog()
+        same = SearchQuery.build(ranges={"price": (0, 1)})
+        log.record(_result(query=same))
+        log.record(_result(query=same))
+        log.record(_result(query=SearchQuery.build(ranges={"price": (0, 2)})))
+        assert len(log.duplicate_queries()) == 1
+
+    def test_describe_truncates(self):
+        log = QueryLog()
+        for _ in range(5):
+            log.record(_result())
+        text = log.describe(limit=2)
+        assert "more queries" in text
+        assert text.count("\n") >= 2
+
+
+class TestLatencyModel:
+    def test_disabled_model_never_delays(self):
+        model = LatencyModel.disabled()
+        assert model.draw() == 0.0
+        assert model.delay() == 0.0
+
+    def test_accounted_model_does_not_sleep(self):
+        model = LatencyModel.accounted(5.0, jitter=0.0)
+        start = time.perf_counter()
+        seconds = model.delay()
+        assert seconds == pytest.approx(5.0)
+        assert time.perf_counter() - start < 0.5
+
+    def test_realtime_model_sleeps(self):
+        model = LatencyModel.realtime(0.05, jitter=0.0)
+        start = time.perf_counter()
+        model.delay()
+        assert time.perf_counter() - start >= 0.04
+
+    def test_jitter_range(self):
+        model = LatencyModel.accounted(1.0, jitter=0.5, seed=3)
+        draws = [model.draw() for _ in range(200)]
+        assert all(0.5 <= value <= 1.5 for value in draws)
+        assert max(draws) - min(draws) > 0.1
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            LatencyModel(mean_seconds=-1.0)
+        with pytest.raises(ValueError):
+            LatencyModel(mean_seconds=1.0, jitter=2.0)
+
+    def test_deterministic_given_seed(self):
+        first = LatencyModel.accounted(1.0, jitter=0.3, seed=11)
+        second = LatencyModel.accounted(1.0, jitter=0.3, seed=11)
+        assert [first.draw() for _ in range(5)] == [second.draw() for _ in range(5)]

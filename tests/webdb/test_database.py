@@ -1,0 +1,176 @@
+"""Tests for the simulated hidden web database and the top-k contract."""
+
+import pytest
+
+from repro.dataset.schema import Attribute, Schema
+from repro.dataset.table import ColumnTable
+from repro.exceptions import QueryError
+from repro.webdb.database import HiddenWebDatabase, database_pair_for_tests
+from repro.webdb.interface import InstrumentedInterface, Outcome
+from repro.webdb.latency import LatencyModel
+from repro.webdb.query import SearchQuery
+from repro.webdb.ranking import AttributeOrderRanking
+
+
+@pytest.fixture()
+def tiny_db() -> HiddenWebDatabase:
+    schema = Schema(
+        key="id",
+        attributes=(
+            Attribute.numeric("price", 0, 100),
+            Attribute.numeric("size", 0, 10),
+            Attribute.categorical("kind", ["x", "y"]),
+        ),
+    )
+    rows = [
+        {"id": f"t{i}", "price": float(i), "size": float(i % 10), "kind": "x" if i % 2 else "y"}
+        for i in range(30)
+    ]
+    return HiddenWebDatabase(
+        ColumnTable.from_rows(rows),
+        schema,
+        AttributeOrderRanking("price", ascending=True),
+        system_k=5,
+    )
+
+
+class TestTopKContract:
+    def test_overflow_returns_exactly_k_in_system_order(self, tiny_db):
+        result = tiny_db.search(SearchQuery.everything())
+        assert result.outcome is Outcome.OVERFLOW
+        assert len(result.rows) == 5
+        prices = [row["price"] for row in result.rows]
+        assert prices == sorted(prices)  # hidden ranking is price ascending
+        assert result.is_overflow and not result.covers_query
+
+    def test_valid_returns_all_matches(self, tiny_db):
+        query = SearchQuery.build(ranges={"price": (0, 3)})
+        result = tiny_db.search(query)
+        assert result.outcome is Outcome.VALID
+        assert len(result.rows) == 4
+        assert result.covers_query
+
+    def test_underflow(self, tiny_db):
+        query = SearchQuery.build(ranges={"price": (1000, 2000)})
+        # 1000 > domain upper bound -> schema validation fails; use a narrow
+        # in-domain range with no tuples instead.
+        query = SearchQuery.build(ranges={"price": (50.5, 50.7)})
+        result = tiny_db.search(query)
+        assert result.outcome is Outcome.UNDERFLOW
+        assert len(result.rows) == 0
+        assert result.covers_query
+
+    def test_results_respect_filters(self, tiny_db):
+        query = SearchQuery.build(ranges={"price": (0, 20)}, memberships={"kind": ["x"]})
+        result = tiny_db.search(query)
+        for row in result.rows:
+            assert row["kind"] == "x" and row["price"] <= 20
+
+    def test_rows_are_copies(self, tiny_db):
+        result = tiny_db.search(SearchQuery.build(ranges={"price": (0, 3)}))
+        result.rows[0]["price"] = -1.0
+        again = tiny_db.search(SearchQuery.build(ranges={"price": (0, 3)}))
+        assert again.rows[0]["price"] >= 0
+
+    def test_query_counter_increments(self, tiny_db):
+        before = tiny_db.queries_issued()
+        tiny_db.search(SearchQuery.everything())
+        tiny_db.search(SearchQuery.everything())
+        assert tiny_db.queries_issued() == before + 2
+        tiny_db.reset_query_count()
+        assert tiny_db.queries_issued() == 0
+
+    def test_invalid_query_rejected(self, tiny_db):
+        with pytest.raises(Exception):
+            tiny_db.search(SearchQuery.build(ranges={"missing": (0, 1)}))
+
+    def test_invalid_system_k(self, tiny_db, diamond_catalog, diamond_schema_fixture):
+        with pytest.raises(ValueError):
+            HiddenWebDatabase(
+                diamond_catalog,
+                diamond_schema_fixture,
+                AttributeOrderRanking("price"),
+                system_k=0,
+            )
+
+    def test_duplicate_keys_rejected(self):
+        schema = Schema(key="id", attributes=(Attribute.numeric("price", 0, 10),))
+        rows = [{"id": "same", "price": 1.0}, {"id": "same", "price": 2.0}]
+        with pytest.raises(QueryError):
+            HiddenWebDatabase(
+                ColumnTable.from_rows(rows), schema, AttributeOrderRanking("price")
+            )
+
+
+class TestGroundTruthHelpers:
+    def test_all_matches_and_count(self, tiny_db):
+        query = SearchQuery.build(ranges={"price": (0, 9)})
+        assert tiny_db.count_matches(query) == 10
+        assert len(tiny_db.all_matches(query)) == 10
+
+    def test_true_ranking_orders_by_score(self, tiny_db):
+        query = SearchQuery.everything()
+        truth = tiny_db.true_ranking(query, lambda row: -row["price"], limit=3)
+        assert [row["id"] for row in truth] == ["t29", "t28", "t27"]
+
+    def test_tuple_by_key(self, tiny_db):
+        assert tiny_db.tuple_by_key("t3")["price"] == 3.0
+        with pytest.raises(QueryError):
+            tiny_db.tuple_by_key("nope")
+
+    def test_attribute_values_and_multiplicity(self, tiny_db):
+        values = tiny_db.attribute_values("size")
+        assert len(values) == 30
+        multiplicity = tiny_db.value_multiplicity("size")
+        assert multiplicity[0.0] == 3
+
+    def test_system_rank_of(self, tiny_db):
+        assert tiny_db.system_rank_of("t0") == 0
+        with pytest.raises(QueryError):
+            tiny_db.system_rank_of("nope")
+
+    def test_describe(self, tiny_db):
+        text = tiny_db.describe()
+        assert "30 tuples" in text and "k=5" in text
+
+    def test_database_pair_helper(self, diamond_catalog, diamond_schema_fixture):
+        live, timed = database_pair_for_tests(
+            diamond_catalog, diamond_schema_fixture, AttributeOrderRanking("price"), 10
+        )
+        assert live.search(SearchQuery.everything()).elapsed_seconds == 0.0
+        assert timed.search(SearchQuery.everything()).elapsed_seconds > 0.0
+
+
+class TestLatencyAccounting:
+    def test_latency_recorded_in_results(self, diamond_catalog, diamond_schema_fixture):
+        database = HiddenWebDatabase(
+            diamond_catalog,
+            diamond_schema_fixture,
+            AttributeOrderRanking("price"),
+            system_k=10,
+            latency=LatencyModel.accounted(2.0, jitter=0.0),
+        )
+        result = database.search(SearchQuery.everything())
+        assert result.elapsed_seconds == pytest.approx(2.0)
+
+
+class TestInstrumentedInterface:
+    def test_statistics_accumulate(self, tiny_db):
+        wrapped = InstrumentedInterface(tiny_db)
+        wrapped.search(SearchQuery.everything())
+        wrapped.search(SearchQuery.build(ranges={"price": (0, 2)}))
+        wrapped.search(SearchQuery.build(ranges={"price": (50.5, 50.7)}))
+        stats = wrapped.statistics.snapshot()
+        assert stats["queries"] == 3
+        assert stats["overflow_queries"] == 1
+        assert stats["valid_queries"] == 1
+        assert stats["underflow_queries"] == 1
+        assert wrapped.queries_issued() == 3
+        assert stats["per_attribute_queries"]["price"] == 2
+
+    def test_properties_delegate(self, tiny_db):
+        wrapped = InstrumentedInterface(tiny_db)
+        assert wrapped.schema is tiny_db.schema
+        assert wrapped.system_k == tiny_db.system_k
+        assert wrapped.key_column == "id"
+        assert wrapped.inner is tiny_db

@@ -1,0 +1,196 @@
+"""Tests for search-query predicates and their algebra."""
+
+import math
+
+import pytest
+
+from repro.exceptions import QueryError
+from repro.webdb.query import InPredicate, RangePredicate, SearchQuery
+
+
+class TestRangePredicate:
+    def test_matches_inclusive_bounds(self):
+        predicate = RangePredicate("price", 10, 20)
+        assert predicate.matches(10) and predicate.matches(20) and predicate.matches(15)
+        assert not predicate.matches(9.99) and not predicate.matches(20.01)
+
+    def test_matches_exclusive_bounds(self):
+        predicate = RangePredicate("price", 10, 20, include_lower=False, include_upper=False)
+        assert not predicate.matches(10) and not predicate.matches(20)
+        assert predicate.matches(10.01)
+
+    def test_inverted_range_rejected(self):
+        with pytest.raises(QueryError):
+            RangePredicate("price", 20, 10)
+
+    def test_degenerate_exclusive_rejected(self):
+        with pytest.raises(QueryError):
+            RangePredicate("price", 10, 10, include_lower=False)
+
+    def test_point_predicate(self):
+        predicate = RangePredicate("price", 10, 10)
+        assert predicate.is_point and predicate.matches(10)
+
+    def test_width(self):
+        assert RangePredicate("price", 10, 30).width == 20
+        assert RangePredicate("price").width == math.inf
+
+    def test_intersect_overlapping(self):
+        a = RangePredicate("price", 10, 30)
+        b = RangePredicate("price", 20, 40)
+        merged = a.intersect(b)
+        assert merged is not None
+        assert (merged.lower, merged.upper) == (20, 30)
+
+    def test_intersect_disjoint_returns_none(self):
+        assert RangePredicate("price", 0, 10).intersect(RangePredicate("price", 20, 30)) is None
+
+    def test_intersect_boundary_exclusive(self):
+        a = RangePredicate("price", 0, 10, include_upper=False)
+        b = RangePredicate("price", 10, 20)
+        assert a.intersect(b) is None
+
+    def test_intersect_respects_exclusivity(self):
+        a = RangePredicate("price", 0, 10, include_lower=False)
+        b = RangePredicate("price", 0, 5)
+        merged = a.intersect(b)
+        assert merged is not None
+        assert merged.lower == 0 and not merged.include_lower
+
+    def test_intersect_different_attributes_rejected(self):
+        with pytest.raises(QueryError):
+            RangePredicate("price", 0, 1).intersect(RangePredicate("carat", 0, 1))
+
+    def test_split(self):
+        low, high = RangePredicate("price", 0, 10).split(4)
+        assert (low.lower, low.upper, low.include_upper) == (0, 4, True)
+        assert (high.lower, high.upper, high.include_lower) == (4, 10, False)
+        assert not any(low.matches(v) and high.matches(v) for v in (0, 2, 4, 4.1, 10))
+
+    def test_split_outside_range_rejected(self):
+        with pytest.raises(QueryError):
+            RangePredicate("price", 0, 10).split(11)
+
+    def test_describe(self):
+        text = RangePredicate("price", 0, 10, include_upper=False).describe()
+        assert "price" in text and "[" in text and ")" in text
+
+
+class TestInPredicate:
+    def test_matches(self):
+        predicate = InPredicate.of("cut", ["good", "ideal"])
+        assert predicate.matches("good") and not predicate.matches("fair")
+
+    def test_empty_rejected(self):
+        with pytest.raises(QueryError):
+            InPredicate("cut", frozenset())
+
+    def test_intersect(self):
+        a = InPredicate.of("cut", ["good", "ideal"])
+        b = InPredicate.of("cut", ["ideal", "astor"])
+        merged = a.intersect(b)
+        assert merged is not None and merged.values == frozenset({"ideal"})
+
+    def test_intersect_disjoint(self):
+        a = InPredicate.of("cut", ["good"])
+        b = InPredicate.of("cut", ["ideal"])
+        assert a.intersect(b) is None
+
+    def test_intersect_wrong_attribute(self):
+        with pytest.raises(QueryError):
+            InPredicate.of("cut", ["good"]).intersect(InPredicate.of("color", ["D"]))
+
+    def test_describe_sorted(self):
+        assert "cut in {good, ideal}" == InPredicate.of("cut", ["ideal", "good"]).describe()
+
+
+class TestSearchQuery:
+    def test_everything_matches_all(self):
+        assert SearchQuery.everything().matches({"price": 5, "cut": "good"})
+
+    def test_build_and_match(self):
+        query = SearchQuery.build(
+            ranges={"price": (10, 20)}, memberships={"cut": ["good"]}
+        )
+        assert query.matches({"price": 15, "cut": "good"})
+        assert not query.matches({"price": 15, "cut": "ideal"})
+        assert not query.matches({"price": 25, "cut": "good"})
+
+    def test_match_requires_numeric_value(self):
+        query = SearchQuery.build(ranges={"price": (10, 20)})
+        assert not query.matches({"price": "expensive"})
+        assert not query.matches({})
+
+    def test_duplicate_predicates_rejected(self):
+        with pytest.raises(QueryError):
+            SearchQuery(
+                ranges=(RangePredicate("price", 0, 1), RangePredicate("price", 2, 3))
+            )
+
+    def test_with_range_intersects_existing(self):
+        query = SearchQuery.build(ranges={"price": (0, 100)})
+        narrowed = query.with_range(RangePredicate("price", 50, 200))
+        predicate = narrowed.range_on("price")
+        assert predicate is not None
+        assert (predicate.lower, predicate.upper) == (50, 100)
+
+    def test_with_range_empty_intersection_raises(self):
+        query = SearchQuery.build(ranges={"price": (0, 10)})
+        with pytest.raises(QueryError):
+            query.with_range(RangePredicate("price", 20, 30))
+
+    def test_try_with_range_returns_none_on_empty(self):
+        query = SearchQuery.build(ranges={"price": (0, 10)})
+        assert query.try_with_range(RangePredicate("price", 20, 30)) is None
+        assert query.try_with_range(RangePredicate("price", 5, 30)) is not None
+
+    def test_with_membership_intersects(self):
+        query = SearchQuery.build(memberships={"cut": ["good", "ideal"]})
+        narrowed = query.with_membership(InPredicate.of("cut", ["ideal", "astor"]))
+        membership = narrowed.membership_on("cut")
+        assert membership is not None and membership.values == frozenset({"ideal"})
+
+    def test_without_attribute(self):
+        query = SearchQuery.build(ranges={"price": (0, 10)}, memberships={"cut": ["good"]})
+        assert query.without_attribute("price").range_on("price") is None
+        assert query.without_attribute("cut").membership_on("cut") is None
+
+    def test_effective_range_uses_domain_when_unconstrained(self, diamond_schema_fixture):
+        query = SearchQuery.everything()
+        effective = query.effective_range("price", diamond_schema_fixture)
+        assert (effective.lower, effective.upper) == diamond_schema_fixture.domain_bounds("price")
+
+    def test_effective_range_uses_explicit_predicate(self, diamond_schema_fixture):
+        query = SearchQuery.build(ranges={"price": (500, 1000)})
+        effective = query.effective_range("price", diamond_schema_fixture)
+        assert (effective.lower, effective.upper) == (500, 1000)
+
+    def test_validate_against_schema(self, diamond_schema_fixture):
+        query = SearchQuery.build(ranges={"price": (500, 1000)}, memberships={"cut": ["ideal"]})
+        query.validate(diamond_schema_fixture)
+        with pytest.raises(Exception):
+            SearchQuery.build(ranges={"missing": (0, 1)}).validate(diamond_schema_fixture)
+        with pytest.raises(QueryError):
+            SearchQuery.build(memberships={"cut": ["not-a-cut"]}).validate(diamond_schema_fixture)
+
+    def test_canonical_key_is_order_insensitive(self):
+        a = SearchQuery.build(ranges={"price": (0, 1), "carat": (1, 2)})
+        b = SearchQuery.build(ranges={"carat": (1, 2), "price": (0, 1)})
+        assert a.canonical_key() == b.canonical_key()
+
+    def test_describe(self):
+        query = SearchQuery.build(ranges={"price": (0, 1)}, memberships={"cut": ["good"]})
+        text = query.describe()
+        assert "price" in text and "cut" in text and " AND " in text
+        assert SearchQuery.everything().describe() == "TRUE"
+
+    def test_dict_roundtrip(self):
+        query = SearchQuery.build(
+            ranges={"price": (0, 1)}, memberships={"cut": ["good", "ideal"]}
+        )
+        rebuilt = SearchQuery.from_dict(query.to_dict())
+        assert rebuilt.canonical_key() == query.canonical_key()
+
+    def test_constrained_attributes(self):
+        query = SearchQuery.build(ranges={"price": (0, 1)}, memberships={"cut": ["good"]})
+        assert set(query.constrained_attributes) == {"price", "cut"}
