@@ -1,0 +1,81 @@
+"""SC-CACHE — multi-session savings from the shared query-result cache.
+
+The paper's headline metric is the number of external queries a reranked
+request costs; popular slider presets make many sessions issue near-identical
+query sequences.  This bench serves the same workload to several sessions on
+the diamonds and housing sources with the shared result cache on and off:
+
+* **BINARY** (stateless, no dense-region index) shows the cross-session
+  redundancy directly — every uncached session re-probes the same intervals —
+  and must save at least 30 % of total external queries;
+* **RERANK** shows the cache's *marginal* win on top of the shared
+  dense-region index (reported, and must never lose).
+
+In both cases the reranked output order must be identical with and without
+the cache: the cache replays exact query answers, it never changes them.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks._tables import print_table
+from repro.core.reranker import Algorithm
+from repro.workloads.experiments import run_cache_reuse
+
+SESSIONS = 4
+MIN_SAVINGS = 0.30
+
+
+def _report(benchmark, payload, require_min_savings: bool) -> None:
+    for source, data in payload.items():
+        algorithm = data["algorithm"]
+        benchmark.extra_info.update(
+            {
+                f"{source}_{algorithm}_cached_costs": data["cached_costs"],
+                f"{source}_{algorithm}_uncached_costs": data["uncached_costs"],
+                f"{source}_{algorithm}_savings": round(data["savings_fraction"], 3),
+            }
+        )
+        rows = [
+            f"{'session':>12s} " + " ".join(f"{i + 1:>7d}" for i in range(SESSIONS)),
+            f"{'cached':>12s} " + " ".join(f"{c:>7d}" for c in data["cached_costs"]),
+            f"{'uncached':>12s} " + " ".join(f"{c:>7d}" for c in data["uncached_costs"]),
+        ]
+        print_table(
+            f"SC-CACHE [{source} / {algorithm}] — {data['scenario']}",
+            "queries issued to the web database per session "
+            f"(savings {data['savings_fraction']:.0%})",
+            rows,
+        )
+        assert data["orders_match"]
+        assert data["cached_total"] <= data["uncached_total"]
+        if require_min_savings:
+            assert data["savings_fraction"] >= MIN_SAVINGS
+
+
+@pytest.mark.benchmark(group="cache-reuse")
+def test_cache_reuse_multi_session_savings(benchmark, environment, depth):
+    """>= 30 % fewer external queries across repeated BINARY sessions."""
+
+    def run():
+        return run_cache_reuse(
+            environment, sessions=SESSIONS, depth=depth, algorithm=Algorithm.BINARY
+        )
+
+    payload = benchmark.pedantic(run, rounds=1, iterations=1)
+    _report(benchmark, payload, require_min_savings=True)
+
+
+@pytest.mark.benchmark(group="cache-reuse")
+def test_cache_reuse_marginal_win_over_dense_index(benchmark, environment, depth):
+    """The cache must never lose on RERANK, whose dense index already
+    amortizes repeat crawls across sessions."""
+
+    def run():
+        return run_cache_reuse(
+            environment, sessions=SESSIONS, depth=depth, algorithm=Algorithm.RERANK
+        )
+
+    payload = benchmark.pedantic(run, rounds=1, iterations=1)
+    _report(benchmark, payload, require_min_savings=False)

@@ -83,6 +83,16 @@ class RerankConfig:
     enable_dense_index:
         Global switch for on-the-fly dense-region indexing (BASELINE/BINARY
         algorithms run with this off).
+    enable_result_cache:
+        Global switch for the shared query-result cache: identical external
+        queries (same canonical predicates, same ``system-k``) are answered
+        from memory at zero budget and zero simulated latency, and identical
+        in-flight queries coalesce onto one round trip.
+    result_cache_size:
+        LRU capacity of the shared result cache (entries).
+    result_cache_ttl_seconds:
+        Lifetime of a cached result; ``None`` disables expiry (correct for
+        the immutable simulated databases).
     """
 
     dense_ratio_threshold: float = 0.005
@@ -93,6 +103,9 @@ class RerankConfig:
     enable_parallel: bool = True
     enable_session_cache: bool = True
     enable_dense_index: bool = True
+    enable_result_cache: bool = True
+    result_cache_size: int = 4096
+    result_cache_ttl_seconds: Optional[float] = None
 
     def without_parallel(self) -> "RerankConfig":
         """Copy of this configuration with parallel processing disabled."""
@@ -106,15 +119,26 @@ class RerankConfig:
         """Copy of this configuration with the session cache disabled."""
         return replace(self, enable_session_cache=False)
 
+    def without_result_cache(self) -> "RerankConfig":
+        """Copy of this configuration with the shared result cache disabled."""
+        return replace(self, enable_result_cache=False)
+
 
 @dataclass(frozen=True)
 class ServiceConfig:
-    """Configuration of the QR2 web service facade."""
+    """Configuration of the QR2 web service facade.
+
+    ``share_result_cache`` keeps one :class:`~repro.webdb.cache.QueryResultCache`
+    for *all* sessions and sources of the service (namespaced per source), so
+    the query savings compound across users; turning it off gives every source
+    its own private cache while the per-request semantics stay identical.
+    """
 
     default_page_size: int = 10
     max_page_size: int = 100
     session_ttl_seconds: float = 3600.0
     dense_cache_path: Optional[str] = None
+    share_result_cache: bool = True
     rerank: RerankConfig = field(default_factory=RerankConfig)
 
 

@@ -544,10 +544,15 @@ class _EngineInterfaceAdapter:
         return self._engine.key_column
 
     def search(self, query: SearchQuery):
-        return self._engine.search(query)
+        # Crawler region queries are effectively unique (finely partitioned
+        # sub-regions), so they never *store* into the shared result cache —
+        # that would churn its LRU; the dense-region index is their reuse
+        # layer.  They still read it: the crawl's root query is usually the
+        # overflowing query the algorithm just paid for.
+        return self._engine.search(query, bypass_cache=True)
 
     def search_group(self, queries):
-        return self._engine.search_group(queries)
+        return self._engine.search_group(queries, bypass_cache=True)
 
     def queries_issued(self) -> int:
         return self._engine.queries_issued()

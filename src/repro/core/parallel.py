@@ -6,11 +6,19 @@ Every external query a reranking algorithm issues goes through
 * **parallel execution** of query groups — the paper issues the verification
   queries that cover the region of interest, and the two sub-space searches of
   an MD Get-Next, concurrently to hide the web database's latency;
+* **shared result caching** — when a :class:`~repro.webdb.cache.QueryResultCache`
+  is attached, queries the service has already paid for (in this session or
+  any other session over the same source) are answered from memory at zero
+  budget and zero simulated latency, and identical in-flight queries coalesce
+  onto a single round trip;
 * **accounting** — per-iteration group sizes (the paper's Fig. 2 metric),
   external-query counts, simulated latency (a parallel group costs one round
   trip, i.e. the *maximum* of its members' latencies, not the sum), and the
   query log;
-* **budget enforcement** — the optional hard cap on external queries.
+* **budget enforcement** — the optional hard cap on external queries.  The
+  charge is atomic check-then-issue: a group that would exceed the budget
+  raises *before* any of its queries runs and leaves ``budget.used`` exactly
+  equal to the number of queries actually issued.
 
 Keeping all of this in one object means the algorithm implementations stay
 free of threading and bookkeeping concerns.
@@ -20,18 +28,20 @@ from __future__ import annotations
 
 import threading
 from concurrent.futures import ThreadPoolExecutor
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 from repro.config import RerankConfig
 from repro.core.stats import RerankStatistics
+from repro.exceptions import EngineShutdownError
+from repro.webdb.cache import FetchStatus, QueryResultCache, default_namespace
 from repro.webdb.counters import QueryBudget, QueryLog
 from repro.webdb.interface import SearchResult, TopKInterface
 from repro.webdb.query import SearchQuery
 
 
 class QueryEngine:
-    """Issues queries against one top-k interface with accounting and
-    optional parallelism."""
+    """Issues queries against one top-k interface with accounting, optional
+    parallelism, and optional shared result caching."""
 
     def __init__(
         self,
@@ -40,15 +50,20 @@ class QueryEngine:
         statistics: Optional[RerankStatistics] = None,
         budget: Optional[QueryBudget] = None,
         query_log: Optional[QueryLog] = None,
+        result_cache: Optional[QueryResultCache] = None,
+        cache_namespace: Optional[str] = None,
     ) -> None:
         self._interface = interface
         self._config = config or RerankConfig()
         self.statistics = statistics or RerankStatistics()
         self._budget = budget or QueryBudget(self._config.query_budget)
         self.query_log = query_log or QueryLog()
+        self._cache = result_cache if self._config.enable_result_cache else None
+        self._cache_namespace = cache_namespace or default_namespace(interface)
         self._group_counter = 0
         self._group_lock = threading.Lock()
         self._executor: Optional[ThreadPoolExecutor] = None
+        self._closed = False
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -67,6 +82,21 @@ class QueryEngine:
     def budget(self) -> QueryBudget:
         """The query budget shared by every algorithm using this engine."""
         return self._budget
+
+    @property
+    def result_cache(self) -> Optional[QueryResultCache]:
+        """The shared result cache, or ``None`` when caching is off."""
+        return self._cache
+
+    @property
+    def cache_namespace(self) -> str:
+        """This engine's namespace within the shared result cache."""
+        return self._cache_namespace
+
+    @property
+    def closed(self) -> bool:
+        """True after :meth:`shutdown` until :meth:`rearm`."""
+        return self._closed
 
     @property
     def schema(self):
@@ -103,42 +133,173 @@ class QueryEngine:
             )
         return self._executor
 
-    def search(self, query: SearchQuery) -> SearchResult:
+    def search(self, query: SearchQuery, bypass_cache: bool = False) -> SearchResult:
         """Issue a single query (an iteration of group size one)."""
-        return self.search_group([query])[0]
+        return self.search_group([query], bypass_cache=bypass_cache)[0]
 
-    def search_group(self, queries: Sequence[SearchQuery]) -> List[SearchResult]:
+    def search_group(
+        self, queries: Sequence[SearchQuery], bypass_cache: bool = False
+    ) -> List[SearchResult]:
         """Issue a group of queries belonging to one algorithm iteration.
 
-        When parallel processing is enabled and the group has more than one
-        member, the queries run concurrently on the thread pool and the
-        iteration's simulated latency is the group's maximum (one round trip);
-        otherwise they run sequentially and latencies add up.
+        With a result cache attached, each query is first resolved against the
+        cache: hits cost zero budget and zero simulated latency, and misses
+        identical to an in-flight query (from any session sharing the cache)
+        coalesce onto that query's round trip.  ``bypass_cache`` makes the
+        cache read-only for the group — hits are still reused (the crawl's
+        root region query is typically the overflowing query that was just
+        paid for), but misses are issued directly and never stored.  The
+        crawler uses it: its finely partitioned sub-region queries are
+        effectively unique and would only churn the LRU.
+
+        The budget is charged atomically for the queries that actually need a
+        round trip *before* any of them is issued; a group that trips the
+        budget raises with ``budget.used`` unchanged.
+
+        When parallel processing is enabled the group's simulated latency is
+        the *maximum* over its issued queries (one round trip) regardless of
+        group size — a group of one costs the same under either accounting
+        rule, and using one rule keeps size-1 and size-2 groups consistent;
+        with parallelism disabled latencies add up.
         """
+        if self._closed:
+            raise EngineShutdownError(
+                "query engine has been shut down; call rearm() to reuse it"
+            )
         if not queries:
             return []
-        self._budget.charge(len(queries))
         group_id = self._next_group_id()
+        use_cache = self._cache is not None and not bypass_cache
 
-        use_parallel = self._config.enable_parallel and len(queries) > 1
-        if use_parallel:
-            futures = [self._pool().submit(self._interface.search, q) for q in queries]
-            results = [future.result() for future in futures]
-            group_latency = max(result.elapsed_seconds for result in results)
+        # Phase 1: resolve what we can from the shared cache (zero cost).
+        # Bypassed groups still *read* the cache; they just never store.
+        results: List[Optional[SearchResult]] = [None] * len(queries)
+        pending: List[Tuple[int, SearchQuery]] = []
+        hits = 0
+        if self._cache is not None:
+            for index, query in enumerate(queries):
+                cached = self._cache.lookup(
+                    self._cache_namespace, query, self._interface.system_k
+                )
+                if cached is not None:
+                    results[index] = cached
+                    hits += 1
+                else:
+                    pending.append((index, query))
         else:
-            results = [self._interface.search(q) for q in queries]
-            group_latency = sum(result.elapsed_seconds for result in results)
+            pending = list(enumerate(queries))
 
+        # Phase 2: charge the budget for the round trips we are about to pay,
+        # atomically, before issuing anything.
+        self._budget.charge(len(pending))
+
+        # Phase 3: issue the misses.  Failures must not leak budget: charges
+        # for queries that were never issued (sequential tail after an error)
+        # or that coalesced onto another caller's round trip are refunded
+        # before any exception propagates, keeping ``budget.used`` equal to
+        # the round trips actually attempted.
+        use_parallel = self._config.enable_parallel and len(pending) > 1
+        coalesced = 0
+        resolved: List[Optional[Tuple[SearchResult, FetchStatus]]] = []
+        first_error: Optional[BaseException] = None
+        if use_parallel:
+            futures = [
+                self._pool().submit(self._resolve_miss, query, use_cache)
+                for _, query in pending
+            ]
+            for future in futures:
+                try:
+                    resolved.append(future.result())
+                except BaseException as error:  # noqa: BLE001 - re-raised below
+                    resolved.append(None)
+                    if first_error is None:
+                        first_error = error
+        else:
+            for _, query in pending:
+                if first_error is not None:
+                    # Never attempted: hand the up-front charge back.
+                    self._budget.refund(1)
+                    resolved.append(None)
+                    continue
+                try:
+                    resolved.append(self._resolve_miss(query, use_cache))
+                except BaseException as error:  # noqa: BLE001 - re-raised below
+                    resolved.append(None)
+                    first_error = error
+
+        issued_latencies: List[float] = []
+        for (index, _), outcome in zip(pending, resolved):
+            if outcome is None:
+                continue
+            result, status = outcome
+            results[index] = result
+            if status is FetchStatus.MISS:
+                issued_latencies.append(result.elapsed_seconds)
+            else:
+                # Another caller paid the round trip (or stored the entry
+                # between our probe and the fetch): hand the charge back.
+                self._budget.refund(1)
+                if status is FetchStatus.COALESCED:
+                    coalesced += 1
+                else:
+                    hits += 1
+        if first_error is not None:
+            raise first_error
+
+        # Phase 4: accounting.  Only real round trips count as external
+        # queries and simulated latency; a fully cached group costs nothing.
+        if self._config.enable_parallel:
+            group_latency = max(issued_latencies, default=0.0)
+        else:
+            group_latency = sum(issued_latencies)
+        # Log cached answers distinctly from issued ones.
+        issued_keys = {id(result) for (result, status) in resolved if status is FetchStatus.MISS}
         for result in results:
-            self.query_log.record(result, parallel_group=group_id if use_parallel else None)
-        self.statistics.record_iteration(len(queries), group_latency, parallel=use_parallel)
-        return results
+            assert result is not None
+            cached_answer = id(result) not in issued_keys
+            self.query_log.record(
+                result,
+                parallel_group=group_id if (use_parallel and not cached_answer) else None,
+                cached=cached_answer,
+            )
+        self.statistics.record_iteration(
+            len(issued_latencies), group_latency, parallel=use_parallel
+        )
+        if hits:
+            self.statistics.record_result_cache_hit(hits)
+        if coalesced:
+            self.statistics.record_coalesced_query(coalesced)
+        return [result for result in results if result is not None]
+
+    def _resolve_miss(
+        self, query: SearchQuery, use_cache: bool
+    ) -> Tuple[SearchResult, FetchStatus]:
+        """Resolve one query that missed the probe: through the coalescing
+        cache when enabled, directly against the interface otherwise."""
+        if use_cache:
+            assert self._cache is not None
+            return self._cache.fetch(
+                self._cache_namespace,
+                query,
+                self._interface.system_k,
+                lambda: self._interface.search(query),
+            )
+        return self._interface.search(query), FetchStatus.MISS
 
     def shutdown(self) -> None:
-        """Release the thread pool (idempotent)."""
+        """Release the thread pool and mark the engine closed (idempotent).
+        Further searches raise :class:`EngineShutdownError` until
+        :meth:`rearm` — post-shutdown reuse must be explicit."""
         if self._executor is not None:
             self._executor.shutdown(wait=True)
             self._executor = None
+        self._closed = True
+
+    def rearm(self) -> "QueryEngine":
+        """Explicitly reopen a shut-down engine for further queries; the
+        thread pool is recreated lazily on the next parallel group."""
+        self._closed = False
+        return self
 
     def __enter__(self) -> "QueryEngine":
         return self

@@ -33,6 +33,7 @@ from repro.core.session import Session
 from repro.core.ta import ThresholdAlgorithmGetNext
 from repro.exceptions import RankingFunctionError
 from repro.sqlstore.dense_cache import DenseRegionCache
+from repro.webdb.cache import QueryResultCache, default_namespace
 from repro.webdb.counters import QueryBudget
 from repro.webdb.interface import TopKInterface
 from repro.webdb.query import SearchQuery
@@ -99,10 +100,21 @@ class QueryReranker:
         interface: TopKInterface,
         config: Optional[RerankConfig] = None,
         dense_cache: Optional[DenseRegionCache] = None,
+        result_cache: Optional[QueryResultCache] = None,
     ) -> None:
         self._interface = interface
         self._config = config or RerankConfig()
         self._dense_index = DenseRegionIndex(interface.schema, cache=dense_cache)
+        if result_cache is not None:
+            self._result_cache: Optional[QueryResultCache] = result_cache
+        elif self._config.enable_result_cache:
+            self._result_cache = QueryResultCache(
+                max_entries=self._config.result_cache_size,
+                ttl_seconds=self._config.result_cache_ttl_seconds,
+            )
+        else:
+            self._result_cache = None
+        self._cache_namespace = default_namespace(interface)
         self._session_counter = itertools.count(1)
         self._lock = threading.Lock()
 
@@ -121,6 +133,13 @@ class QueryReranker:
     def dense_index(self) -> DenseRegionIndex:
         """The shared on-the-fly dense-region index."""
         return self._dense_index
+
+    @property
+    def result_cache(self) -> Optional[QueryResultCache]:
+        """The shared query-result cache (``None`` when disabled).  Sessions
+        created through this reranker — and any other reranker handed the same
+        cache object — reuse each other's query answers."""
+        return self._result_cache
 
     def _new_session(self, label: str) -> Session:
         with self._lock:
@@ -149,6 +168,8 @@ class QueryReranker:
             config=self._config,
             statistics=session.statistics,
             budget=budget,
+            result_cache=self._result_cache,
+            cache_namespace=self._cache_namespace,
         )
 
         if ranking.is_single_attribute:

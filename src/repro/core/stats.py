@@ -29,6 +29,8 @@ class RerankStatistics:
     sequential_queries: int = 0
     iteration_group_sizes: List[int] = field(default_factory=list)
     cache_hits: int = 0
+    result_cache_hits: int = 0
+    coalesced_queries: int = 0
     dense_index_hits: int = 0
     dense_regions_built: int = 0
     crawled_tuples: int = 0
@@ -89,6 +91,18 @@ class RerankStatistics:
         with self._lock:
             self.cache_hits += count
 
+    def record_result_cache_hit(self, count: int = 1) -> None:
+        """Record external queries answered from the shared result cache
+        (zero budget, zero simulated round trips)."""
+        with self._lock:
+            self.result_cache_hits += count
+
+    def record_coalesced_query(self, count: int = 1) -> None:
+        """Record external queries that coalesced onto an identical in-flight
+        query instead of issuing their own round trip."""
+        with self._lock:
+            self.coalesced_queries += count
+
     def record_dense_index_hit(self, count: int = 1) -> None:
         """Record answers served from the dense-region index."""
         with self._lock:
@@ -126,6 +140,18 @@ class RerankStatistics:
         return self.parallel_queries / self.external_queries
 
     @property
+    def result_cache_hit_rate(self) -> float:
+        """Fraction of the request's query demand served without a fresh
+        round trip (shared-cache hits plus coalesced queries over total
+        demand).  ``external_queries`` only counts real round trips, so the
+        denominator adds the avoided ones back in."""
+        avoided = self.result_cache_hits + self.coalesced_queries
+        demand = self.external_queries + avoided
+        if demand == 0:
+            return 0.0
+        return avoided / demand
+
+    @property
     def processing_seconds(self) -> float:
         """Best estimate of end-to-end processing time: simulated network time
         (parallel groups cost one round trip) plus local wall time."""
@@ -146,6 +172,9 @@ class RerankStatistics:
                 "sequential_queries": self.sequential_queries,
                 "iteration_group_sizes": list(self.iteration_group_sizes),
                 "cache_hits": self.cache_hits,
+                "result_cache_hits": self.result_cache_hits,
+                "coalesced_queries": self.coalesced_queries,
+                "result_cache_hit_rate": round(self.result_cache_hit_rate, 4),
                 "dense_index_hits": self.dense_index_hits,
                 "dense_regions_built": self.dense_regions_built,
                 "crawled_tuples": self.crawled_tuples,
@@ -167,6 +196,8 @@ class RerankStatistics:
             self.sequential_queries += other.sequential_queries
             self.iteration_group_sizes.extend(other.iteration_group_sizes)
             self.cache_hits += other.cache_hits
+            self.result_cache_hits += other.result_cache_hits
+            self.coalesced_queries += other.coalesced_queries
             self.dense_index_hits += other.dense_index_hits
             self.dense_regions_built += other.dense_regions_built
             self.crawled_tuples += other.crawled_tuples

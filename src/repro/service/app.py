@@ -61,6 +61,7 @@ class QR2Service:
         self._registry = registry or build_default_registry(
             rerank_config=self._config.rerank,
             dense_cache_path=self._config.dense_cache_path,
+            share_result_cache=self._config.share_result_cache,
         )
         self._sessions: Dict[str, Session] = {}
         self._requests: Dict[str, _ActiveRequest] = {}
@@ -246,14 +247,19 @@ class QR2Service:
 
     def _statistics_panel(self, request: _ActiveRequest) -> Dict[str, object]:
         snapshot = request.stream.statistics.snapshot()
+        result_cache = request.source.reranker.result_cache
         return {
             "description": request.stream.description,
             "external_queries": snapshot["external_queries"],
             "processing_seconds": snapshot["processing_seconds"],
             "parallel_fraction": snapshot["parallel_fraction"],
             "cache_hits": snapshot["cache_hits"],
+            "result_cache_hits": snapshot["result_cache_hits"],
+            "coalesced_queries": snapshot["coalesced_queries"],
+            "result_cache_hit_rate": snapshot["result_cache_hit_rate"],
             "dense_index_hits": snapshot["dense_index_hits"],
             "dense_regions_built": snapshot["dense_regions_built"],
             "tuples_returned": snapshot["tuples_returned"],
             "dense_index": request.source.reranker.dense_index.describe(),
+            "result_cache": result_cache.snapshot() if result_cache else None,
         }

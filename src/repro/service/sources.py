@@ -24,6 +24,7 @@ from repro.dataset.housing import HousingCatalogConfig, generate_housing_catalog
 from repro.dataset.schema import Schema
 from repro.exceptions import DataSourceError
 from repro.sqlstore.dense_cache import DenseRegionCache
+from repro.webdb.cache import QueryResultCache
 from repro.webdb.database import HiddenWebDatabase
 from repro.webdb.interface import TopKInterface
 from repro.webdb.latency import LatencyModel
@@ -103,17 +104,30 @@ def build_default_registry(
     database_config: Optional[DatabaseConfig] = None,
     rerank_config: Optional[RerankConfig] = None,
     dense_cache_path: Optional[str] = None,
+    result_cache: Optional[QueryResultCache] = None,
+    share_result_cache: bool = True,
 ) -> DataSourceRegistry:
     """Build the registry with the two simulated sources of the demonstration.
 
     ``dense_cache_path`` enables the persistent (SQLite) dense-region cache —
     one file per source, suffixing the given path — matching the shared MySQL
     cache of the deployed system.
+
+    When the rerank configuration enables the query-result cache, all sources
+    share a single :class:`QueryResultCache` (namespaced per source) so that
+    every session of the service reuses every other session's query answers;
+    ``share_result_cache=False`` gives each source a private cache instead,
+    and an explicit ``result_cache`` overrides both.
     """
     diamond_config = diamond_config or DiamondCatalogConfig()
     housing_config = housing_config or HousingCatalogConfig()
     database_config = database_config or DatabaseConfig()
     rerank_config = rerank_config or RerankConfig()
+    if result_cache is None and share_result_cache and rerank_config.enable_result_cache:
+        result_cache = QueryResultCache(
+            max_entries=rerank_config.result_cache_size,
+            ttl_seconds=rerank_config.result_cache_ttl_seconds,
+        )
 
     registry = DataSourceRegistry()
     registry.register(
@@ -126,6 +140,7 @@ def build_default_registry(
             database_config=database_config,
             rerank_config=rerank_config,
             dense_cache_path=_suffix(dense_cache_path, "bluenile"),
+            result_cache=result_cache,
             result_columns=[
                 "id", "price", "carat", "cut", "color", "clarity", "shape",
                 "depth", "table", "length_width_ratio",
@@ -142,6 +157,7 @@ def build_default_registry(
             database_config=database_config,
             rerank_config=rerank_config,
             dense_cache_path=_suffix(dense_cache_path, "zillow"),
+            result_cache=result_cache,
             result_columns=[
                 "id", "price", "squarefeet", "bedrooms", "bathrooms",
                 "year_built", "city", "zipcode", "home_type",
@@ -167,6 +183,7 @@ def _make_source(
     rerank_config: RerankConfig,
     dense_cache_path: Optional[str],
     result_columns: List[str],
+    result_cache: Optional[QueryResultCache] = None,
 ) -> DataSource:
     latency = LatencyModel.accounted(
         database_config.latency_seconds,
@@ -184,7 +201,12 @@ def _make_source(
     dense_cache = (
         DenseRegionCache(schema, path=dense_cache_path) if dense_cache_path else None
     )
-    reranker = QueryReranker(database, config=rerank_config, dense_cache=dense_cache)
+    reranker = QueryReranker(
+        database,
+        config=rerank_config,
+        dense_cache=dense_cache,
+        result_cache=result_cache,
+    )
     return DataSource(
         name=name,
         title=title,

@@ -10,10 +10,14 @@ from repro.webdb.ranking import (
     RandomTieBreakRanking,
     SystemRankingFunction,
 )
+from repro.webdb.cache import CachingInterface, FetchStatus, QueryResultCache
 from repro.webdb.counters import QueryBudget, QueryCounter, QueryLog
 from repro.webdb.latency import LatencyModel
 
 __all__ = [
+    "CachingInterface",
+    "FetchStatus",
+    "QueryResultCache",
     "InPredicate",
     "RangePredicate",
     "SearchQuery",

@@ -1,0 +1,403 @@
+"""Shared query-result cache with in-flight request coalescing.
+
+The paper's headline metric is the number of external top-k queries a
+reranked request costs, and its latency model treats every query as a remote
+round trip.  Reranking workloads are highly redundant — 1D-BINARY re-probes
+overlapping intervals across users, MD Get-Next re-verifies the same regions,
+and popular slider presets make many sessions issue near-identical query
+sequences — so the single biggest lever for serving heavy traffic is to stop
+re-issuing queries the service has already paid for.
+
+:class:`QueryResultCache` turns that redundancy into zero-round-trip answers:
+
+* **canonical keys** — entries are keyed on
+  ``(namespace, system_k, SearchQuery.canonical_key())``, so semantically
+  identical queries hit regardless of predicate order, and a change of the
+  interface's ``system_k`` automatically invalidates every older entry (the
+  overflow/valid/underflow trichotomy is only meaningful relative to ``k``);
+* **per-interface namespaces** — one cache instance can be shared across every
+  data source of a service without results bleeding between databases;
+* **LRU + TTL eviction** — bounded memory, and a freshness horizon for
+  deployments where the hidden database mutates;
+* **request coalescing** — when several sessions miss on the same key at the
+  same time, exactly one remote query is issued and the other callers wait on
+  its result (the classic "thundering herd" guard).
+
+Because a valid/underflow result proves the caller has observed *every* tuple
+matching the query, replaying a cached result preserves the paper's
+overflow/valid/underflow semantics exactly: the classification is a pure
+function of the query, ``system_k``, and the database state the TTL bounds.
+
+:class:`CachingInterface` is the drop-in wrapper counterpart of
+:class:`~repro.webdb.interface.InstrumentedInterface` for callers that do not
+go through the :class:`~repro.core.parallel.QueryEngine`.
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.dataset.schema import Schema
+from repro.webdb.interface import SearchResult, TopKInterface
+from repro.webdb.query import SearchQuery
+
+#: ``(namespace, system_k, canonical query key)`` — the full cache identity.
+CacheKey = Tuple[str, int, Tuple]
+
+
+class FetchStatus(enum.Enum):
+    """How a :meth:`QueryResultCache.fetch` call was satisfied."""
+
+    MISS = "miss"  #: this caller issued the remote query
+    HIT = "hit"  #: answered from a stored entry, zero round trips
+    COALESCED = "coalesced"  #: rode along another caller's in-flight query
+
+
+@dataclass
+class CacheStatistics:
+    """Mutable, thread-safe hit/miss/coalesce accounting for one cache."""
+
+    hits: int = 0
+    misses: int = 0
+    coalesced: int = 0
+    evictions: int = 0
+    expirations: int = 0
+    invalidations: int = 0
+
+    def __post_init__(self) -> None:
+        self._lock = threading.Lock()
+
+    def record(self, field: str, count: int = 1) -> None:
+        """Add ``count`` to one counter (thread-safe)."""
+        with self._lock:
+            setattr(self, field, getattr(self, field) + count)
+
+    @property
+    def lookups(self) -> int:
+        """Total lookups that were resolved (hits + coalesced + misses)."""
+        return self.hits + self.coalesced + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served without a fresh remote query."""
+        total = self.lookups
+        if total == 0:
+            return 0.0
+        return (self.hits + self.coalesced) / total
+
+    def snapshot(self) -> Dict[str, object]:
+        """Plain-dictionary snapshot for the service statistics panel."""
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "coalesced": self.coalesced,
+                "evictions": self.evictions,
+                "expirations": self.expirations,
+                "invalidations": self.invalidations,
+                "hit_rate": round(self.hit_rate, 4),
+            }
+
+
+@dataclass
+class _Entry:
+    """One stored result plus its insertion timestamp."""
+
+    result: SearchResult
+    stored_at: float
+
+
+class _InFlight:
+    """Rendezvous for callers coalescing onto one in-flight remote query."""
+
+    def __init__(self) -> None:
+        self.done = threading.Event()
+        self.result: Optional[SearchResult] = None
+        self.error: Optional[BaseException] = None
+
+
+class QueryResultCache:
+    """Thread-safe, shared LRU+TTL cache of top-k search results.
+
+    Parameters
+    ----------
+    max_entries:
+        LRU capacity; the least-recently-used entry is evicted when a store
+        would exceed it.
+    ttl_seconds:
+        Entry lifetime; ``None`` disables expiry (the simulated databases are
+        immutable, so the default service configuration runs without a TTL).
+    clock:
+        Monotonic time source, injectable for the TTL tests.
+    """
+
+    def __init__(
+        self,
+        max_entries: int = 4096,
+        ttl_seconds: Optional[float] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if max_entries <= 0:
+            raise ValueError("max_entries must be positive")
+        if ttl_seconds is not None and ttl_seconds <= 0:
+            raise ValueError("ttl_seconds must be positive or None")
+        self._max_entries = max_entries
+        self._ttl = ttl_seconds
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[CacheKey, _Entry]" = OrderedDict()
+        self._inflight: Dict[CacheKey, _InFlight] = {}
+        self.statistics = CacheStatistics()
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def max_entries(self) -> int:
+        """The LRU capacity."""
+        return self._max_entries
+
+    @property
+    def ttl_seconds(self) -> Optional[float]:
+        """Entry lifetime, or ``None`` when entries never expire."""
+        return self._ttl
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    @staticmethod
+    def key_for(namespace: str, query: SearchQuery, system_k: int) -> CacheKey:
+        """The canonical cache key of one query against one interface."""
+        return (namespace, system_k, query.canonical_key())
+
+    def snapshot(self) -> Dict[str, object]:
+        """Counters plus occupancy, for the service statistics panel."""
+        payload = self.statistics.snapshot()
+        with self._lock:
+            payload["entries"] = len(self._entries)
+            payload["in_flight"] = len(self._inflight)
+        payload["max_entries"] = self._max_entries
+        payload["ttl_seconds"] = self._ttl
+        return payload
+
+    # ------------------------------------------------------------------ #
+    # Lookup / store
+    # ------------------------------------------------------------------ #
+    def lookup(
+        self, namespace: str, query: SearchQuery, system_k: int
+    ) -> Optional[SearchResult]:
+        """Return the cached result for ``query``, or ``None`` on a miss.
+
+        A hit is returned as a fresh copy with ``elapsed_seconds=0.0`` — a
+        cached answer costs no round trip — and with copied rows so callers
+        can never mutate the stored entry.  Misses are *not* counted here
+        (:meth:`fetch` owns miss accounting); hits are.
+        """
+        key = self.key_for(namespace, query, system_k)
+        with self._lock:
+            entry = self._live_entry(key)
+        if entry is None:
+            return None
+        self.statistics.record("hits")
+        return self._replay(entry.result)
+
+    def store(
+        self, namespace: str, query: SearchQuery, system_k: int, result: SearchResult
+    ) -> None:
+        """Insert one result, evicting the LRU tail past ``max_entries``."""
+        key = self.key_for(namespace, query, system_k)
+        with self._lock:
+            self._store_locked(key, result)
+
+    def fetch(
+        self,
+        namespace: str,
+        query: SearchQuery,
+        system_k: int,
+        compute: Callable[[], SearchResult],
+    ) -> Tuple[SearchResult, FetchStatus]:
+        """Resolve ``query`` through the cache, coalescing concurrent misses.
+
+        Exactly one caller per key runs ``compute`` (the remote query); every
+        concurrent caller blocks on that computation and shares its result.
+        When the owning caller fails, one waiter at a time retries ownership,
+        so a transient remote failure never poisons the key.
+
+        Returns the result plus how it was satisfied; ``MISS`` results carry
+        the real ``elapsed_seconds``, ``HIT``/``COALESCED`` results cost zero.
+        """
+        key = self.key_for(namespace, query, system_k)
+        while True:
+            with self._lock:
+                entry = self._live_entry(key)
+                if entry is not None:
+                    self.statistics.record("hits")
+                    return self._replay(entry.result), FetchStatus.HIT
+                flight = self._inflight.get(key)
+                if flight is None:
+                    flight = _InFlight()
+                    self._inflight[key] = flight
+                    break
+            # Another caller owns the remote query for this key: wait for it.
+            flight.done.wait()
+            if flight.error is None and flight.result is not None:
+                self.statistics.record("coalesced")
+                return self._replay(flight.result), FetchStatus.COALESCED
+            # The owner failed — loop back and contend for ownership.
+
+        try:
+            result = compute()
+        except BaseException as error:
+            flight.error = error
+            with self._lock:
+                self._inflight.pop(key, None)
+            flight.done.set()
+            raise
+        flight.result = result
+        with self._lock:
+            self._store_locked(key, result)
+            self._inflight.pop(key, None)
+        flight.done.set()
+        self.statistics.record("misses")
+        # The stored entry must never alias rows a caller can mutate, so the
+        # MISS caller also gets copied rows (but keeps the real latency).
+        return (
+            replace(result, rows=tuple(dict(row) for row in result.rows)),
+            FetchStatus.MISS,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Invalidation
+    # ------------------------------------------------------------------ #
+    def invalidate(self, namespace: Optional[str] = None) -> int:
+        """Drop every entry (or every entry of one namespace); returns the
+        number removed.  In-flight queries are unaffected — they complete and
+        re-store their (fresh) results."""
+        with self._lock:
+            if namespace is None:
+                removed = len(self._entries)
+                self._entries.clear()
+            else:
+                doomed = [key for key in self._entries if key[0] == namespace]
+                for key in doomed:
+                    del self._entries[key]
+                removed = len(doomed)
+        if removed:
+            self.statistics.record("invalidations", removed)
+        return removed
+
+    # ------------------------------------------------------------------ #
+    # Internals (call with the lock held)
+    # ------------------------------------------------------------------ #
+    def _live_entry(self, key: CacheKey) -> Optional[_Entry]:
+        entry = self._entries.get(key)
+        if entry is None:
+            return None
+        if self._ttl is not None and self._clock() - entry.stored_at >= self._ttl:
+            del self._entries[key]
+            self.statistics.record("expirations")
+            return None
+        self._entries.move_to_end(key)
+        return entry
+
+    def _store_locked(self, key: CacheKey, result: SearchResult) -> None:
+        self._entries[key] = _Entry(result=result, stored_at=self._clock())
+        self._entries.move_to_end(key)
+        while len(self._entries) > self._max_entries:
+            self._entries.popitem(last=False)
+            self.statistics.record("evictions")
+
+    @staticmethod
+    def _replay(result: SearchResult) -> SearchResult:
+        """A defensive copy of a stored result, at zero simulated cost."""
+        return replace(
+            result,
+            rows=tuple(dict(row) for row in result.rows),
+            elapsed_seconds=0.0,
+        )
+
+
+class CachingInterface(TopKInterface):
+    """Wrapper adding shared result caching to any :class:`TopKInterface`.
+
+    The counterpart of :class:`~repro.webdb.interface.InstrumentedInterface`:
+    where that wrapper *counts* queries, this one *avoids* them.  Several
+    wrappers may share one :class:`QueryResultCache`; each talks to it under
+    its own namespace (derived from the inner interface's ``name`` when not
+    given explicitly).
+    """
+
+    def __init__(
+        self,
+        inner: TopKInterface,
+        cache: Optional[QueryResultCache] = None,
+        namespace: Optional[str] = None,
+    ) -> None:
+        self._inner = inner
+        self._cache = cache if cache is not None else QueryResultCache()
+        self._namespace = namespace or default_namespace(inner)
+
+    @property
+    def schema(self) -> Schema:
+        return self._inner.schema
+
+    @property
+    def system_k(self) -> int:
+        return self._inner.system_k
+
+    @property
+    def key_column(self) -> str:
+        return self._inner.key_column
+
+    @property
+    def inner(self) -> TopKInterface:
+        """The wrapped interface."""
+        return self._inner
+
+    @property
+    def cache(self) -> QueryResultCache:
+        """The (possibly shared) result cache."""
+        return self._cache
+
+    @property
+    def namespace(self) -> str:
+        """This wrapper's namespace within the shared cache."""
+        return self._namespace
+
+    def search(self, query: SearchQuery) -> SearchResult:
+        result, _ = self._cache.fetch(
+            self._namespace,
+            query,
+            self._inner.system_k,
+            lambda: self._inner.search(query),
+        )
+        return result
+
+    def queries_issued(self) -> int:
+        """Queries the *inner* interface actually served (hits excluded)."""
+        return self._inner.queries_issued()
+
+
+#: Generic default names that cannot distinguish two interfaces sharing one
+#: cache — they fall through to the identity-derived namespace.
+_GENERIC_NAMES = frozenset({"webdb"})
+
+
+def default_namespace(interface: TopKInterface) -> str:
+    """Stable cache namespace for an interface: its ``name`` when it has a
+    distinctive one, otherwise an identity-derived fallback.
+
+    The generic ``HiddenWebDatabase`` default name (``"webdb"``) is *not*
+    used: two default-named databases sharing one cache would otherwise serve
+    each other's results.  Callers sharing a cache across interfaces should
+    either name their interfaces uniquely or pass an explicit namespace."""
+    name = getattr(interface, "name", None)
+    if isinstance(name, str) and name and name not in _GENERIC_NAMES:
+        return name
+    return f"iface-{id(interface):x}"

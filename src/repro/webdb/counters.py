@@ -38,6 +38,30 @@ class QueryCounter:
             self._count += amount
             return self._count
 
+    def increment_capped(self, amount: int, limit: Optional[int]) -> Tuple[int, bool]:
+        """Atomically add ``amount`` unless the result would exceed ``limit``.
+
+        Returns ``(total, accepted)``.  When the cap would be exceeded the
+        counter is left *unchanged* — the check and the increment happen under
+        one lock, so concurrent callers can never jointly overshoot the cap or
+        inflate the count with a charge that was refused.
+        """
+        if amount < 0:
+            raise ValueError("amount must be non-negative")
+        with self._lock:
+            if limit is not None and self._count + amount > limit:
+                return self._count, False
+            self._count += amount
+            return self._count, True
+
+    def decrement(self, amount: int = 1) -> int:
+        """Subtract ``amount`` (floored at zero) and return the new total."""
+        if amount < 0:
+            raise ValueError("amount must be non-negative")
+        with self._lock:
+            self._count = max(self._count - amount, 0)
+            return self._count
+
     @property
     def count(self) -> int:
         """Current total."""
@@ -80,10 +104,22 @@ class QueryBudget:
         return max(self._limit - self.used, 0)
 
     def charge(self, amount: int = 1) -> None:
-        """Charge ``amount`` queries, raising when the cap would be exceeded."""
-        new_total = self._counter.increment(amount)
-        if self._limit is not None and new_total > self._limit:
-            raise QueryBudgetExceeded(budget=self._limit, issued=new_total)
+        """Charge ``amount`` queries, raising when the cap would be exceeded.
+
+        The check and the charge are atomic: a refused charge leaves ``used``
+        untouched, so a query group that trips the budget does not inflate the
+        count even though none of its queries ran.
+        """
+        total, accepted = self._counter.increment_capped(amount, self._limit)
+        if not accepted:
+            assert self._limit is not None
+            raise QueryBudgetExceeded(budget=self._limit, issued=total + amount)
+
+    def refund(self, amount: int = 1) -> None:
+        """Return ``amount`` previously charged queries to the budget (used
+        when a charged query turns out to be served without a round trip,
+        e.g. it coalesced onto another session's identical in-flight query)."""
+        self._counter.decrement(amount)
 
     def can_afford(self, amount: int = 1) -> bool:
         """True when ``amount`` more queries fit under the cap."""
@@ -101,10 +137,13 @@ class QueryLogEntry:
     returned: int
     elapsed_seconds: float
     parallel_group: Optional[int] = None
+    cached: bool = False
 
     def describe(self) -> str:
         """Single-line rendering for logs."""
         tag = f" group={self.parallel_group}" if self.parallel_group is not None else ""
+        if self.cached:
+            tag += " cached"
         return (
             f"[{self.outcome:>9}] {self.returned:>3} rows "
             f"{self.elapsed_seconds:6.3f}s{tag}  {self.query.describe()}"
@@ -124,6 +163,7 @@ class QueryLog:
         self,
         result: SearchResult,
         parallel_group: Optional[int] = None,
+        cached: bool = False,
     ) -> None:
         """Append one result to the log (thread-safe)."""
         entry = QueryLogEntry(
@@ -132,6 +172,7 @@ class QueryLog:
             returned=len(result.rows),
             elapsed_seconds=result.elapsed_seconds,
             parallel_group=parallel_group,
+            cached=cached,
         )
         with self._lock:
             self.entries.append(entry)
@@ -149,11 +190,14 @@ class QueryLog:
         return counts
 
     def duplicate_queries(self) -> List[Tuple]:
-        """Canonical keys of queries issued more than once (the tests assert
-        the RERANK algorithms keep this list small)."""
+        """Canonical keys of queries *issued* more than once (the tests assert
+        the RERANK algorithms keep this list small).  Cache hits are excluded:
+        a repeat answered from the shared result cache is not duplicate work."""
         seen: Dict[Tuple, int] = {}
         with self._lock:
             for entry in self.entries:
+                if entry.cached:
+                    continue
                 key = entry.query.canonical_key()
                 seen[key] = seen.get(key, 0) + 1
         return [key for key, count in seen.items() if count > 1]

@@ -18,6 +18,7 @@ The algorithms' correctness hinges on this trichotomy: a region is "covered"
 from __future__ import annotations
 
 import enum
+import threading
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
@@ -121,7 +122,10 @@ class TopKInterface(ABC):
 
 @dataclass
 class InterfaceStatistics:
-    """Mutable per-interface statistics, kept by instrumented wrappers."""
+    """Mutable, thread-safe per-interface statistics, kept by instrumented
+    wrappers.  ``record`` is called concurrently from the query engine's
+    thread pool, so every fold happens under one lock — unlocked ``+=`` on the
+    counters loses increments under parallel groups."""
 
     queries: int = 0
     overflow_queries: int = 0
@@ -131,33 +135,38 @@ class InterfaceStatistics:
     elapsed_seconds: float = 0.0
     per_attribute_queries: Dict[str, int] = field(default_factory=dict)
 
+    def __post_init__(self) -> None:
+        self._lock = threading.Lock()
+
     def record(self, result: SearchResult) -> None:
-        """Fold one result into the statistics."""
-        self.queries += 1
-        self.rows_returned += len(result.rows)
-        self.elapsed_seconds += result.elapsed_seconds
-        if result.outcome is Outcome.OVERFLOW:
-            self.overflow_queries += 1
-        elif result.outcome is Outcome.UNDERFLOW:
-            self.underflow_queries += 1
-        else:
-            self.valid_queries += 1
-        for attribute in result.query.constrained_attributes:
-            self.per_attribute_queries[attribute] = (
-                self.per_attribute_queries.get(attribute, 0) + 1
-            )
+        """Fold one result into the statistics (thread-safe)."""
+        with self._lock:
+            self.queries += 1
+            self.rows_returned += len(result.rows)
+            self.elapsed_seconds += result.elapsed_seconds
+            if result.outcome is Outcome.OVERFLOW:
+                self.overflow_queries += 1
+            elif result.outcome is Outcome.UNDERFLOW:
+                self.underflow_queries += 1
+            else:
+                self.valid_queries += 1
+            for attribute in result.query.constrained_attributes:
+                self.per_attribute_queries[attribute] = (
+                    self.per_attribute_queries.get(attribute, 0) + 1
+                )
 
     def snapshot(self) -> Dict[str, object]:
         """Plain-dictionary snapshot for the service statistics panel."""
-        return {
-            "queries": self.queries,
-            "overflow_queries": self.overflow_queries,
-            "underflow_queries": self.underflow_queries,
-            "valid_queries": self.valid_queries,
-            "rows_returned": self.rows_returned,
-            "elapsed_seconds": self.elapsed_seconds,
-            "per_attribute_queries": dict(self.per_attribute_queries),
-        }
+        with self._lock:
+            return {
+                "queries": self.queries,
+                "overflow_queries": self.overflow_queries,
+                "underflow_queries": self.underflow_queries,
+                "valid_queries": self.valid_queries,
+                "rows_returned": self.rows_returned,
+                "elapsed_seconds": self.elapsed_seconds,
+                "per_attribute_queries": dict(self.per_attribute_queries),
+            }
 
 
 class InstrumentedInterface(TopKInterface):

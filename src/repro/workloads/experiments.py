@@ -374,6 +374,76 @@ def run_onthefly_indexing(
 
 
 # --------------------------------------------------------------------------- #
+# SC-CACHE — multi-session savings from the shared query-result cache
+# --------------------------------------------------------------------------- #
+def run_cache_reuse(
+    environment: Optional[ExperimentEnvironment] = None,
+    sessions: int = 4,
+    depth: int = 10,
+    algorithm: Algorithm = Algorithm.BINARY,
+) -> Dict[str, Dict[str, object]]:
+    """Measure the external-query savings of the shared result cache when
+    several sessions run the same popular workload.
+
+    For each source (diamonds and housing) the same *(filter, ranking)*
+    request is served to ``sessions`` independent sessions twice: once through
+    a reranker whose sessions share one :class:`QueryResultCache`, once with
+    the cache disabled.  Both modes share their dense-region index across
+    sessions (that is the reranker's normal behaviour), so the delta isolates
+    the result cache itself.  The reranked output must be identical in both
+    modes — the cache replays exact query answers, it never changes them.
+
+    The default algorithm is BINARY: it is stateless across sessions (no
+    dense-region index), so every session re-probes the same overlapping
+    intervals — exactly the cross-user redundancy the cache converts into
+    zero-round-trip hits.  Pass ``Algorithm.RERANK`` to measure the cache's
+    *marginal* win on top of the shared dense index.
+    """
+    environment = environment or ExperimentEnvironment()
+    workloads = {
+        "bluenile": bluenile_scenarios_1d(environment.diamond_schema)[0],
+        "zillow": zillow_scenarios_1d(environment.housing_schema)[0],
+    }
+
+    payload: Dict[str, Dict[str, object]] = {}
+    for source, scenario in workloads.items():
+        outcomes: Dict[str, Dict[str, object]] = {}
+        for mode, config in (
+            ("cached", environment.rerank_config),
+            ("uncached", environment.rerank_config.without_result_cache()),
+        ):
+            reranker = environment.make_reranker(source, config)
+            costs: List[int] = []
+            orders: List[List[object]] = []
+            for _ in range(sessions):
+                stream = reranker.rerank(
+                    scenario.query, scenario.ranking, algorithm=algorithm
+                )
+                rows = stream.next_page(depth)
+                costs.append(stream.statistics.external_queries)
+                orders.append([row["id"] for row in rows])
+            outcomes[mode] = {"costs": costs, "orders": orders}
+
+        cached_total = sum(outcomes["cached"]["costs"])  # type: ignore[arg-type]
+        uncached_total = sum(outcomes["uncached"]["costs"])  # type: ignore[arg-type]
+        payload[source] = {
+            "scenario": scenario.describe(),
+            "algorithm": algorithm.value,
+            "sessions": sessions,
+            "depth": depth,
+            "cached_costs": outcomes["cached"]["costs"],
+            "uncached_costs": outcomes["uncached"]["costs"],
+            "cached_total": cached_total,
+            "uncached_total": uncached_total,
+            "savings_fraction": (
+                1.0 - cached_total / uncached_total if uncached_total else 0.0
+            ),
+            "orders_match": outcomes["cached"]["orders"] == outcomes["uncached"]["orders"],
+        }
+    return payload
+
+
+# --------------------------------------------------------------------------- #
 # SC-BW — best versus worst cases
 # --------------------------------------------------------------------------- #
 def run_best_worst_cases(

@@ -1,0 +1,267 @@
+"""Tests for the query engine's shared-result-cache integration and the
+budget / shutdown / latency accounting fixes."""
+
+import pytest
+
+from repro.config import RerankConfig
+from repro.core.parallel import QueryEngine
+from repro.exceptions import QueryBudgetExceeded
+from repro.webdb.cache import QueryResultCache
+from repro.webdb.counters import QueryBudget
+from repro.webdb.database import HiddenWebDatabase
+from repro.webdb.latency import LatencyModel
+from repro.webdb.query import SearchQuery
+from repro.webdb.ranking import AttributeOrderRanking
+
+
+@pytest.fixture()
+def timed_db(diamond_catalog, diamond_schema_fixture) -> HiddenWebDatabase:
+    """A deterministic 2-second-per-query database for latency accounting."""
+    return HiddenWebDatabase(
+        diamond_catalog,
+        diamond_schema_fixture,
+        AttributeOrderRanking("price"),
+        system_k=10,
+        latency=LatencyModel.accounted(2.0, jitter=0.0),
+        name="timed-diamonds",
+    )
+
+
+class TestEngineResultCache:
+    def test_repeat_query_is_free(self, timed_db):
+        cache = QueryResultCache()
+        engine = QueryEngine(timed_db, result_cache=cache)
+        query = SearchQuery.build(ranges={"price": (300.0, 4000.0)})
+        first = engine.search(query)
+        second = engine.search(query)
+        assert engine.statistics.external_queries == 1
+        assert engine.statistics.result_cache_hits == 1
+        assert engine.statistics.simulated_seconds == pytest.approx(2.0)
+        assert second.elapsed_seconds == 0.0
+        assert [row["id"] for row in second.rows] == [row["id"] for row in first.rows]
+        assert engine.statistics.result_cache_hit_rate == pytest.approx(0.5)
+
+    def test_hits_cost_zero_budget(self, timed_db):
+        cache = QueryResultCache()
+        query = SearchQuery.build(ranges={"carat": (0.5, 2.0)})
+        warm = QueryEngine(timed_db, result_cache=cache)
+        warm.search(query)
+        # A second session sharing the cache can answer the same query with a
+        # budget of zero: the hit never reaches the budget at all.
+        cold = QueryEngine(timed_db, result_cache=cache, budget=QueryBudget(0))
+        result = cold.search(query)
+        assert result.rows
+        assert cold.budget.used == 0
+        assert cold.statistics.external_queries == 0
+        assert cold.statistics.result_cache_hits == 1
+
+    def test_sessions_share_cache_across_engines(self, timed_db):
+        cache = QueryResultCache()
+        queries = [
+            SearchQuery.build(ranges={"price": (300.0 + i, 4000.0 + i)}) for i in range(4)
+        ]
+        first = QueryEngine(timed_db, result_cache=cache)
+        second = QueryEngine(timed_db, result_cache=cache)
+        first.search_group(queries)
+        second.search_group(queries)
+        assert first.statistics.external_queries == 4
+        assert second.statistics.external_queries == 0
+        assert second.statistics.result_cache_hits == 4
+        assert second.statistics.simulated_seconds == 0.0
+
+    def test_duplicate_query_within_sequential_group_hits(self, timed_db):
+        cache = QueryResultCache()
+        engine = QueryEngine(
+            timed_db, config=RerankConfig(enable_parallel=False), result_cache=cache
+        )
+        query = SearchQuery.build(ranges={"price": (300.0, 4000.0)})
+        results = engine.search_group([query, query])
+        assert len(results) == 2
+        assert engine.statistics.external_queries == 1
+        assert engine.statistics.result_cache_hits == 1
+        assert engine.statistics.simulated_seconds == pytest.approx(2.0)
+
+    def test_bypass_cache_for_crawler_queries(self, timed_db):
+        cache = QueryResultCache()
+        engine = QueryEngine(timed_db, result_cache=cache)
+        query = SearchQuery.build(ranges={"price": (300.0, 4000.0)})
+        # Bypassed (crawler-style) queries never store into the cache...
+        engine.search(query, bypass_cache=True)
+        engine.search(query, bypass_cache=True)
+        assert engine.statistics.external_queries == 2
+        assert engine.statistics.result_cache_hits == 0
+        assert len(cache) == 0
+        engine.search(query)
+        assert engine.statistics.external_queries == 3
+        assert len(cache) == 1
+        # ...but they do read it: once a normal query paid for the entry, a
+        # bypassed repeat (the crawl's root region query) reuses it for free.
+        engine.search(query, bypass_cache=True)
+        assert engine.statistics.external_queries == 3
+        assert engine.statistics.result_cache_hits == 1
+
+    def test_cached_entries_excluded_from_duplicate_log(self, timed_db):
+        cache = QueryResultCache()
+        engine = QueryEngine(timed_db, result_cache=cache)
+        query = SearchQuery.build(ranges={"price": (300.0, 4000.0)})
+        engine.search(query)
+        engine.search(query)
+        assert len(engine.query_log) == 2
+        assert engine.query_log.duplicate_queries() == []
+        cached_flags = [entry.cached for entry in engine.query_log.entries]
+        assert cached_flags == [False, True]
+
+    def test_config_switch_disables_cache(self, timed_db):
+        cache = QueryResultCache()
+        engine = QueryEngine(
+            timed_db, config=RerankConfig(enable_result_cache=False), result_cache=cache
+        )
+        assert engine.result_cache is None
+        query = SearchQuery.everything()
+        engine.search(query)
+        engine.search(query)
+        assert engine.statistics.external_queries == 2
+
+
+class TestBudgetAccuracy:
+    def test_refused_group_does_not_inflate_used(self, bluenile_db):
+        engine = QueryEngine(bluenile_db, budget=QueryBudget(2))
+        engine.search(SearchQuery.everything())
+        assert engine.budget.used == 1
+        with pytest.raises(QueryBudgetExceeded):
+            engine.search_group(
+                [
+                    SearchQuery.build(ranges={"carat": (0.5, 1.0 + i)})
+                    for i in range(3)
+                ]
+            )
+        # The refused group issued zero queries, so `used` must be unchanged —
+        # and the remaining allowance must still be spendable.
+        assert engine.budget.used == 1
+        assert engine.statistics.external_queries == 1
+        engine.search(SearchQuery.build(ranges={"carat": (1.0, 2.0)}))
+        assert engine.budget.used == 2
+
+    def test_charge_is_atomic_on_bare_budget(self):
+        budget = QueryBudget(3)
+        budget.charge(2)
+        with pytest.raises(QueryBudgetExceeded) as excinfo:
+            budget.charge(2)
+        assert budget.used == 2
+        assert excinfo.value.budget == 3
+        assert excinfo.value.issued == 4
+        budget.charge(1)
+        assert budget.used == 3
+
+    def test_refund_returns_allowance(self):
+        budget = QueryBudget(2)
+        budget.charge(2)
+        budget.refund(1)
+        assert budget.used == 1
+        budget.charge(1)
+        assert budget.used == 2
+
+    def test_cache_hits_leave_budget_for_real_queries(self, timed_db):
+        cache = QueryResultCache()
+        warm = QueryEngine(timed_db, result_cache=cache)
+        shared = SearchQuery.build(ranges={"price": (300.0, 4000.0)})
+        warm.search(shared)
+        cold = QueryEngine(timed_db, result_cache=cache, budget=QueryBudget(1))
+        cold.search(shared)  # hit: free
+        cold.search(SearchQuery.build(ranges={"price": (300.0, 5000.0)}))  # miss
+        assert cold.budget.used == 1
+        with pytest.raises(QueryBudgetExceeded):
+            cold.search(SearchQuery.build(ranges={"price": (300.0, 6000.0)}))
+
+
+class _FlakyInterface:
+    """Raises on queries whose price upper bound matches the poison value."""
+
+    def __init__(self, inner, poison_upper: float):
+        self._inner = inner
+        self._poison = poison_upper
+        self.name = "flaky"
+
+    @property
+    def schema(self):
+        return self._inner.schema
+
+    @property
+    def system_k(self):
+        return self._inner.system_k
+
+    @property
+    def key_column(self):
+        return self._inner.key_column
+
+    def search(self, query):
+        predicate = query.range_on("price")
+        if predicate is not None and predicate.upper == self._poison:
+            raise RuntimeError("remote exploded")
+        return self._inner.search(query)
+
+
+class TestBudgetOnGroupFailure:
+    def test_sequential_failure_refunds_unissued_tail(self, bluenile_db):
+        flaky = _FlakyInterface(bluenile_db, poison_upper=2000.0)
+        engine = QueryEngine(
+            flaky, config=RerankConfig(enable_parallel=False), budget=QueryBudget(10)
+        )
+        queries = [
+            SearchQuery.build(ranges={"price": (300.0, 1000.0)}),  # issued
+            SearchQuery.build(ranges={"price": (300.0, 2000.0)}),  # raises
+            SearchQuery.build(ranges={"price": (300.0, 3000.0)}),  # never issued
+        ]
+        with pytest.raises(RuntimeError):
+            engine.search_group(queries)
+        # The first two round trips were attempted; the tail was refunded.
+        assert engine.budget.used == 2
+
+    def test_failure_refunds_coalesced_and_hit_charges(self, bluenile_db):
+        flaky = _FlakyInterface(bluenile_db, poison_upper=2000.0)
+        cache = QueryResultCache()
+        warm = QueryEngine(bluenile_db, result_cache=cache, cache_namespace="flaky")
+        shared = SearchQuery.build(ranges={"price": (300.0, 1000.0)})
+        warm.search(shared)
+        engine = QueryEngine(
+            flaky,
+            config=RerankConfig(enable_parallel=False),
+            result_cache=cache,
+            cache_namespace="flaky",
+            budget=QueryBudget(10),
+        )
+        with pytest.raises(RuntimeError):
+            engine.search_group(
+                [shared, SearchQuery.build(ranges={"price": (300.0, 2000.0)})]
+            )
+        # The hit cost nothing; only the failed attempt stays charged.
+        assert engine.budget.used == 1
+
+
+class TestLatencyAccounting:
+    def test_single_query_group_uses_same_rule_as_larger_groups(self, timed_db):
+        """With parallelism enabled a group of one and a group of two must be
+        accounted under the same (max) rule."""
+        engine = QueryEngine(timed_db, config=RerankConfig(enable_parallel=True))
+        engine.search_group([SearchQuery.build(ranges={"price": (300.0, 4000.0)})])
+        assert engine.statistics.simulated_seconds == pytest.approx(2.0)
+        engine.search_group(
+            [
+                SearchQuery.build(ranges={"price": (300.0, 4000.0 + i)})
+                for i in range(2)
+            ]
+        )
+        # One round trip per group under the parallel rule: 2.0 + 2.0.
+        assert engine.statistics.simulated_seconds == pytest.approx(4.0)
+        assert engine.statistics.sequential_queries == 1
+        assert engine.statistics.parallel_queries == 2
+
+    def test_sequential_group_still_sums(self, timed_db):
+        engine = QueryEngine(timed_db, config=RerankConfig(enable_parallel=False))
+        engine.search_group(
+            [
+                SearchQuery.build(ranges={"price": (300.0, 4000.0 + i)})
+                for i in range(3)
+            ]
+        )
+        assert engine.statistics.simulated_seconds == pytest.approx(6.0)

@@ -1,0 +1,257 @@
+"""Tests for the shared query-result cache and the caching wrapper."""
+
+import threading
+import time
+
+import pytest
+
+from repro.webdb.cache import CachingInterface, FetchStatus, QueryResultCache
+from repro.webdb.interface import Outcome
+from repro.webdb.query import InPredicate, RangePredicate, SearchQuery
+
+
+class _CountingInterface:
+    """Delegating shim that counts (and optionally gates) inner searches."""
+
+    def __init__(self, inner, gate=None):
+        self._inner = inner
+        self._gate = gate
+        self._lock = threading.Lock()
+        self.calls = 0
+        self.name = getattr(inner, "name", "counting")
+
+    @property
+    def schema(self):
+        return self._inner.schema
+
+    @property
+    def system_k(self):
+        return self._inner.system_k
+
+    @property
+    def key_column(self):
+        return self._inner.key_column
+
+    def search(self, query):
+        with self._lock:
+            self.calls += 1
+        if self._gate is not None:
+            self._gate.wait(timeout=5.0)
+        return self._inner.search(query)
+
+    def queries_issued(self):
+        return self.calls
+
+
+class _FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+class TestQueryResultCache:
+    def test_miss_then_hit(self, bluenile_db):
+        cache = QueryResultCache()
+        query = SearchQuery.build(ranges={"price": (500.0, 4000.0)})
+        result, status = cache.fetch(
+            "bluenile", query, bluenile_db.system_k, lambda: bluenile_db.search(query)
+        )
+        assert status is FetchStatus.MISS
+        hit = cache.lookup("bluenile", query, bluenile_db.system_k)
+        assert hit is not None
+        assert hit.outcome is result.outcome
+        assert [row["id"] for row in hit.rows] == [row["id"] for row in result.rows]
+        assert cache.statistics.misses == 1
+        assert cache.statistics.hits == 1
+
+    def test_hit_costs_zero_latency_and_copies_rows(self, bluenile_db):
+        cache = QueryResultCache()
+        query = SearchQuery.everything()
+        miss, _ = cache.fetch(
+            "ns", query, bluenile_db.system_k, lambda: bluenile_db.search(query)
+        )
+        hit = cache.lookup("ns", query, bluenile_db.system_k)
+        assert hit.elapsed_seconds == 0.0
+        # Mutating a returned row — miss or hit — must not corrupt the entry.
+        miss.rows[0]["price"] = -2.0
+        hit.rows[0]["price"] = -1.0
+        again = cache.lookup("ns", query, bluenile_db.system_k)
+        assert again.rows[0]["price"] not in (-1.0, -2.0)
+
+    def test_canonical_key_ignores_predicate_order(self, bluenile_db):
+        cache = QueryResultCache()
+        a = SearchQuery(
+            (RangePredicate("price", 0, 5000), RangePredicate("carat", 0.5, 2.0)),
+            (InPredicate.of("cut", ["ideal"]),),
+        )
+        b = SearchQuery(
+            (RangePredicate("carat", 0.5, 2.0), RangePredicate("price", 0, 5000)),
+            (InPredicate.of("cut", ["ideal"]),),
+        )
+        cache.fetch("ns", a, bluenile_db.system_k, lambda: bluenile_db.search(a))
+        assert cache.lookup("ns", b, bluenile_db.system_k) is not None
+
+    def test_namespaces_are_isolated(self, bluenile_db):
+        cache = QueryResultCache()
+        query = SearchQuery.everything()
+        cache.fetch("one", query, bluenile_db.system_k, lambda: bluenile_db.search(query))
+        assert cache.lookup("two", query, bluenile_db.system_k) is None
+
+    def test_system_k_change_invalidates(self, bluenile_db):
+        cache = QueryResultCache()
+        query = SearchQuery.everything()
+        cache.fetch("ns", query, 10, lambda: bluenile_db.search(query))
+        # A different system-k must never see the old entry: the overflow /
+        # valid / underflow trichotomy is only meaningful relative to k.
+        assert cache.lookup("ns", query, 20) is None
+        assert cache.lookup("ns", query, 10) is not None
+
+    def test_ttl_expiry(self, bluenile_db):
+        clock = _FakeClock()
+        cache = QueryResultCache(ttl_seconds=10.0, clock=clock)
+        query = SearchQuery.everything()
+        cache.fetch("ns", query, bluenile_db.system_k, lambda: bluenile_db.search(query))
+        clock.now = 9.999
+        assert cache.lookup("ns", query, bluenile_db.system_k) is not None
+        clock.now = 10.0 + 9.999  # lookup above refreshed LRU order, not TTL
+        assert cache.lookup("ns", query, bluenile_db.system_k) is None
+        assert cache.statistics.expirations == 1
+
+    def test_lru_eviction(self, bluenile_db):
+        cache = QueryResultCache(max_entries=2)
+        queries = [
+            SearchQuery.build(ranges={"price": (0.0, 1000.0 + i)}) for i in range(3)
+        ]
+        for query in queries:
+            cache.fetch(
+                "ns", query, bluenile_db.system_k, lambda q=query: bluenile_db.search(q)
+            )
+        assert len(cache) == 2
+        assert cache.statistics.evictions == 1
+        # The oldest entry was evicted; the two youngest survive.
+        assert cache.lookup("ns", queries[0], bluenile_db.system_k) is None
+        assert cache.lookup("ns", queries[1], bluenile_db.system_k) is not None
+        assert cache.lookup("ns", queries[2], bluenile_db.system_k) is not None
+
+    def test_lru_touch_on_hit(self, bluenile_db):
+        cache = QueryResultCache(max_entries=2)
+        q0 = SearchQuery.build(ranges={"price": (0.0, 100.0)})
+        q1 = SearchQuery.build(ranges={"price": (0.0, 200.0)})
+        q2 = SearchQuery.build(ranges={"price": (0.0, 300.0)})
+        for query in (q0, q1):
+            cache.fetch(
+                "ns", query, bluenile_db.system_k, lambda q=query: bluenile_db.search(q)
+            )
+        cache.lookup("ns", q0, bluenile_db.system_k)  # touch q0: q1 becomes LRU
+        cache.fetch("ns", q2, bluenile_db.system_k, lambda: bluenile_db.search(q2))
+        assert cache.lookup("ns", q1, bluenile_db.system_k) is None
+        assert cache.lookup("ns", q0, bluenile_db.system_k) is not None
+
+    def test_invalidate_namespace_and_all(self, bluenile_db):
+        cache = QueryResultCache()
+        query = SearchQuery.everything()
+        for namespace in ("a", "b"):
+            cache.fetch(
+                namespace, query, bluenile_db.system_k, lambda: bluenile_db.search(query)
+            )
+        assert cache.invalidate("a") == 1
+        assert cache.lookup("a", query, bluenile_db.system_k) is None
+        assert cache.lookup("b", query, bluenile_db.system_k) is not None
+        assert cache.invalidate() == 1
+        assert len(cache) == 0
+
+    def test_compute_error_does_not_poison_key(self, bluenile_db):
+        cache = QueryResultCache()
+        query = SearchQuery.everything()
+
+        def boom():
+            raise RuntimeError("remote down")
+
+        with pytest.raises(RuntimeError):
+            cache.fetch("ns", query, bluenile_db.system_k, boom)
+        result, status = cache.fetch(
+            "ns", query, bluenile_db.system_k, lambda: bluenile_db.search(query)
+        )
+        assert status is FetchStatus.MISS
+        assert result.outcome is Outcome.OVERFLOW
+
+    def test_coalescing_under_concurrency(self, bluenile_db):
+        """Many threads missing on one key issue exactly one remote query."""
+        gate = threading.Event()
+        counting = _CountingInterface(bluenile_db, gate=gate)
+        cache = QueryResultCache()
+        query = SearchQuery.build(ranges={"price": (100.0, 9000.0)})
+        outcomes = []
+        outcomes_lock = threading.Lock()
+
+        def worker():
+            result, status = cache.fetch(
+                "ns", query, counting.system_k, lambda: counting.search(query)
+            )
+            with outcomes_lock:
+                outcomes.append((len(result.rows), status))
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        # Let every thread reach the cache before the owner's query completes.
+        deadline = time.monotonic() + 5.0
+        while counting.calls == 0 and time.monotonic() < deadline:
+            time.sleep(0.001)
+        gate.set()
+        for thread in threads:
+            thread.join(timeout=10.0)
+        assert counting.calls == 1
+        assert len(outcomes) == 8
+        assert len({rows for rows, _ in outcomes}) == 1
+        statuses = [status for _, status in outcomes]
+        assert statuses.count(FetchStatus.MISS) == 1
+        assert cache.statistics.misses == 1
+        assert cache.statistics.coalesced + cache.statistics.hits == 7
+
+    def test_snapshot_shape(self):
+        snapshot = QueryResultCache(max_entries=10, ttl_seconds=5.0).snapshot()
+        assert snapshot["entries"] == 0
+        assert snapshot["max_entries"] == 10
+        assert snapshot["ttl_seconds"] == 5.0
+        assert snapshot["hit_rate"] == 0.0
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            QueryResultCache(max_entries=0)
+        with pytest.raises(ValueError):
+            QueryResultCache(ttl_seconds=0.0)
+
+
+class TestCachingInterface:
+    def test_wrapper_avoids_repeat_queries(self, bluenile_db):
+        counting = _CountingInterface(bluenile_db)
+        caching = CachingInterface(counting)
+        query = SearchQuery.build(ranges={"carat": (0.5, 2.0)})
+        first = caching.search(query)
+        second = caching.search(query)
+        assert counting.calls == 1
+        assert caching.queries_issued() == 1
+        assert second.elapsed_seconds == 0.0
+        assert [row["id"] for row in first.rows] == [row["id"] for row in second.rows]
+
+    def test_wrappers_share_one_cache(self, bluenile_db):
+        counting = _CountingInterface(bluenile_db)
+        shared = QueryResultCache()
+        first = CachingInterface(counting, cache=shared, namespace="src")
+        second = CachingInterface(counting, cache=shared, namespace="src")
+        query = SearchQuery.everything()
+        first.search(query)
+        second.search(query)
+        assert counting.calls == 1
+        assert shared.statistics.hits == 1
+
+    def test_namespace_defaults_to_interface_name(self, bluenile_db):
+        caching = CachingInterface(bluenile_db)
+        assert caching.namespace == bluenile_db.name
+        assert caching.schema is bluenile_db.schema
+        assert caching.system_k == bluenile_db.system_k
+        assert caching.key_column == "id"
+        assert caching.inner is bluenile_db
