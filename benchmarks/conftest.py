@@ -31,11 +31,25 @@ def pytest_addoption(parser):
         default=str(BENCH_SCALE),
         help="catalog scale for the benchmark environment (1.0 = full size)",
     )
+    parser.addoption(
+        "--bench-quick",
+        action="store_true",
+        default=False,
+        help=(
+            "CI smoke mode: shrink workloads and skip wall-clock speedup "
+            "assertions (correctness gates still run)"
+        ),
+    )
 
 
 @pytest.fixture(scope="session")
 def bench_scale(request) -> float:
     return float(request.config.getoption("--bench-scale"))
+
+
+@pytest.fixture(scope="session")
+def bench_quick(request) -> bool:
+    return bool(request.config.getoption("--bench-quick"))
 
 
 @pytest.fixture(scope="session")

@@ -36,6 +36,11 @@ class DatabaseConfig:
     seed:
         Seed for the database's internal randomness (latency draws, failure
         draws).  Catalog generation takes its own seed.
+    engine:
+        Execution engine answering search queries: ``"indexed"`` (default)
+        runs the vectorized columnar engine with index-assisted planning;
+        ``"naive"`` keeps the seed's row-at-a-time reference scan, used for
+        differential testing and as a fallback knob.
     """
 
     system_k: int = 20
@@ -43,10 +48,15 @@ class DatabaseConfig:
     latency_jitter: float = 0.25
     fail_rate: float = 0.0
     seed: int = 7
+    engine: str = "indexed"
 
     def with_latency(self, seconds: float) -> "DatabaseConfig":
         """Return a copy of this configuration with a different latency."""
         return replace(self, latency_seconds=seconds)
+
+    def with_engine(self, engine: str) -> "DatabaseConfig":
+        """Return a copy of this configuration with a different engine."""
+        return replace(self, engine=engine)
 
 
 @dataclass(frozen=True)

@@ -5,7 +5,11 @@ Every external query a reranking algorithm issues goes through
 
 * **parallel execution** of query groups — the paper issues the verification
   queries that cover the region of interest, and the two sub-space searches of
-  an MD Get-Next, concurrently to hide the web database's latency;
+  an MD Get-Next, concurrently to hide the web database's latency; a parallel
+  group against an interface advertising ``supports_batched_search`` (the
+  in-process databases with accounting-only latency) goes out as one
+  ``search_many`` call instead, which lets the execution engine amortize plan
+  setup across the group while the accounting rules stay identical;
 * **shared result caching** — when a :class:`~repro.webdb.cache.QueryResultCache`
   is attached, queries the service has already paid for (in this session or
   any other session over the same source) are answered from memory at zero
@@ -198,11 +202,59 @@ class QueryEngine:
         # or that coalesced onto another caller's round trip are refunded
         # before any exception propagates, keeping ``budget.used`` equal to
         # the round trips actually attempted.
+        #
+        # Parallel groups against interfaces advertising batched search go
+        # out as one ``search_many`` call, which amortizes the execution
+        # engine's plan setup across the group's queries; coalescing and
+        # duplicate-in-group reuse are preserved by the cache's batched
+        # fetch.  Sequential mode keeps the one-by-one loop: its documented
+        # mid-group failure semantics (attempted queries stay charged, the
+        # unissued tail is refunded) depend on per-query issuance.
         use_parallel = self._config.enable_parallel and len(pending) > 1
+        use_batch = use_parallel and bool(
+            getattr(self._interface, "supports_batched_search", False)
+        )
         coalesced = 0
         resolved: List[Optional[Tuple[SearchResult, FetchStatus]]] = []
         first_error: Optional[BaseException] = None
-        if use_parallel:
+        if use_batch:
+            batch = [query for _, query in pending]
+            # ``search_many`` validates before issuing, so a raising call
+            # attempted no round trip; count successful calls to keep
+            # ``budget.used`` equal to the round trips actually paid even
+            # when a later per-key retry inside ``fetch_many`` fails.
+            attempted = 0
+
+            def counting_search_many(batch_queries: Sequence[SearchQuery]):
+                nonlocal attempted
+                materialized = list(batch_queries)
+                results = self._interface.search_many(materialized)
+                attempted += len(materialized)
+                return results
+
+            try:
+                if use_cache:
+                    assert self._cache is not None
+                    resolved = list(
+                        self._cache.fetch_many(
+                            self._cache_namespace,
+                            batch,
+                            self._interface.system_k,
+                            counting_search_many,
+                        )
+                    )
+                else:
+                    resolved = [
+                        (result, FetchStatus.MISS)
+                        for result in counting_search_many(batch)
+                    ]
+            except BaseException:
+                # Refund every charge whose round trip was never attempted;
+                # attempted (and answered) round trips stay charged exactly
+                # as in the parallel fan-out path.
+                self._budget.refund(len(pending) - attempted)
+                raise
+        elif use_parallel:
             futures = [
                 self._pool().submit(self._resolve_miss, query, use_cache)
                 for _, query in pending

@@ -139,12 +139,17 @@ class ColumnTable:
             raise SchemaError(f"unknown columns {missing}")
         return ColumnTable({name: self._columns[name] for name in columns})
 
+    def _take(self, indices: Sequence[int]) -> "ColumnTable":
+        """New table holding the rows at ``indices``, by direct column
+        slicing — no round trip through row dictionaries."""
+        return ColumnTable(
+            {name: [values[i] for i in indices] for name, values in self._columns.items()}
+        )
+
     def filter(self, predicate: Callable[[Row], bool]) -> "ColumnTable":
         """Keep rows for which ``predicate`` returns True."""
-        kept = [row for row in self.iter_rows() if predicate(row)]
-        if not kept:
-            return ColumnTable.empty(self.columns)
-        return ColumnTable.from_rows(kept, columns=self.columns)
+        kept = [index for index, row in enumerate(self.iter_rows()) if predicate(row)]
+        return self._take(kept)
 
     def sort_by(
         self,
@@ -152,19 +157,18 @@ class ColumnTable:
         reverse: bool = False,
     ) -> "ColumnTable":
         """Return a new table sorted by ``key`` (stable sort)."""
-        ordered = sorted(self.iter_rows(), key=key, reverse=reverse)
-        if not ordered:
-            return ColumnTable.empty(self.columns)
-        return ColumnTable.from_rows(ordered, columns=self.columns)
+        order = sorted(
+            range(self._length),
+            key=lambda index: key(self.row(index)),
+            reverse=reverse,
+        )
+        return self._take(order)
 
     def head(self, count: int) -> "ColumnTable":
         """Return the first ``count`` rows."""
         if count < 0:
             raise ValueError("count must be non-negative")
-        rows = [self.row(i) for i in range(min(count, self._length))]
-        if not rows:
-            return ColumnTable.empty(self.columns)
-        return ColumnTable.from_rows(rows, columns=self.columns)
+        return self._take(range(min(count, self._length)))
 
     def append_rows(self, rows: Iterable[Row]) -> "ColumnTable":
         """Return a new table with ``rows`` appended."""
@@ -176,17 +180,16 @@ class ColumnTable:
     def distinct(self, columns: Optional[Sequence[str]] = None) -> "ColumnTable":
         """Drop duplicate rows (duplicates judged on ``columns`` or all)."""
         judge_columns = list(columns) if columns is not None else self.columns
+        judged = [self._columns[name] for name in judge_columns]
         seen: set = set()
-        kept: List[Row] = []
-        for row in self.iter_rows():
-            signature = tuple(row[name] for name in judge_columns)
+        kept: List[int] = []
+        for index in range(self._length):
+            signature = tuple(values[index] for values in judged)
             if signature in seen:
                 continue
             seen.add(signature)
-            kept.append(row)
-        if not kept:
-            return ColumnTable.empty(self.columns)
-        return ColumnTable.from_rows(kept, columns=self.columns)
+            kept.append(index)
+        return self._take(kept)
 
     def rename(self, mapping: Mapping[str, str]) -> "ColumnTable":
         """Rename columns according to ``mapping``."""

@@ -197,6 +197,7 @@ def _make_source(
         system_k=database_config.system_k,
         latency=latency,
         name=name,
+        engine=database_config.engine,
     )
     dense_cache = (
         DenseRegionCache(schema, path=dense_cache_path) if dense_cache_path else None

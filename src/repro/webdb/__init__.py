@@ -12,12 +12,26 @@ from repro.webdb.ranking import (
 )
 from repro.webdb.cache import CachingInterface, FetchStatus, QueryResultCache
 from repro.webdb.counters import QueryBudget, QueryCounter, QueryLog
+from repro.webdb.engine import (
+    ExecutionEngine,
+    IndexedColumnarEngine,
+    NaiveScanEngine,
+    QueryPlan,
+    create_engine,
+)
+from repro.webdb.indexes import ColumnarCatalog
 from repro.webdb.latency import LatencyModel
 
 __all__ = [
     "CachingInterface",
+    "ColumnarCatalog",
+    "ExecutionEngine",
     "FetchStatus",
+    "IndexedColumnarEngine",
+    "NaiveScanEngine",
+    "QueryPlan",
     "QueryResultCache",
+    "create_engine",
     "InPredicate",
     "RangePredicate",
     "SearchQuery",

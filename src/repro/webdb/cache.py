@@ -40,7 +40,7 @@ import threading
 import time
 from collections import OrderedDict
 from dataclasses import dataclass, replace
-from typing import Callable, Dict, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.dataset.schema import Schema
 from repro.webdb.interface import SearchResult, TopKInterface
@@ -271,6 +271,121 @@ class QueryResultCache:
             replace(result, rows=tuple(dict(row) for row in result.rows)),
             FetchStatus.MISS,
         )
+
+    def fetch_many(
+        self,
+        namespace: str,
+        queries: Sequence[SearchQuery],
+        system_k: int,
+        compute_many: Callable[[List[SearchQuery]], List[SearchResult]],
+    ) -> List[Tuple[SearchResult, FetchStatus]]:
+        """Batched :meth:`fetch`: resolve a whole query group through the
+        cache with at most one ``compute_many`` round trip.
+
+        Under one lock pass, every query is classified: live entries are
+        ``HIT``\\ s, keys another caller is already computing are coalesced
+        onto that caller's flight, duplicates within the batch ride on the
+        batch's own computation (the later occurrences are ``HIT``\\ s, exactly
+        as in the sequential path where the first store answers the repeat),
+        and the remaining keys are claimed by this caller.  The claimed
+        queries are then computed in a single ``compute_many`` call — this is
+        what lets a batched interface amortize planning work across a
+        parallel group — stored, and published to any coalesced waiters.
+
+        Returns ``(result, status)`` pairs aligned with ``queries``.  When
+        ``compute_many`` raises, every claimed flight is failed and the error
+        propagates; no partial results are returned.
+        """
+        materialized = list(queries)
+        keys = [self.key_for(namespace, query, system_k) for query in materialized]
+        outcomes: List[Optional[Tuple[SearchResult, FetchStatus]]] = [None] * len(keys)
+        owned: "OrderedDict[CacheKey, _InFlight]" = OrderedDict()
+        owner_position: Dict[CacheKey, int] = {}
+        duplicates: List[Tuple[int, CacheKey]] = []
+        waiting: List[Tuple[int, CacheKey, _InFlight]] = []
+        hits = 0
+        with self._lock:
+            for position, key in enumerate(keys):
+                entry = self._live_entry(key)
+                if entry is not None:
+                    outcomes[position] = (self._replay(entry.result), FetchStatus.HIT)
+                    hits += 1
+                    continue
+                if key in owned:
+                    duplicates.append((position, key))
+                    continue
+                flight = self._inflight.get(key)
+                if flight is not None:
+                    waiting.append((position, key, flight))
+                    continue
+                flight = _InFlight()
+                self._inflight[key] = flight
+                owned[key] = flight
+                owner_position[key] = position
+        if hits:
+            self.statistics.record("hits", hits)
+
+        owner_results: Dict[CacheKey, SearchResult] = {}
+        if owned:
+            batch = [materialized[owner_position[key]] for key in owned]
+            try:
+                results = compute_many(batch)
+                if len(results) != len(batch):
+                    raise RuntimeError(
+                        f"compute_many returned {len(results)} results "
+                        f"for {len(batch)} queries"
+                    )
+            except BaseException as error:
+                for flight in owned.values():
+                    flight.error = error
+                with self._lock:
+                    for key in owned:
+                        self._inflight.pop(key, None)
+                for flight in owned.values():
+                    flight.done.set()
+                raise
+            for flight, result in zip(owned.values(), results):
+                flight.result = result
+            with self._lock:
+                for key, result in zip(owned, results):
+                    self._store_locked(key, result)
+                    self._inflight.pop(key, None)
+            for flight in owned.values():
+                flight.done.set()
+            self.statistics.record("misses", len(results))
+            for key, result in zip(owned, results):
+                owner_results[key] = result
+                outcomes[owner_position[key]] = (
+                    replace(result, rows=tuple(dict(row) for row in result.rows)),
+                    FetchStatus.MISS,
+                )
+
+        if duplicates:
+            for position, key in duplicates:
+                outcomes[position] = (self._replay(owner_results[key]), FetchStatus.HIT)
+            self.statistics.record("hits", len(duplicates))
+
+        for position, key, flight in waiting:
+            flight.done.wait()
+            if flight.error is None and flight.result is not None:
+                self.statistics.record("coalesced")
+                outcomes[position] = (self._replay(flight.result), FetchStatus.COALESCED)
+            else:
+                # The owning caller failed: contend for ownership of this one
+                # key through the single-query path.
+                query = materialized[position]
+                outcomes[position] = self.fetch(
+                    namespace,
+                    query,
+                    system_k,
+                    lambda query=query: compute_many([query])[0],
+                )
+
+        complete: List[Tuple[SearchResult, FetchStatus]] = []
+        for outcome in outcomes:
+            assert outcome is not None, "fetch_many left a query unresolved"
+            complete.append(outcome)
+        return complete
 
     # ------------------------------------------------------------------ #
     # Invalidation

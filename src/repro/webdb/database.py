@@ -9,10 +9,14 @@ The reranking service is only allowed to talk to it through
 benchmark harness can compare against brute force, mirroring how the paper's
 authors validated against the live sites.
 
-The implementation is deliberately simple — a scan over the catalog in hidden
-rank order — because catalogs here are 10³–10⁴ tuples; what matters is the
-*contract* (overflow/valid/underflow, stable ordering, per-query latency and
-query counting), not raw throughput.
+Queries are answered by a pluggable execution engine
+(:mod:`repro.webdb.engine`).  The default ``"indexed"`` engine runs over
+columnar index structures (:mod:`repro.webdb.indexes`) with a selectivity-aware
+planner; the seed row-at-a-time scan survives as the ``"naive"`` reference
+engine, selectable via ``engine="naive"`` (or
+:attr:`~repro.config.DatabaseConfig.engine`) for differential testing.  Both
+preserve the top-k *contract* exactly: overflow/valid/underflow, stable
+hidden-rank ordering, per-query latency and query counting.
 """
 
 from __future__ import annotations
@@ -24,6 +28,8 @@ from repro.dataset.schema import Schema
 from repro.dataset.table import ColumnTable
 from repro.exceptions import QueryError
 from repro.webdb.counters import QueryCounter
+from repro.webdb.engine import QueryPlan, create_engine
+from repro.webdb.indexes import ColumnarCatalog
 from repro.webdb.interface import Outcome, SearchResult, TopKInterface
 from repro.webdb.latency import LatencyModel
 from repro.webdb.query import SearchQuery
@@ -53,6 +59,9 @@ class HiddenWebDatabase(TopKInterface):
         queries being rejected.
     name:
         Display name used in logs and the service's source registry.
+    engine:
+        Execution engine answering the queries: ``"indexed"`` (default, the
+        vectorized columnar engine) or ``"naive"`` (the seed reference scan).
     """
 
     def __init__(
@@ -64,6 +73,7 @@ class HiddenWebDatabase(TopKInterface):
         latency: Optional[LatencyModel] = None,
         validate_queries: bool = True,
         name: str = "webdb",
+        engine: str = "indexed",
     ) -> None:
         if system_k <= 0:
             raise ValueError("system_k must be positive")
@@ -75,8 +85,8 @@ class HiddenWebDatabase(TopKInterface):
         self._lock = threading.Lock()
         self.name = name
 
-        # Materialize rows once, in hidden-rank order, so each search is a
-        # single ordered scan with early termination at k+1 matches.
+        # Materialize rows once, in hidden-rank order: both engines answer a
+        # query with its first k+1 matches in this order.
         rows = catalog.to_rows()
         for row in rows:
             schema.validate_row(row)
@@ -86,6 +96,8 @@ class HiddenWebDatabase(TopKInterface):
         self._by_key: Dict[object, Row] = {row[schema.key]: row for row in self._ranked_rows}
         if len(self._by_key) != len(self._ranked_rows):
             raise QueryError("catalog contains duplicate tuple keys")
+        self._columnar = ColumnarCatalog(self._ranked_rows, catalog.columns, schema.key)
+        self._engine = create_engine(engine, self._ranked_rows, self._columnar)
 
     # ------------------------------------------------------------------ #
     # TopKInterface
@@ -98,6 +110,13 @@ class HiddenWebDatabase(TopKInterface):
     def system_k(self) -> int:
         return self._system_k
 
+    @property
+    def supports_batched_search(self) -> bool:
+        """Batched search is advertised whenever the latency model only
+        accounts (a sleeping model needs the thread pool's real
+        concurrency to overlap its round trips)."""
+        return not self._latency.sleep
+
     def search(self, query: SearchQuery) -> SearchResult:
         """Execute a top-k query.
 
@@ -108,18 +127,35 @@ class HiddenWebDatabase(TopKInterface):
             query.validate(self._schema)
         self._counter.increment()
         elapsed = self._latency.delay()
+        matches, overflow = self._engine.execute(query, self._system_k)
+        return self._build_result(query, matches, overflow, elapsed)
 
-        matches: List[Row] = []
-        overflow = False
-        for row in self._ranked_rows:
-            if not query.matches(row):
-                continue
-            if len(matches) < self._system_k:
-                matches.append(dict(row))
-            else:
-                overflow = True
-                break
+    def search_many(self, queries: Sequence[SearchQuery]) -> List[SearchResult]:
+        """Execute a batch of top-k queries in one call.
 
+        Each query is counted and charged latency exactly as if issued
+        through :meth:`search`; the batch only amortizes the execution
+        engine's per-group planning work (shared bound spans and candidate
+        lists).  Validation runs for the whole batch up front, so a rejected
+        query costs no query count at all.
+        """
+        materialized = list(queries)
+        if self._validate:
+            for query in materialized:
+                query.validate(self._schema)
+        if not materialized:
+            return []
+        self._counter.increment(len(materialized))
+        elapsed = [self._latency.delay() for _ in materialized]
+        executed = self._engine.execute_many(materialized, self._system_k)
+        return [
+            self._build_result(query, matches, overflow, seconds)
+            for query, (matches, overflow), seconds in zip(materialized, executed, elapsed)
+        ]
+
+    def _build_result(
+        self, query: SearchQuery, matches: List[Row], overflow: bool, elapsed: float
+    ) -> SearchResult:
         if not matches:
             outcome = Outcome.UNDERFLOW
         elif overflow:
@@ -193,17 +229,32 @@ class HiddenWebDatabase(TopKInterface):
         return counts
 
     def system_rank_of(self, key: object) -> int:
-        """Position of a tuple in the hidden global ranking (diagnostics)."""
-        for index, row in enumerate(self._ranked_rows):
-            if row[self._schema.key] == key:
-                return index
-        raise QueryError(f"unknown tuple key {key!r}")
+        """Position of a tuple in the hidden global ranking (diagnostics).
+
+        O(1): ranks are precomputed at construction."""
+        rank = self._columnar.rank_of.get(key)
+        if rank is None:
+            raise QueryError(f"unknown tuple key {key!r}")
+        return rank
+
+    @property
+    def engine_name(self) -> str:
+        """Name of the active execution engine (``"indexed"`` / ``"naive"``)."""
+        return self._engine.name
+
+    def explain(self, query: SearchQuery) -> Optional[QueryPlan]:
+        """The plan the indexed engine would pick for ``query``; ``None``
+        under the naive reference engine (diagnostics / tests only)."""
+        explain = getattr(self._engine, "explain", None)
+        if explain is None:
+            return None
+        return explain(query, self._system_k)
 
     def describe(self) -> str:
         """One-line description for logs and the source registry."""
         return (
             f"{self.name}: {self.size} tuples, k={self._system_k}, "
-            f"ranking={self._system_ranking.describe()}"
+            f"ranking={self._system_ranking.describe()}, engine={self._engine.name}"
         )
 
 

@@ -1,0 +1,183 @@
+"""Columnar index structures backing the vectorized execution engine.
+
+:class:`ColumnarCatalog` is the storage layer of the indexed execution engine
+(:mod:`repro.webdb.engine`): the hidden-rank-ordered catalog transposed into
+plain Python column lists, plus the per-attribute access structures the query
+planner consumes:
+
+* **raw columns** — one list per column, in hidden-rank order, holding the
+  values exactly as they appear in the catalog (no type coercion), so result
+  rows materialized from columns are byte-identical to the naive scan's
+  ``dict(row)`` copies;
+* **float columns** — a parallel ``float``-converted list for every column
+  whose values are all numeric, used by the tight range-filter loops;
+* **sorted value arrays** — ``(sorted values, rank positions)`` pairs usable
+  with :mod:`bisect` for selectivity estimation and candidate extraction;
+* **posting lists** — per distinct value, the sorted rank positions holding
+  it, used for IN-predicate candidates;
+* **key → rank** — O(1) lookup of a tuple's position in the hidden ranking.
+
+Everything beyond the raw columns and the key→rank map is built lazily, on
+first use, under a lock: most attributes of a catalog are never constrained,
+and databases are constructed eagerly all over the test suite.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+Row = Dict[str, object]
+
+#: The exact type test the naive scan applies to range-predicate values
+#: (``bool`` is intentionally included — it is an ``int`` subclass and the
+#: reference scan treats it as numeric).
+NUMERIC_TYPES = (int, float)
+
+
+class ColumnarCatalog:
+    """Column-major snapshot of a catalog in hidden-rank order.
+
+    Parameters
+    ----------
+    ranked_rows:
+        The catalog rows, already sorted by the hidden system ranking.
+    column_order:
+        Column names in the order the naive scan's row dictionaries carry
+        them; materialized rows preserve it so both engines return
+        byte-identical dictionaries.
+    key_column:
+        Name of the unique tuple identifier column.
+    """
+
+    def __init__(
+        self,
+        ranked_rows: Sequence[Mapping[str, object]],
+        column_order: Sequence[str],
+        key_column: str,
+    ) -> None:
+        self._order: List[str] = list(column_order)
+        self._names = frozenset(self._order)
+        self.key_column = key_column
+        self.size = len(ranked_rows)
+        self._rows = ranked_rows
+        #: key → position in the hidden global ranking (O(1) ``system_rank_of``).
+        self.rank_of: Dict[object, int] = {
+            row[key_column]: rank for rank, row in enumerate(ranked_rows)
+        }
+        self._lock = threading.RLock()
+        # The transpose itself is lazy too: a database on the naive reference
+        # engine only ever touches ``rank_of``.
+        self._raw: Optional[Dict[str, List[object]]] = None
+        self._float_columns: Dict[str, Optional[List[float]]] = {}
+        self._sorted_indexes: Dict[str, Optional[Tuple[List[float], List[int]]]] = {}
+        self._postings: Dict[str, Optional[Dict[object, List[int]]]] = {}
+
+    def _columns(self) -> Dict[str, List[object]]:
+        """The transposed raw columns, built on first use."""
+        if self._raw is None:
+            with self._lock:
+                if self._raw is None:
+                    self._raw = {
+                        name: [row[name] for row in self._rows] for name in self._order
+                    }
+        return self._raw
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def column_order(self) -> List[str]:
+        """Column names in materialization order."""
+        return list(self._order)
+
+    def has_column(self, name: str) -> bool:
+        """True when the catalog stores a column called ``name``."""
+        return name in self._names
+
+    def raw_column(self, name: str) -> Optional[List[object]]:
+        """The raw value list of ``name`` in rank order (shared, do not
+        mutate), or ``None`` for an unknown column."""
+        return self._columns().get(name)
+
+    # ------------------------------------------------------------------ #
+    # Lazy index structures
+    # ------------------------------------------------------------------ #
+    def float_column(self, name: str) -> Optional[List[float]]:
+        """``float``-converted column for fully numeric columns.
+
+        Returns ``None`` when the column is unknown or holds any non-numeric
+        value — the engine then falls back to the per-value ``isinstance``
+        check the naive scan performs.
+        """
+        if name not in self._float_columns:
+            with self._lock:
+                if name not in self._float_columns:
+                    column = self._columns().get(name)
+                    if column is None or not all(
+                        isinstance(value, NUMERIC_TYPES) for value in column
+                    ):
+                        self._float_columns[name] = None
+                    else:
+                        self._float_columns[name] = [float(value) for value in column]
+        return self._float_columns[name]
+
+    def sorted_index(self, name: str) -> Optional[Tuple[List[float], List[int]]]:
+        """``(sorted values, rank positions)`` for a fully numeric column.
+
+        ``bisect`` over the sorted values yields both an exact match count
+        (selectivity) and, via the parallel rank array, the candidate rank
+        positions of a range predicate.  ``None`` when the column is not
+        fully numeric.
+        """
+        if name not in self._sorted_indexes:
+            with self._lock:
+                if name not in self._sorted_indexes:
+                    floats = self.float_column(name)
+                    if floats is None:
+                        self._sorted_indexes[name] = None
+                    else:
+                        pairs = sorted(zip(floats, range(len(floats))))
+                        self._sorted_indexes[name] = (
+                            [value for value, _ in pairs],
+                            [rank for _, rank in pairs],
+                        )
+        return self._sorted_indexes[name]
+
+    def postings(self, name: str) -> Optional[Dict[object, List[int]]]:
+        """Posting lists: distinct value → sorted rank positions holding it.
+
+        Built for any column with hashable values (categorical drop-downs in
+        practice); ``None`` when the column is unknown or a value is
+        unhashable.
+        """
+        if name not in self._postings:
+            with self._lock:
+                if name not in self._postings:
+                    column = self._columns().get(name)
+                    if column is None:
+                        self._postings[name] = None
+                    else:
+                        table: Dict[object, List[int]] = {}
+                        try:
+                            for rank, value in enumerate(column):
+                                table.setdefault(value, []).append(rank)
+                        except TypeError:  # unhashable value somewhere
+                            self._postings[name] = None
+                        else:
+                            self._postings[name] = table
+        return self._postings[name]
+
+    # ------------------------------------------------------------------ #
+    # Row materialization
+    # ------------------------------------------------------------------ #
+    def materialize(self, rank: int) -> Row:
+        """Build a fresh row dictionary for the tuple at ``rank``."""
+        raw = self._columns()
+        return {name: raw[name][rank] for name in self._order}
+
+    def materialize_many(self, ranks: Sequence[int]) -> List[Row]:
+        """Fresh row dictionaries for ``ranks``, in the given order."""
+        raw = self._columns()
+        order = self._order
+        return [{name: raw[name][rank] for name in order} for rank in ranks]

@@ -21,7 +21,7 @@ import enum
 import threading
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.dataset.schema import Schema
 from repro.webdb.query import SearchQuery
@@ -114,6 +114,23 @@ class TopKInterface(ABC):
         """Name of the tuple identifier column."""
         return self.schema.key
 
+    @property
+    def supports_batched_search(self) -> bool:
+        """True when :meth:`search_many` is cheaper than issuing the queries
+        one by one (in-process engines that amortize planning work).  The
+        query engine only batches a group when this is set; remote adapters
+        keep the thread-pool fan-out that overlaps their real round trips."""
+        return False
+
+    def search_many(self, queries: Sequence[SearchQuery]) -> List[SearchResult]:
+        """Execute a batch of queries; each counts as one query.
+
+        The default simply loops over :meth:`search`; implementations that
+        can amortize per-batch work override it and advertise the fact via
+        :attr:`supports_batched_search`.
+        """
+        return [self.search(query) for query in queries]
+
     def queries_issued(self) -> int:
         """Total number of queries this interface has served (0 when the
         implementation does not track it)."""
@@ -193,10 +210,20 @@ class InstrumentedInterface(TopKInterface):
     def key_column(self) -> str:
         return self._inner.key_column
 
+    @property
+    def supports_batched_search(self) -> bool:
+        return self._inner.supports_batched_search
+
     def search(self, query: SearchQuery) -> SearchResult:
         result = self._inner.search(query)
         self.statistics.record(result)
         return result
+
+    def search_many(self, queries: Sequence[SearchQuery]) -> List[SearchResult]:
+        results = self._inner.search_many(queries)
+        for result in results:
+            self.statistics.record(result)
+        return results
 
     def queries_issued(self) -> int:
         return self.statistics.queries

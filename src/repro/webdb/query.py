@@ -97,10 +97,20 @@ class RangePredicate:
         return RangePredicate(self.attribute, lower, upper, include_lower, include_upper)
 
     def split(self, midpoint: float) -> Tuple["RangePredicate", "RangePredicate"]:
-        """Split into ``[lower, midpoint]`` and ``(midpoint, upper]`` halves."""
+        """Split into ``[lower, midpoint]`` and ``(midpoint, upper]`` halves.
+
+        The midpoint must leave both halves representable: strictly below
+        ``upper``, and — when the lower bound is exclusive — strictly above
+        ``lower`` (otherwise the low half would be the empty range
+        ``(lower, lower]``, which has no representation)."""
         if not (self.lower <= midpoint <= self.upper):
             raise QueryError(
                 f"midpoint {midpoint} outside range [{self.lower}, {self.upper}]"
+            )
+        if midpoint >= self.upper or (midpoint == self.lower and not self.include_lower):
+            raise QueryError(
+                f"midpoint {midpoint} cannot split {self.describe()} into two "
+                "non-empty halves"
             )
         low = RangePredicate(
             self.attribute, self.lower, midpoint, self.include_lower, True

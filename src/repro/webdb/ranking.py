@@ -17,9 +17,21 @@ from __future__ import annotations
 
 import hashlib
 from abc import ABC, abstractmethod
-from typing import Mapping, Sequence
+from typing import Dict, Mapping, Sequence
 
 Row = Mapping[str, object]
+
+
+def _stable_unit_score(key: str, cache: Dict[str, float]) -> float:
+    """Stable pseudo-random value in ``[0, 1)`` derived from ``key``,
+    memoized in ``cache`` so each distinct key is hashed exactly once
+    (catalog sorting would otherwise re-hash every key O(n log n) times)."""
+    score = cache.get(key)
+    if score is None:
+        digest = hashlib.sha256(key.encode("utf-8")).digest()
+        score = int.from_bytes(digest[:8], "big") / float(1 << 64)
+        cache[key] = score
+    return score
 
 
 class SystemRankingFunction(ABC):
@@ -106,11 +118,12 @@ class FeaturedScoreRanking(SystemRankingFunction):
         self.attribute_weight = attribute_weight
         self.boost_weight = boost_weight
         self.ascending = ascending
+        # Bounded by the number of distinct keys ever scored.
+        self._boost_cache: Dict[str, float] = {}
 
     def _boost(self, row: Row) -> float:
         key = str(row.get(self.key_column, ""))
-        digest = hashlib.sha256(key.encode("utf-8")).digest()
-        return int.from_bytes(digest[:8], "big") / float(1 << 64)
+        return _stable_unit_score(key, self._boost_cache)
 
     def score(self, row: Row) -> float:
         value = float(row[self.attribute])  # type: ignore[arg-type]
@@ -132,11 +145,11 @@ class RandomTieBreakRanking(SystemRankingFunction):
     def __init__(self, key_column: str = "id", salt: str = "qr2") -> None:
         self.key_column = key_column
         self.salt = salt
+        self._score_cache: Dict[str, float] = {}
 
     def score(self, row: Row) -> float:
         key = f"{self.salt}:{row.get(self.key_column, '')}"
-        digest = hashlib.sha256(key.encode("utf-8")).digest()
-        return int.from_bytes(digest[:8], "big") / float(1 << 64)
+        return _stable_unit_score(key, self._score_cache)
 
     def describe(self) -> str:
         return "random(stable)"

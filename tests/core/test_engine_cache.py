@@ -265,3 +265,179 @@ class TestLatencyAccounting:
             ]
         )
         assert engine.statistics.simulated_seconds == pytest.approx(6.0)
+
+
+class TestBatchedGroups:
+    """Groups against a batch-capable interface go through one
+    ``search_many`` call; cache semantics and accounting must not change."""
+
+    def test_interface_advertises_batching_without_sleep(self, timed_db):
+        assert timed_db.supports_batched_search
+
+    def test_batched_group_issues_one_search_many_call(self, timed_db, monkeypatch):
+        calls = []
+        original = type(timed_db).search_many
+
+        def spying(self, queries):
+            calls.append(len(list(queries)))
+            return original(self, queries)
+
+        monkeypatch.setattr(type(timed_db), "search_many", spying)
+        engine = QueryEngine(timed_db)
+        queries = [
+            SearchQuery.build(ranges={"price": (300.0, 4000.0 + i)}) for i in range(4)
+        ]
+        results = engine.search_group(queries)
+        assert len(results) == 4
+        assert calls == [4]
+        assert engine.statistics.parallel_queries == 4
+
+    def test_batched_group_respects_cache_hits_and_duplicates(self, timed_db):
+        cache = QueryResultCache()
+        warm = QueryEngine(timed_db, result_cache=cache)
+        shared = SearchQuery.build(ranges={"price": (300.0, 1000.0)})
+        warm.search(shared)
+        # The charge is atomic and up-front for every pending miss (the
+        # duplicate included); the duplicate's charge is refunded once it
+        # rides the batch's own computation.
+        engine = QueryEngine(timed_db, result_cache=cache, budget=QueryBudget(2))
+        fresh = SearchQuery.build(ranges={"price": (300.0, 2000.0)})
+        results = engine.search_group([shared, fresh, fresh])
+        assert len(results) == 3
+        # One real round trip (the first `fresh`); the warm hit and the
+        # duplicate within the group were both free.
+        assert engine.budget.used == 1
+        assert engine.statistics.external_queries == 1
+        assert engine.statistics.result_cache_hits == 2
+        assert [row["id"] for row in results[1].rows] == [
+            row["id"] for row in results[2].rows
+        ]
+
+    def test_batched_group_failure_refunds_full_charge(self, timed_db, monkeypatch):
+        def exploding(self, queries):
+            raise RuntimeError("remote exploded")
+
+        monkeypatch.setattr(type(timed_db), "search_many", exploding)
+        engine = QueryEngine(timed_db, budget=QueryBudget(10))
+        with pytest.raises(RuntimeError):
+            engine.search_group(
+                [
+                    SearchQuery.build(ranges={"price": (300.0, 4000.0 + i)})
+                    for i in range(3)
+                ]
+            )
+        # ``search_many`` validates before issuing, so a call that raises
+        # attempted zero round trips: the whole charge comes back.
+        assert engine.budget.used == 0
+        # The budget is intact and the engine still works.
+        engine.search(SearchQuery.build(ranges={"price": (300.0, 4000.0)}))
+        assert engine.budget.used == 1
+
+    def test_sequential_config_never_batches(self, timed_db, monkeypatch):
+        def exploding(self, queries):
+            raise AssertionError("sequential groups must not batch")
+
+        monkeypatch.setattr(type(timed_db), "search_many", exploding)
+        engine = QueryEngine(timed_db, config=RerankConfig(enable_parallel=False))
+        results = engine.search_group(
+            [
+                SearchQuery.build(ranges={"price": (300.0, 4000.0 + i)})
+                for i in range(3)
+            ]
+        )
+        assert len(results) == 3
+        assert engine.statistics.simulated_seconds == pytest.approx(6.0)
+
+    def test_partial_batch_failure_keeps_attempted_charges(self, timed_db, monkeypatch):
+        """When the batch's own round trips succeed but a retry of another
+        caller's failed key raises, only the unattempted charges come back."""
+        import threading
+        import time as time_module
+
+        cache = QueryResultCache()
+        namespace = "timed-diamonds"
+        healthy = SearchQuery.build(ranges={"price": (300.0, 1000.0)})
+        poisoned = SearchQuery.build(ranges={"price": (300.0, 2000.0)})
+        release = threading.Event()
+
+        def owner():
+            def compute():
+                release.wait(5.0)
+                raise RuntimeError("owner died")
+
+            try:
+                cache.fetch(namespace, poisoned, timed_db.system_k, compute)
+            except RuntimeError:
+                pass
+
+        original = type(timed_db).search_many
+
+        def flaky(self, queries):
+            materialized = list(queries)
+            if poisoned in materialized:
+                raise RuntimeError("retry exploded")
+            results = original(self, materialized)
+            # The batch succeeded; now let the blocked owner fail, so the
+            # engine's wait on the poisoned key observes the error and
+            # retries (and that retry explodes above).
+            release.set()
+            return results
+
+        monkeypatch.setattr(type(timed_db), "search_many", flaky)
+        thread = threading.Thread(target=owner)
+        thread.start()
+        try:
+            deadline = time_module.time() + 5.0
+            while not len(cache._inflight) and time_module.time() < deadline:
+                time_module.sleep(0.001)
+            engine = QueryEngine(timed_db, result_cache=cache, budget=QueryBudget(10))
+            with pytest.raises(RuntimeError):
+                engine.search_group([healthy, poisoned])
+        finally:
+            release.set()
+            thread.join(timeout=5.0)
+        # `healthy` was attempted (one real round trip, now cached); only the
+        # poisoned query's charge was refunded.
+        assert engine.budget.used == 1
+        assert cache.lookup(namespace, healthy, timed_db.system_k) is not None
+
+
+class TestFetchMany:
+    def test_fetch_many_statuses_and_single_compute(self, timed_db):
+        cache = QueryResultCache()
+        namespace = "batch"
+        stored = SearchQuery.build(ranges={"price": (300.0, 1000.0)})
+        cache.store(namespace, stored, timed_db.system_k, timed_db.search(stored))
+        fresh = SearchQuery.build(ranges={"price": (300.0, 2000.0)})
+        batches = []
+
+        def compute_many(queries):
+            batches.append(list(queries))
+            return timed_db.search_many(queries)
+
+        outcomes = cache.fetch_many(
+            namespace, [stored, fresh, fresh], timed_db.system_k, compute_many
+        )
+        statuses = [status for _, status in outcomes]
+        from repro.webdb.cache import FetchStatus
+
+        assert statuses == [FetchStatus.HIT, FetchStatus.MISS, FetchStatus.HIT]
+        # The two identical fresh queries collapsed onto one computed query.
+        assert [len(batch) for batch in batches] == [1]
+        assert len(cache) == 2
+
+    def test_fetch_many_failure_does_not_poison_keys(self, timed_db):
+        cache = QueryResultCache()
+        query = SearchQuery.build(ranges={"price": (300.0, 2000.0)})
+
+        def exploding(queries):
+            raise RuntimeError("remote exploded")
+
+        with pytest.raises(RuntimeError):
+            cache.fetch_many("batch", [query], timed_db.system_k, exploding)
+        # The key must be retryable afterwards.
+        outcomes = cache.fetch_many(
+            "batch", [query], timed_db.system_k, timed_db.search_many
+        )
+        assert len(outcomes) == 1
+        assert outcomes[0][0].rows

@@ -111,6 +111,10 @@ class TestQueryAlgebraProperties:
     def test_split_is_a_partition(self, predicate, value):
         assume(predicate.width > 0)
         midpoint = predicate.lower + predicate.width / 2
+        # Subnormal widths can round the midpoint onto a bound, where split()
+        # (documentedly) refuses to produce an empty half.
+        assume(midpoint < predicate.upper)
+        assume(midpoint > predicate.lower or predicate.include_lower)
         low, high = predicate.split(midpoint)
         inside_parent = predicate.matches(value)
         assert (low.matches(value) or high.matches(value)) == inside_parent

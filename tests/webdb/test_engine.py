@@ -1,0 +1,393 @@
+"""Differential tests: the indexed columnar engine vs the naive reference scan.
+
+The indexed engine must be an *observationally invisible* optimization: for
+every query, both engines must return byte-identical rows (values, ordering,
+and even dictionary key order), the same overflow/valid/underflow outcome,
+and the same ``system_k``.  The suite drives that equivalence with randomized
+catalogs and queries plus targeted edge cases (exclusive bounds, point
+ranges, empty IN intersections, underflow/overflow boundaries, unknown
+attributes, and type-mismatched predicates).
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.dataset.schema import Attribute, Schema
+from repro.dataset.table import ColumnTable
+from repro.exceptions import QueryError
+from repro.webdb.database import HiddenWebDatabase
+from repro.webdb.query import InPredicate, RangePredicate, SearchQuery
+from repro.webdb.ranking import (
+    AttributeOrderRanking,
+    LinearSystemRanking,
+    RandomTieBreakRanking,
+)
+
+KINDS = ("alpha", "beta", "gamma", "delta")
+#: A schema category no generated row ever carries (empty IN intersections).
+GHOST_KIND = "omega"
+
+
+def make_schema() -> Schema:
+    return Schema(
+        key="id",
+        attributes=(
+            Attribute.numeric("price", 0, 100),
+            Attribute.numeric("size", 0, 10),
+            Attribute.categorical("kind", list(KINDS) + [GHOST_KIND]),
+        ),
+    )
+
+
+def make_rows(rng: random.Random, count: int):
+    # Coarse value grids force duplicates, which is exactly where exclusive
+    # bounds, point ranges, and tie-breaking get interesting.
+    return [
+        {
+            "id": f"t{i}",
+            "price": round(rng.uniform(0, 100), 1),
+            "size": float(rng.randint(0, 10)),
+            "kind": rng.choice(KINDS),
+        }
+        for i in range(count)
+    ]
+
+
+def engine_pair(rows, schema, ranking, k, validate=True):
+    catalog = ColumnTable.from_rows(rows)
+    naive = HiddenWebDatabase(
+        catalog, schema, ranking, system_k=k, engine="naive",
+        validate_queries=validate, name="naive-db",
+    )
+    indexed = HiddenWebDatabase(
+        catalog, schema, ranking, system_k=k, engine="indexed",
+        validate_queries=validate, name="indexed-db",
+    )
+    return naive, indexed
+
+
+def assert_identical(reference, candidate, query):
+    context = f"query: {query!r}"
+    assert candidate.outcome is reference.outcome, context
+    assert candidate.system_k == reference.system_k, context
+    assert len(candidate.rows) == len(reference.rows), context
+    # Byte-identical rows: same values in the same order AND the same
+    # dictionary key order.
+    for expected, actual in zip(reference.rows, candidate.rows):
+        assert list(actual.items()) == list(expected.items()), context
+
+
+def random_query(rng: random.Random, rows) -> SearchQuery:
+    ranges = []
+    memberships = []
+    prices = [row["price"] for row in rows]
+    sizes = [row["size"] for row in rows]
+    for attribute, values in (("price", prices), ("size", sizes)):
+        roll = rng.random()
+        if roll < 0.35:
+            continue
+        if roll < 0.45:
+            # Point range, usually anchored on a real value.
+            value = rng.choice(values) if rng.random() < 0.8 else rng.uniform(0, 100)
+            ranges.append(RangePredicate(attribute, value, value))
+            continue
+        lower, upper = sorted(
+            (
+                rng.choice(values) if rng.random() < 0.6 else rng.uniform(-5, 110),
+                rng.choice(values) if rng.random() < 0.6 else rng.uniform(-5, 110),
+            )
+        )
+        include_lower = rng.random() < 0.5
+        include_upper = rng.random() < 0.5
+        if lower == upper:
+            include_lower = include_upper = True
+        if rng.random() < 0.15:
+            lower, include_lower = -math.inf, True
+        if rng.random() < 0.15:
+            upper, include_upper = math.inf, True
+        ranges.append(
+            RangePredicate(attribute, lower, upper, include_lower, include_upper)
+        )
+    if rng.random() < 0.5:
+        pool = list(KINDS) + [GHOST_KIND]
+        chosen = rng.sample(pool, rng.randint(1, len(pool)))
+        memberships.append(InPredicate.of("kind", chosen))
+    return SearchQuery(tuple(ranges), tuple(memberships))
+
+
+RANKINGS = [
+    AttributeOrderRanking("price", ascending=True),
+    AttributeOrderRanking("size", ascending=False),
+    LinearSystemRanking({"price": 1.0, "size": -3.5}),
+    RandomTieBreakRanking(),
+]
+
+
+class TestRandomizedDifferential:
+    @pytest.mark.parametrize("seed", [3, 17, 91])
+    def test_engines_agree_on_random_workloads(self, seed):
+        rng = random.Random(seed)
+        rows = make_rows(rng, 400)
+        schema = make_schema()
+        ranking = RANKINGS[seed % len(RANKINGS)]
+        for k in (1, 7, 50):
+            naive, indexed = engine_pair(rows, schema, ranking, k)
+            for _ in range(120):
+                query = random_query(rng, rows)
+                assert_identical(naive.search(query), indexed.search(query), query)
+
+    def test_all_outcomes_observed(self):
+        """The random workload must actually exercise the full trichotomy."""
+        rng = random.Random(5)
+        rows = make_rows(rng, 300)
+        naive, indexed = engine_pair(rows, make_schema(), RANKINGS[0], 5)
+        outcomes = set()
+        for _ in range(150):
+            query = random_query(rng, rows)
+            result = indexed.search(query)
+            assert_identical(naive.search(query), result, query)
+            outcomes.add(result.outcome)
+        assert len(outcomes) == 3
+
+
+class TestEdgeCases:
+    @pytest.fixture()
+    def pair(self):
+        rng = random.Random(23)
+        rows = make_rows(rng, 200)
+        return rows, engine_pair(rows, make_schema(), RANKINGS[2], 6)
+
+    def test_exclusive_bounds_on_duplicated_values(self, pair):
+        rows, (naive, indexed) = pair
+        value = rows[0]["price"]
+        for include_lower in (True, False):
+            for include_upper in (True, False):
+                query = SearchQuery(
+                    (
+                        RangePredicate(
+                            "price", value, value + 1.0, include_lower, include_upper
+                        ),
+                    )
+                )
+                assert_identical(naive.search(query), indexed.search(query), query)
+
+    def test_point_range_on_missing_value_underflows(self, pair):
+        _, (naive, indexed) = pair
+        query = SearchQuery((RangePredicate("price", 55.5555, 55.5555),))
+        reference = naive.search(query)
+        assert reference.is_underflow
+        assert_identical(reference, indexed.search(query), query)
+
+    def test_empty_in_intersection_underflows(self, pair):
+        _, (naive, indexed) = pair
+        query = SearchQuery(memberships=(InPredicate.of("kind", [GHOST_KIND]),))
+        reference = naive.search(query)
+        assert reference.is_underflow
+        assert_identical(reference, indexed.search(query), query)
+
+    def test_in_combined_with_impossible_range(self, pair):
+        _, (naive, indexed) = pair
+        query = SearchQuery(
+            ranges=(RangePredicate("price", 99.99, 99.991, False, False),),
+            memberships=(InPredicate.of("kind", ["alpha", "beta"]),),
+        )
+        assert_identical(naive.search(query), indexed.search(query), query)
+
+    def test_overflow_boundary_exactly_k_plus_one(self):
+        schema = make_schema()
+        rows = [
+            {"id": f"r{i}", "price": float(i), "size": 1.0, "kind": "alpha"}
+            for i in range(8)
+        ]
+        naive, indexed = engine_pair(rows, schema, RANKINGS[0], 7)
+        # 8 matches against k=7: overflow by exactly one.
+        query = SearchQuery((RangePredicate("price", 0.0, 7.0),))
+        reference = naive.search(query)
+        assert reference.is_overflow
+        assert_identical(reference, indexed.search(query), query)
+        # 7 matches against k=7: valid, every tuple observed.
+        query = SearchQuery((RangePredicate("price", 0.0, 7.0, True, False),))
+        reference = naive.search(query)
+        assert reference.is_valid
+        assert_identical(reference, indexed.search(query), query)
+
+
+class TestUnvalidatedQueries:
+    """With schema validation off, the engines must agree even on nonsense
+    queries — unknown attributes, type-mismatched predicates — because the
+    naive scan gives them well-defined (if surprising) semantics."""
+
+    @pytest.fixture()
+    def pair(self):
+        rng = random.Random(29)
+        rows = make_rows(rng, 150)
+        return engine_pair(rows, make_schema(), RANKINGS[3], 5, validate=False)
+
+    def test_range_on_unknown_attribute(self, pair):
+        naive, indexed = pair
+        query = SearchQuery((RangePredicate("ghost", 0.0, 1.0),))
+        reference = naive.search(query)
+        assert reference.is_underflow
+        assert_identical(reference, indexed.search(query), query)
+
+    def test_range_on_categorical_attribute(self, pair):
+        naive, indexed = pair
+        query = SearchQuery((RangePredicate("kind", 0.0, 100.0),))
+        reference = naive.search(query)
+        assert reference.is_underflow
+        assert_identical(reference, indexed.search(query), query)
+
+    def test_membership_on_numeric_attribute(self, pair):
+        naive, indexed = pair
+        query = SearchQuery(memberships=(InPredicate.of("size", [3.0, 7.0]),))
+        assert_identical(naive.search(query), indexed.search(query), query)
+
+    def test_membership_on_unknown_attribute(self, pair):
+        naive, indexed = pair
+        query = SearchQuery(memberships=(InPredicate.of("ghost", ["x"]),))
+        reference = naive.search(query)
+        assert reference.is_underflow
+        assert_identical(reference, indexed.search(query), query)
+        # ``row.get`` yields None for a missing attribute, so an IN predicate
+        # containing None matches *every* row — in both engines.
+        query = SearchQuery(memberships=(InPredicate("ghost", frozenset([None])),))
+        reference = naive.search(query)
+        assert reference.is_overflow
+        assert_identical(reference, indexed.search(query), query)
+
+    def test_membership_with_unknown_category_values(self, pair):
+        naive, indexed = pair
+        query = SearchQuery(memberships=(InPredicate.of("kind", ["alpha", "zzz"]),))
+        assert_identical(naive.search(query), indexed.search(query), query)
+
+
+class TestBatchedSearch:
+    def test_search_many_matches_individual_searches(self):
+        rng = random.Random(41)
+        rows = make_rows(rng, 250)
+        schema = make_schema()
+        _, indexed = engine_pair(rows, schema, RANKINGS[1], 8)
+        _, twin = engine_pair(rows, schema, RANKINGS[1], 8)
+        queries = [random_query(rng, rows) for _ in range(40)]
+        batched = indexed.search_many(queries)
+        individual = [twin.search(query) for query in queries]
+        assert len(batched) == len(individual)
+        for one, many in zip(individual, batched):
+            assert_identical(one, many, one.query)
+
+    def test_search_many_counts_every_query(self):
+        rng = random.Random(43)
+        rows = make_rows(rng, 50)
+        _, indexed = engine_pair(rows, make_schema(), RANKINGS[0], 5)
+        queries = [random_query(rng, rows) for _ in range(7)]
+        indexed.search_many(queries)
+        assert indexed.queries_issued() == 7
+        assert indexed.search_many([]) == []
+        assert indexed.queries_issued() == 7
+
+    def test_search_many_validates_before_issuing(self):
+        rng = random.Random(47)
+        rows = make_rows(rng, 50)
+        _, indexed = engine_pair(rows, make_schema(), RANKINGS[0], 5)
+        good = SearchQuery((RangePredicate("price", 0.0, 10.0),))
+        bad = SearchQuery(memberships=(InPredicate.of("kind", ["not-a-kind"]),))
+        with pytest.raises(QueryError):
+            indexed.search_many([good, bad])
+        assert indexed.queries_issued() == 0
+
+
+class TestPlanSelection:
+    @pytest.fixture()
+    def indexed(self):
+        rng = random.Random(53)
+        rows = make_rows(rng, 500)
+        _, indexed = engine_pair(rows, make_schema(), RANKINGS[0], 10)
+        return indexed
+
+    def test_broad_query_scans(self, indexed):
+        plan = indexed.explain(SearchQuery.everything())
+        assert plan is not None and plan.kind == "scan"
+        assert "scan" in plan.describe()
+
+    def test_narrow_range_uses_candidates(self, indexed):
+        plan = indexed.explain(SearchQuery((RangePredicate("price", 10.0, 10.4),)))
+        assert plan is not None and plan.kind == "candidates"
+        assert plan.driver == "price"
+        assert plan.candidate_count >= plan.estimated_matches
+
+    def test_impossible_predicate_plans_empty(self, indexed):
+        plan = indexed.explain(
+            SearchQuery(memberships=(InPredicate.of("kind", [GHOST_KIND]),))
+        )
+        assert plan is not None and plan.kind == "empty"
+
+    def test_naive_engine_has_no_plan(self):
+        rng = random.Random(59)
+        rows = make_rows(rng, 50)
+        naive, _ = engine_pair(rows, make_schema(), RANKINGS[0], 5)
+        assert naive.explain(SearchQuery.everything()) is None
+        assert naive.engine_name == "naive"
+
+    def test_unknown_engine_rejected(self):
+        rng = random.Random(61)
+        rows = make_rows(rng, 20)
+        with pytest.raises(QueryError):
+            HiddenWebDatabase(
+                ColumnTable.from_rows(rows),
+                make_schema(),
+                RANKINGS[0],
+                system_k=5,
+                engine="columnar-ultra",
+            )
+
+
+class TestRankingMemoization:
+    def test_featured_boost_hashes_each_key_once(self, monkeypatch):
+        import hashlib
+
+        from repro.webdb.ranking import FeaturedScoreRanking
+
+        calls = []
+        real = hashlib.sha256
+
+        def counting(data):
+            calls.append(data)
+            return real(data)
+
+        monkeypatch.setattr(hashlib, "sha256", counting)
+        ranking = FeaturedScoreRanking("price")
+        row = {"id": "a", "price": 1.0}
+        first = ranking.score(row)
+        second = ranking.score(row)
+        ranking.score({"id": "a", "price": 2.0})
+        assert len(calls) == 1
+        assert first == second
+
+    def test_tiebreak_score_hashes_each_key_once(self, monkeypatch):
+        import hashlib
+
+        calls = []
+        real = hashlib.sha256
+
+        def counting(data):
+            calls.append(data)
+            return real(data)
+
+        monkeypatch.setattr(hashlib, "sha256", counting)
+        ranking = RandomTieBreakRanking()
+        row = {"id": "b"}
+        first = ranking.score(row)
+        second = ranking.score(row)
+        assert len(calls) == 1
+        assert first == second
+
+    def test_memoization_preserves_sort_order(self):
+        rng = random.Random(67)
+        rows = make_rows(rng, 80)
+        ranking = RandomTieBreakRanking()
+        key = ranking.sort_key("id")
+        once = sorted(rows, key=key)
+        again = sorted(rows, key=key)  # fully memoized second pass
+        assert [row["id"] for row in once] == [row["id"] for row in again]
