@@ -9,19 +9,31 @@ the diamonds and housing sources with the shared result cache on and off:
   redundancy directly — every uncached session re-probes the same intervals —
   and must save at least 30 % of total external queries;
 * **RERANK** shows the cache's *marginal* win on top of the shared
-  dense-region index (reported, and must never lose).
+  dense-region index (reported, and must never lose);
+* **CONTAINMENT** serves nested (progressively narrower) session filters —
+  where exact-match caching barely helps because no two sessions repeat a
+  query verbatim — and must show *additional* savings from answering subset
+  queries out of stored covering superset entries;
+* **WARM RESTART** snapshots a service's shared result cache to SQLite,
+  reboots, and must replay the prior session's workload with zero external
+  round trips.
 
-In both cases the reranked output order must be identical with and without
-the cache: the cache replays exact query answers, it never changes them.
+In every case the reranked output order must be identical across modes: the
+cache replays (or derives, for containment) exact query answers, it never
+changes them.
 """
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from benchmarks._tables import print_table
+from repro.config import ServiceConfig
 from repro.core.reranker import Algorithm
-from repro.workloads.experiments import run_cache_reuse
+from repro.service.app import QR2Service
+from repro.workloads.experiments import run_cache_reuse, run_containment_reuse
 
 SESSIONS = 4
 MIN_SAVINGS = 0.30
@@ -79,3 +91,94 @@ def test_cache_reuse_marginal_win_over_dense_index(benchmark, environment, depth
 
     payload = benchmark.pedantic(run, rounds=1, iterations=1)
     _report(benchmark, payload, require_min_savings=False)
+
+
+@pytest.mark.benchmark(group="cache-reuse")
+def test_containment_additional_savings(benchmark, environment, depth):
+    """Containment answering must save external queries *on top of* the
+    exact-match cache when sessions issue nested (subset) filters, with
+    byte-identical reranked output."""
+
+    def run():
+        return run_containment_reuse(environment, sessions=SESSIONS, depth=depth)
+
+    payload = benchmark.pedantic(run, rounds=1, iterations=1)
+    for source, data in payload.items():
+        benchmark.extra_info.update(
+            {
+                f"{source}_containment_costs": data["containment_costs"],
+                f"{source}_exact_costs": data["exact_costs"],
+                f"{source}_additional_savings": round(
+                    data["additional_savings_fraction"], 3
+                ),
+            }
+        )
+        rows = [
+            f"{'session':>12s} " + " ".join(f"{i + 1:>7d}" for i in range(SESSIONS)),
+            f"{'containment':>12s} "
+            + " ".join(f"{c:>7d}" for c in data["containment_costs"]),
+            f"{'exact-only':>12s} " + " ".join(f"{c:>7d}" for c in data["exact_costs"]),
+            f"{'contained':>12s} "
+            + " ".join(f"{c:>7d}" for c in data["contained_answers"]),
+        ]
+        print_table(
+            f"SC-CONTAIN [{source} / {data['algorithm']}] — {data['scenario']}",
+            "queries issued per session, nested filters on "
+            f"{data['filter_attribute']} "
+            f"(additional savings {data['additional_savings_fraction']:.0%})",
+            rows,
+        )
+        assert data["orders_match"]
+        # "Measurable" means strictly fewer round trips, not just no worse.
+        assert data["containment_total"] < data["exact_total"]
+
+
+@pytest.mark.benchmark(group="cache-reuse")
+def test_warm_restart_replays_prior_workload_for_free(benchmark, tmp_path):
+    """A service restarted from its SQLite result-cache spill must replay the
+    previous process's queries with zero external round trips and identical
+    pages."""
+    path = os.fspath(tmp_path / "results.sqlite")
+    config = ServiceConfig(result_cache_path=path)
+    filters = {"ranges": {"carat": [0.5, 1.5]}}
+    sliders = {"price": -1.0}
+
+    cold = QR2Service(config=config)
+    session = cold.create_session()
+    cold_response = cold.submit_query(
+        session, "bluenile", filters=filters, sliders=sliders, algorithm="binary"
+    )
+    cold_queries = cold_response["statistics"]["external_queries"]
+    cold.close()  # snapshots the shared result cache on the way out
+
+    def run():
+        warm = QR2Service(config=config)
+        session = warm.create_session()
+        response = warm.submit_query(
+            session, "bluenile", filters=filters, sliders=sliders, algorithm="binary"
+        )
+        warm.close()
+        return warm.warm_loaded_entries, response
+
+    warm_loaded, warm_response = benchmark.pedantic(run, rounds=1, iterations=1)
+    statistics = warm_response["statistics"]
+    benchmark.extra_info.update(
+        {
+            "cold_external_queries": cold_queries,
+            "warm_external_queries": statistics["external_queries"],
+            "warm_loaded_entries": warm_loaded,
+        }
+    )
+    print_table(
+        "SC-WARM [bluenile / binary] — SQLite warm start",
+        f"cold paid {cold_queries} external queries; the restarted service "
+        f"loaded {warm_loaded} entries",
+        [
+            f"{'cold':>12s} {cold_queries:>7d}",
+            f"{'warm':>12s} {statistics['external_queries']:>7d}",
+        ],
+    )
+    assert cold_queries > 0
+    assert warm_loaded > 0
+    assert statistics["external_queries"] == 0
+    assert warm_response["rows"] == cold_response["rows"]

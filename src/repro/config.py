@@ -103,6 +103,11 @@ class RerankConfig:
     result_cache_ttl_seconds:
         Lifetime of a cached result; ``None`` disables expiry (correct for
         the immutable simulated databases).
+    result_cache_containment:
+        Whether the result cache may answer a query from a stored *covering*
+        (valid/underflow) entry of a superset query by filtering its
+        rank-ordered rows — zero round trips for queries never issued
+        verbatim.  Exact-match caching still works with this off.
     """
 
     dense_ratio_threshold: float = 0.005
@@ -116,6 +121,7 @@ class RerankConfig:
     enable_result_cache: bool = True
     result_cache_size: int = 4096
     result_cache_ttl_seconds: Optional[float] = None
+    result_cache_containment: bool = True
 
     def without_parallel(self) -> "RerankConfig":
         """Copy of this configuration with parallel processing disabled."""
@@ -133,6 +139,11 @@ class RerankConfig:
         """Copy of this configuration with the shared result cache disabled."""
         return replace(self, enable_result_cache=False)
 
+    def without_containment(self) -> "RerankConfig":
+        """Copy of this configuration with containment answering disabled
+        (the result cache falls back to exact-match-only behaviour)."""
+        return replace(self, result_cache_containment=False)
+
 
 @dataclass(frozen=True)
 class ServiceConfig:
@@ -142,6 +153,16 @@ class ServiceConfig:
     for *all* sessions and sources of the service (namespaced per source), so
     the query savings compound across users; turning it off gives every source
     its own private cache while the per-request semantics stay identical.
+
+    ``result_cache_path`` enables SQLite persistence of the shared result
+    cache (:class:`~repro.sqlstore.result_store.ResultCacheStore`): the
+    service warm-loads the spill at construction and
+    :meth:`~repro.service.app.QR2Service.save_result_cache` snapshots it, so
+    a restarted service replays the previous deployment's query answers with
+    zero external round trips.  Spills recorded under a different store
+    schema version or a source's changed ``system_k`` are ignored.  Only
+    effective with ``share_result_cache`` (one file maps to one shared
+    cache).
     """
 
     default_page_size: int = 10
@@ -149,6 +170,7 @@ class ServiceConfig:
     session_ttl_seconds: float = 3600.0
     dense_cache_path: Optional[str] = None
     share_result_cache: bool = True
+    result_cache_path: Optional[str] = None
     rerank: RerankConfig = field(default_factory=RerankConfig)
 
 

@@ -147,9 +147,10 @@ class QueryEngine:
         """Issue a group of queries belonging to one algorithm iteration.
 
         With a result cache attached, each query is first resolved against the
-        cache: hits cost zero budget and zero simulated latency, and misses
-        identical to an in-flight query (from any session sharing the cache)
-        coalesce onto that query's round trip.  ``bypass_cache`` makes the
+        cache: exact hits and containment answers (derived from a covering
+        superset entry) cost zero budget and zero simulated latency, and
+        misses identical to an in-flight query (from any session sharing the
+        cache) coalesce onto that query's round trip.  ``bypass_cache`` makes the
         cache read-only for the group — hits are still reused (the crawl's
         root region query is typically the overflowing query that was just
         paid for), but misses are issued directly and never stored.  The
@@ -175,19 +176,31 @@ class QueryEngine:
         group_id = self._next_group_id()
         use_cache = self._cache is not None and not bypass_cache
 
-        # Phase 1: resolve what we can from the shared cache (zero cost).
-        # Bypassed groups still *read* the cache; they just never store.
+        # Phase 1: resolve what we can from the shared cache (zero cost) —
+        # exact hits and containment answers derived from covering superset
+        # entries alike.  Bypassed groups still *read* the cache; they just
+        # never store.
         results: List[Optional[SearchResult]] = [None] * len(queries)
         pending: List[Tuple[int, SearchQuery]] = []
         hits = 0
+        contained = 0
         if self._cache is not None:
             for index, query in enumerate(queries):
-                cached = self._cache.lookup(
-                    self._cache_namespace, query, self._interface.system_k
+                # Bypassed groups stay strictly read-only: no memoization of
+                # derived answers (the crawler's queries would churn the LRU).
+                probed = self._cache.probe(
+                    self._cache_namespace,
+                    query,
+                    self._interface.system_k,
+                    memoize=use_cache,
                 )
-                if cached is not None:
+                if probed is not None:
+                    cached, probe_status = probed
                     results[index] = cached
-                    hits += 1
+                    if probe_status is FetchStatus.CONTAINED:
+                        contained += 1
+                    else:
+                        hits += 1
                 else:
                     pending.append((index, query))
         else:
@@ -288,11 +301,14 @@ class QueryEngine:
             if status is FetchStatus.MISS:
                 issued_latencies.append(result.elapsed_seconds)
             else:
-                # Another caller paid the round trip (or stored the entry
-                # between our probe and the fetch): hand the charge back.
+                # Another caller paid the round trip (or stored an entry —
+                # exact or covering — between our probe and the fetch): hand
+                # the charge back.
                 self._budget.refund(1)
                 if status is FetchStatus.COALESCED:
                     coalesced += 1
+                elif status is FetchStatus.CONTAINED:
+                    contained += 1
                 else:
                     hits += 1
         if first_error is not None:
@@ -319,6 +335,8 @@ class QueryEngine:
         )
         if hits:
             self.statistics.record_result_cache_hit(hits)
+        if contained:
+            self.statistics.record_contained_answer(contained)
         if coalesced:
             self.statistics.record_coalesced_query(coalesced)
         return [result for result in results if result is not None]

@@ -16,6 +16,7 @@ from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
 from repro.dataset.schema import Schema
 from repro.exceptions import QueryError
+from repro.webdb.indexes import is_numeric
 from repro.webdb.query import RangePredicate, SearchQuery
 
 Row = Mapping[str, object]
@@ -97,10 +98,15 @@ class HyperRectangle:
         return max(self.relative_widths(schema).values())
 
     def contains(self, row: Row) -> bool:
-        """True when ``row`` falls inside the box on every side."""
+        """True when ``row`` falls inside the box on every side.
+
+        Uses the same value test as :meth:`SearchQuery.matches` and both
+        execution engines (``bool`` and ``NaN`` are not numeric), so a row
+        the database would never return for a region's query is never
+        replayed from the dense-region index either."""
         for side in self.sides:
             value = row.get(side.attribute)
-            if not isinstance(value, (int, float)) or not side.matches(float(value)):
+            if not is_numeric(value) or not side.matches(float(value)):
                 return False
         return True
 

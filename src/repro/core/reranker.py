@@ -111,6 +111,7 @@ class QueryReranker:
             self._result_cache = QueryResultCache(
                 max_entries=self._config.result_cache_size,
                 ttl_seconds=self._config.result_cache_ttl_seconds,
+                enable_containment=self._config.result_cache_containment,
             )
         else:
             self._result_cache = None

@@ -30,6 +30,7 @@ class RerankStatistics:
     iteration_group_sizes: List[int] = field(default_factory=list)
     cache_hits: int = 0
     result_cache_hits: int = 0
+    contained_answers: int = 0
     coalesced_queries: int = 0
     dense_index_hits: int = 0
     dense_regions_built: int = 0
@@ -97,6 +98,13 @@ class RerankStatistics:
         with self._lock:
             self.result_cache_hits += count
 
+    def record_contained_answer(self, count: int = 1) -> None:
+        """Record external queries answered by containment: derived from a
+        covering superset entry of the shared result cache (zero budget,
+        zero simulated round trips)."""
+        with self._lock:
+            self.contained_answers += count
+
     def record_coalesced_query(self, count: int = 1) -> None:
         """Record external queries that coalesced onto an identical in-flight
         query instead of issuing their own round trip."""
@@ -142,10 +150,12 @@ class RerankStatistics:
     @property
     def result_cache_hit_rate(self) -> float:
         """Fraction of the request's query demand served without a fresh
-        round trip (shared-cache hits plus coalesced queries over total
-        demand).  ``external_queries`` only counts real round trips, so the
-        denominator adds the avoided ones back in."""
-        avoided = self.result_cache_hits + self.coalesced_queries
+        round trip (shared-cache hits, containment answers, and coalesced
+        queries over total demand).  ``external_queries`` only counts real
+        round trips, so the denominator adds the avoided ones back in."""
+        avoided = (
+            self.result_cache_hits + self.contained_answers + self.coalesced_queries
+        )
         demand = self.external_queries + avoided
         if demand == 0:
             return 0.0
@@ -173,6 +183,7 @@ class RerankStatistics:
                 "iteration_group_sizes": list(self.iteration_group_sizes),
                 "cache_hits": self.cache_hits,
                 "result_cache_hits": self.result_cache_hits,
+                "contained_answers": self.contained_answers,
                 "coalesced_queries": self.coalesced_queries,
                 "result_cache_hit_rate": round(self.result_cache_hit_rate, 4),
                 "dense_index_hits": self.dense_index_hits,
@@ -197,6 +208,7 @@ class RerankStatistics:
             self.iteration_group_sizes.extend(other.iteration_group_sizes)
             self.cache_hits += other.cache_hits
             self.result_cache_hits += other.result_cache_hits
+            self.contained_answers += other.contained_answers
             self.coalesced_queries += other.coalesced_queries
             self.dense_index_hits += other.dense_index_hits
             self.dense_regions_built += other.dense_regions_built

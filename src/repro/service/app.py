@@ -33,6 +33,8 @@ from repro.exceptions import QueryError, SessionError
 from repro.service.popular import popular_functions
 from repro.service.sliders import ranking_from_sliders
 from repro.service.sources import DataSource, DataSourceRegistry, build_default_registry
+from repro.sqlstore.result_store import ResultCacheStore
+from repro.webdb.cache import QueryResultCache
 from repro.webdb.query import SearchQuery
 
 Row = Dict[str, object]
@@ -58,11 +60,42 @@ class QR2Service:
         config: Optional[ServiceConfig] = None,
     ) -> None:
         self._config = config or ServiceConfig()
-        self._registry = registry or build_default_registry(
-            rerank_config=self._config.rerank,
-            dense_cache_path=self._config.dense_cache_path,
-            share_result_cache=self._config.share_result_cache,
-        )
+        self._shared_result_cache: Optional[QueryResultCache] = None
+        self._result_cache_store: Optional[ResultCacheStore] = None
+        self._warm_loaded_entries = 0
+        if registry is not None:
+            self._registry = registry
+        else:
+            # With persistence configured, the service must own the shared
+            # cache object (the registry would otherwise build one internally
+            # and there would be nothing to snapshot).
+            if (
+                self._config.result_cache_path is not None
+                and self._config.share_result_cache
+                and self._config.rerank.enable_result_cache
+            ):
+                rerank = self._config.rerank
+                self._shared_result_cache = QueryResultCache(
+                    max_entries=rerank.result_cache_size,
+                    ttl_seconds=rerank.result_cache_ttl_seconds,
+                    enable_containment=rerank.result_cache_containment,
+                )
+            self._registry = build_default_registry(
+                rerank_config=self._config.rerank,
+                dense_cache_path=self._config.dense_cache_path,
+                share_result_cache=self._config.share_result_cache,
+                result_cache=self._shared_result_cache,
+            )
+        if self._shared_result_cache is not None:
+            assert self._config.result_cache_path is not None
+            self._result_cache_store = ResultCacheStore(self._config.result_cache_path)
+            expected = {
+                name: self._registry.get(name).interface.system_k
+                for name in self._registry.names()
+            }
+            self._warm_loaded_entries = self._result_cache_store.load(
+                self._shared_result_cache, expected_system_k=expected
+            )
         self._sessions: Dict[str, Session] = {}
         self._requests: Dict[str, _ActiveRequest] = {}
         self._lock = threading.Lock()
@@ -74,6 +107,38 @@ class QR2Service:
     def registry(self) -> DataSourceRegistry:
         """The data-source registry behind this service."""
         return self._registry
+
+    # ------------------------------------------------------------------ #
+    # Result-cache persistence
+    # ------------------------------------------------------------------ #
+    @property
+    def result_cache(self) -> Optional[QueryResultCache]:
+        """The service-owned shared result cache (``None`` unless persistence
+        is configured — otherwise the registry owns the cache)."""
+        return self._shared_result_cache
+
+    @property
+    def warm_loaded_entries(self) -> int:
+        """Entries restored from the SQLite spill at construction."""
+        return self._warm_loaded_entries
+
+    def save_result_cache(self) -> int:
+        """Snapshot the shared result cache to the configured SQLite spill.
+
+        Returns the number of entries written, or 0 when persistence is not
+        configured.  Call it at shutdown (or periodically) so the next boot
+        warm-starts from this process's paid-for answers."""
+        if self._result_cache_store is None or self._shared_result_cache is None:
+            return 0
+        return self._result_cache_store.save(self._shared_result_cache)
+
+    def close(self) -> None:
+        """Persist the result cache (when configured) and release the spill's
+        connections.  Idempotent."""
+        if self._result_cache_store is not None:
+            self.save_result_cache()
+            self._result_cache_store.close()
+            self._result_cache_store = None
 
     def list_sources(self) -> List[Dict[str, object]]:
         """Describe every selectable data source (the UI's source picker)."""
@@ -255,6 +320,7 @@ class QR2Service:
             "parallel_fraction": snapshot["parallel_fraction"],
             "cache_hits": snapshot["cache_hits"],
             "result_cache_hits": snapshot["result_cache_hits"],
+            "contained_answers": snapshot["contained_answers"],
             "coalesced_queries": snapshot["coalesced_queries"],
             "result_cache_hit_rate": snapshot["result_cache_hit_rate"],
             "dense_index_hits": snapshot["dense_index_hits"],
@@ -262,4 +328,12 @@ class QR2Service:
             "tuples_returned": snapshot["tuples_returned"],
             "dense_index": request.source.reranker.dense_index.describe(),
             "result_cache": result_cache.snapshot() if result_cache else None,
+            "result_cache_persistence": (
+                {
+                    "path": self._config.result_cache_path,
+                    "warm_loaded_entries": self._warm_loaded_entries,
+                }
+                if self._result_cache_store is not None
+                else None
+            ),
         }

@@ -127,6 +127,7 @@ def build_default_registry(
         result_cache = QueryResultCache(
             max_entries=rerank_config.result_cache_size,
             ttl_seconds=rerank_config.result_cache_ttl_seconds,
+            enable_containment=rerank_config.result_cache_containment,
         )
 
     registry = DataSourceRegistry()

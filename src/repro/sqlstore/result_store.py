@@ -1,0 +1,256 @@
+"""SQLite persistence for the shared query-result cache.
+
+The dense-region cache (:mod:`repro.sqlstore.dense_cache`) already survives
+restarts, mirroring the paper's shared MySQL cache; the query-result cache —
+the layer that makes repeated external top-k queries free — did not, so every
+service restart threw away the round trips previous deployments had paid for.
+:class:`ResultCacheStore` is its sibling: it snapshots a
+:class:`~repro.webdb.cache.QueryResultCache` into a single SQLite file and
+warm-loads it when the service boots, so a restarted service replays the
+previous process's workload with zero external queries.
+
+Two versioning guards keep a spill from resurrecting answers recorded under a
+different interface contract:
+
+* **store schema version** — a spill written by an incompatible adapter
+  (different table layout or payload format) is dropped wholesale at open;
+* **``system_k``** — every entry records the ``system_k`` it was observed
+  under, and :meth:`ResultCacheStore.load` skips entries whose ``system_k``
+  differs from the caller's expectation for that namespace.  The
+  overflow/valid/underflow trichotomy is only meaningful relative to ``k``,
+  so an entry from a re-configured interface must never be replayed.
+
+Entries are stored as JSON payloads (query, rank-ordered rows, outcome) and
+re-enter the cache through the normal ``store`` path, so warm-loaded covering
+entries immediately participate in containment answering too.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+import threading
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.webdb.cache import QueryResultCache
+from repro.webdb.interface import Outcome, SearchResult
+from repro.webdb.query import SearchQuery
+
+#: Bumped whenever the table layout or the JSON payload shape changes; a
+#: spill recorded under any other version is ignored and recreated.
+SCHEMA_VERSION = 1
+
+
+class ResultCacheStore:
+    """Durable SQLite snapshot of a :class:`QueryResultCache`.
+
+    Parameters
+    ----------
+    path:
+        SQLite database file (``":memory:"`` keeps the spill process-local,
+        used by the tests).
+    """
+
+    def __init__(self, path: str = ":memory:") -> None:
+        self._path = path
+        self._lock = threading.Lock()
+        self._shared_memory_connection: Optional[sqlite3.Connection] = None
+        if path == ":memory:":
+            self._shared_memory_connection = sqlite3.connect(
+                ":memory:", check_same_thread=False
+            )
+        self._local = threading.local()
+        #: Every thread-local connection ever opened, so :meth:`close` can
+        #: release them all — not just the closing thread's own handle.
+        #: Guarded by its own lock: ``_connection`` runs while ``_lock`` is
+        #: already held.
+        self._all_connections: List[sqlite3.Connection] = []
+        self._connections_lock = threading.Lock()
+        self._create_tables()
+
+    def _connection(self) -> sqlite3.Connection:
+        if self._shared_memory_connection is not None:
+            return self._shared_memory_connection
+        connection = getattr(self._local, "connection", None)
+        if connection is None:
+            connection = sqlite3.connect(self._path, check_same_thread=False)
+            self._local.connection = connection
+            with self._connections_lock:
+                self._all_connections.append(connection)
+        return connection
+
+    def _create_tables(self) -> None:
+        with self._lock:
+            connection = self._connection()
+            connection.execute(
+                """
+                CREATE TABLE IF NOT EXISTS result_cache_meta (
+                    key TEXT PRIMARY KEY,
+                    value TEXT NOT NULL
+                )
+                """
+            )
+            connection.execute(
+                """
+                CREATE TABLE IF NOT EXISTS result_cache_entries (
+                    namespace TEXT NOT NULL,
+                    system_k INTEGER NOT NULL,
+                    query_key TEXT NOT NULL,
+                    payload TEXT NOT NULL,
+                    position INTEGER NOT NULL,
+                    PRIMARY KEY (namespace, system_k, query_key)
+                )
+                """
+            )
+            row = connection.execute(
+                "SELECT value FROM result_cache_meta WHERE key = 'schema_version'"
+            ).fetchone()
+            if row is None:
+                connection.execute(
+                    "INSERT INTO result_cache_meta (key, value) VALUES (?, ?)",
+                    ("schema_version", str(SCHEMA_VERSION)),
+                )
+            elif int(row[0]) != SCHEMA_VERSION:
+                # A spill from an incompatible adapter: drop it rather than
+                # risk replaying entries whose payload shape changed.
+                connection.execute("DELETE FROM result_cache_entries")
+                connection.execute(
+                    "UPDATE result_cache_meta SET value = ? WHERE key = 'schema_version'",
+                    (str(SCHEMA_VERSION),),
+                )
+            connection.commit()
+
+    # ------------------------------------------------------------------ #
+    # Serialization
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _serialize(result: SearchResult) -> str:
+        return json.dumps(
+            {
+                "query": result.query.to_dict(),
+                "rows": [dict(row) for row in result.rows],
+                "outcome": result.outcome.value,
+                "system_k": result.system_k,
+                "elapsed_seconds": result.elapsed_seconds,
+            }
+        )
+
+    @staticmethod
+    def _deserialize(payload: str) -> SearchResult:
+        data = json.loads(payload)
+        return SearchResult(
+            query=SearchQuery.from_dict(data["query"]),
+            rows=tuple(dict(row) for row in data["rows"]),
+            outcome=Outcome(data["outcome"]),
+            system_k=int(data["system_k"]),
+            elapsed_seconds=float(data.get("elapsed_seconds", 0.0)),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Snapshot / warm load
+    # ------------------------------------------------------------------ #
+    def save(self, cache: QueryResultCache) -> int:
+        """Replace the spill with a snapshot of ``cache``'s live entries.
+
+        Returns the number of entries written.  The snapshot preserves LRU
+        order so a future load re-stores entries oldest-first."""
+        entries = cache.export_entries()
+        rows = [
+            (
+                namespace,
+                system_k,
+                repr(result.query.canonical_key()),
+                self._serialize(result),
+                position,
+            )
+            for position, (namespace, system_k, result) in enumerate(entries)
+        ]
+        with self._lock:
+            connection = self._connection()
+            connection.execute("DELETE FROM result_cache_entries")
+            connection.executemany(
+                """
+                INSERT OR REPLACE INTO result_cache_entries
+                    (namespace, system_k, query_key, payload, position)
+                VALUES (?, ?, ?, ?, ?)
+                """,
+                rows,
+            )
+            connection.commit()
+        return len(rows)
+
+    def load(
+        self,
+        cache: QueryResultCache,
+        expected_system_k: Optional[Mapping[str, int]] = None,
+    ) -> int:
+        """Warm ``cache`` from the spill; returns the number of entries loaded.
+
+        ``expected_system_k`` maps namespace to the interface's *current*
+        ``system_k``: entries recorded under a different ``k`` (or for a
+        namespace absent from the mapping) are skipped — their trichotomy was
+        observed against a different interface contract.  Without the mapping
+        every entry loads (the cache key still isolates ``system_k``).
+        """
+        with self._lock:
+            cursor = self._connection().execute(
+                "SELECT namespace, system_k, payload FROM result_cache_entries "
+                "ORDER BY position"
+            )
+            stored: List[Tuple[str, int, str]] = cursor.fetchall()
+        loaded = 0
+        for namespace, system_k, payload in stored:
+            system_k = int(system_k)
+            if expected_system_k is not None and (
+                expected_system_k.get(namespace) != system_k
+            ):
+                continue
+            result = self._deserialize(payload)
+            cache.store(namespace, result.query, system_k, result)
+            loaded += 1
+        return loaded
+
+    # ------------------------------------------------------------------ #
+    # Introspection / maintenance
+    # ------------------------------------------------------------------ #
+    @property
+    def path(self) -> str:
+        """The SQLite file backing the spill."""
+        return self._path
+
+    def entry_count(self) -> int:
+        """Number of entries currently spilled."""
+        with self._lock:
+            row = self._connection().execute(
+                "SELECT COUNT(*) FROM result_cache_entries"
+            ).fetchone()
+        return int(row[0])
+
+    def namespaces(self) -> Dict[str, int]:
+        """Spilled entry counts per namespace (diagnostics)."""
+        with self._lock:
+            cursor = self._connection().execute(
+                "SELECT namespace, COUNT(*) FROM result_cache_entries GROUP BY namespace"
+            )
+            return {namespace: int(count) for namespace, count in cursor.fetchall()}
+
+    def clear(self) -> int:
+        """Drop every spilled entry; returns the number removed."""
+        with self._lock:
+            connection = self._connection()
+            removed = connection.execute(
+                "SELECT COUNT(*) FROM result_cache_entries"
+            ).fetchone()[0]
+            connection.execute("DELETE FROM result_cache_entries")
+            connection.commit()
+        return int(removed)
+
+    def close(self) -> None:
+        """Close every underlying connection, whichever thread opened it."""
+        if self._shared_memory_connection is not None:
+            self._shared_memory_connection.close()
+        with self._connections_lock:
+            doomed, self._all_connections = self._all_connections, []
+        for connection in doomed:
+            connection.close()
+        self._local.connection = None

@@ -17,11 +17,21 @@ re-issuing queries the service has already paid for.
   overflow/valid/underflow trichotomy is only meaningful relative to ``k``);
 * **per-interface namespaces** — one cache instance can be shared across every
   data source of a service without results bleeding between databases;
+* **containment answering** — a miss on query ``Q`` can be satisfied by any
+  stored *covering* (valid/underflow) entry for a superset query
+  ``Q' ⊇ Q``: a non-overflow result provably holds **every** tuple matching
+  ``Q'``, so filtering its rank-ordered rows through ``Q.matches`` yields
+  exactly what the database would return for ``Q`` — same rows, same order,
+  same trichotomy — at zero round trips (status ``CONTAINED``).  Overflow
+  entries are truncated and must never answer subsets;
 * **LRU + TTL eviction** — bounded memory, and a freshness horizon for
   deployments where the hidden database mutates;
 * **request coalescing** — when several sessions miss on the same key at the
   same time, exactly one remote query is issued and the other callers wait on
-  its result (the classic "thundering herd" guard).
+  its result (the classic "thundering herd" guard);
+* **generation-checked stores** — :meth:`QueryResultCache.invalidate` bumps a
+  generation counter, and in-flight queries that began *before* the
+  invalidation do not re-store their (possibly stale) results after it.
 
 Because a valid/underflow result proves the caller has observed *every* tuple
 matching the query, replaying a cached result preserves the paper's
@@ -40,10 +50,10 @@ import threading
 import time
 from collections import OrderedDict
 from dataclasses import dataclass, replace
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from repro.dataset.schema import Schema
-from repro.webdb.interface import SearchResult, TopKInterface
+from repro.webdb.interface import Outcome, SearchResult, TopKInterface
 from repro.webdb.query import SearchQuery
 
 #: ``(namespace, system_k, canonical query key)`` — the full cache identity.
@@ -56,6 +66,7 @@ class FetchStatus(enum.Enum):
     MISS = "miss"  #: this caller issued the remote query
     HIT = "hit"  #: answered from a stored entry, zero round trips
     COALESCED = "coalesced"  #: rode along another caller's in-flight query
+    CONTAINED = "contained"  #: derived from a covering superset entry
 
 
 @dataclass
@@ -65,6 +76,7 @@ class CacheStatistics:
     hits: int = 0
     misses: int = 0
     coalesced: int = 0
+    contained: int = 0
     evictions: int = 0
     expirations: int = 0
     invalidations: int = 0
@@ -77,30 +89,47 @@ class CacheStatistics:
         with self._lock:
             setattr(self, field, getattr(self, field) + count)
 
+    # The derived metrics are computed from a *single* locked read: reading
+    # the counters one by one outside the lock can interleave with a
+    # concurrent ``record`` and report a hit rate inconsistent with the
+    # counters it was computed from.
+    def _lookups_locked(self) -> int:
+        return self.hits + self.contained + self.coalesced + self.misses
+
+    def _hit_rate_locked(self) -> float:
+        total = self._lookups_locked()
+        if total == 0:
+            return 0.0
+        return (self.hits + self.contained + self.coalesced) / total
+
     @property
     def lookups(self) -> int:
-        """Total lookups that were resolved (hits + coalesced + misses)."""
-        return self.hits + self.coalesced + self.misses
+        """Total lookups that were resolved (hits + contained + coalesced +
+        misses)."""
+        with self._lock:
+            return self._lookups_locked()
 
     @property
     def hit_rate(self) -> float:
         """Fraction of lookups served without a fresh remote query."""
-        total = self.lookups
-        if total == 0:
-            return 0.0
-        return (self.hits + self.coalesced) / total
+        with self._lock:
+            return self._hit_rate_locked()
 
     def snapshot(self) -> Dict[str, object]:
-        """Plain-dictionary snapshot for the service statistics panel."""
+        """Plain-dictionary snapshot for the service statistics panel.
+
+        The counters and the hit rate come from one locked read, so the rate
+        always matches the counters it is printed next to."""
         with self._lock:
             return {
                 "hits": self.hits,
                 "misses": self.misses,
                 "coalesced": self.coalesced,
+                "contained": self.contained,
                 "evictions": self.evictions,
                 "expirations": self.expirations,
                 "invalidations": self.invalidations,
-                "hit_rate": round(self.hit_rate, 4),
+                "hit_rate": round(self._hit_rate_locked(), 4),
             }
 
 
@@ -134,6 +163,13 @@ class QueryResultCache:
         immutable, so the default service configuration runs without a TTL).
     clock:
         Monotonic time source, injectable for the TTL tests.
+    enable_containment:
+        When true (the default), a miss may be answered from a stored
+        *covering* (valid/underflow) entry of a superset query by filtering
+        its rank-ordered rows through the subset query's predicates (status
+        ``CONTAINED``).  Overflow entries are truncated and never answer
+        subsets.  Disable to fall back to exact-match-only behaviour (the
+        ablation benchmarks do).
     """
 
     def __init__(
@@ -141,6 +177,7 @@ class QueryResultCache:
         max_entries: int = 4096,
         ttl_seconds: Optional[float] = None,
         clock: Callable[[], float] = time.monotonic,
+        enable_containment: bool = True,
     ) -> None:
         if max_entries <= 0:
             raise ValueError("max_entries must be positive")
@@ -149,9 +186,20 @@ class QueryResultCache:
         self._max_entries = max_entries
         self._ttl = ttl_seconds
         self._clock = clock
+        self._containment = enable_containment
         self._lock = threading.Lock()
         self._entries: "OrderedDict[CacheKey, _Entry]" = OrderedDict()
         self._inflight: Dict[CacheKey, _InFlight] = {}
+        #: ``(namespace, system_k)`` → covering (non-overflow) entries usable
+        #: for containment answering, keyed like ``_entries``; each value is
+        #: the query plus its constrained-attribute signature for pruning.
+        self._covering: Dict[
+            Tuple[str, int], Dict[CacheKey, Tuple[SearchQuery, FrozenSet[str]]]
+        ] = {}
+        #: Generation counters bumped by :meth:`invalidate`: stores from
+        #: queries claimed under an older generation are dropped.
+        self._global_generation = 0
+        self._namespace_generations: Dict[str, int] = {}
         self.statistics = CacheStatistics()
 
     # ------------------------------------------------------------------ #
@@ -166,6 +214,11 @@ class QueryResultCache:
     def ttl_seconds(self) -> Optional[float]:
         """Entry lifetime, or ``None`` when entries never expire."""
         return self._ttl
+
+    @property
+    def containment_enabled(self) -> bool:
+        """True when covering superset entries may answer subset queries."""
+        return self._containment
 
     def __len__(self) -> int:
         with self._lock:
@@ -182,8 +235,12 @@ class QueryResultCache:
         with self._lock:
             payload["entries"] = len(self._entries)
             payload["in_flight"] = len(self._inflight)
+            payload["covering_entries"] = sum(
+                len(queries) for queries in self._covering.values()
+            )
         payload["max_entries"] = self._max_entries
         payload["ttl_seconds"] = self._ttl
+        payload["containment_enabled"] = self._containment
         return payload
 
     # ------------------------------------------------------------------ #
@@ -194,18 +251,52 @@ class QueryResultCache:
     ) -> Optional[SearchResult]:
         """Return the cached result for ``query``, or ``None`` on a miss.
 
-        A hit is returned as a fresh copy with ``elapsed_seconds=0.0`` — a
-        cached answer costs no round trip — and with copied rows so callers
-        can never mutate the stored entry.  Misses are *not* counted here
-        (:meth:`fetch` owns miss accounting); hits are.
+        Kept for callers that do not care *how* the answer was found; use
+        :meth:`probe` to distinguish exact hits from containment answers.
+        """
+        outcome = self.probe(namespace, query, system_k)
+        if outcome is None:
+            return None
+        return outcome[0]
+
+    def probe(
+        self,
+        namespace: str,
+        query: SearchQuery,
+        system_k: int,
+        memoize: bool = True,
+    ) -> Optional[Tuple[SearchResult, FetchStatus]]:
+        """Resolve ``query`` from stored entries only (no remote issuance).
+
+        Returns ``(result, status)`` where ``status`` is ``HIT`` for an exact
+        entry or ``CONTAINED`` for an answer derived from a covering superset
+        entry, or ``None`` when neither exists.  Either way the result is a
+        fresh copy with ``elapsed_seconds=0.0`` — a cached answer costs no
+        round trip — and with copied rows so callers can never mutate the
+        stored entry.  Misses are *not* counted here (:meth:`fetch` owns miss
+        accounting); hits and containment answers are.
+
+        ``memoize=False`` makes the probe strictly read-only: a derived
+        containment answer is returned but not stored under ``query``'s key.
+        Cache-bypassing callers use it so their one-off queries never churn
+        the LRU.
         """
         key = self.key_for(namespace, query, system_k)
         with self._lock:
             entry = self._live_entry(key)
-        if entry is None:
-            return None
-        self.statistics.record("hits")
-        return self._replay(entry.result)
+            if entry is not None:
+                result, status = entry.result, FetchStatus.HIT
+            else:
+                derived = self._contained_answer_locked(
+                    namespace, query, system_k, key, memoize=memoize
+                )
+                if derived is None:
+                    return None
+                result, status = derived, FetchStatus.CONTAINED
+        self.statistics.record(
+            "hits" if status is FetchStatus.HIT else "contained"
+        )
+        return self._replay(result), status
 
     def store(
         self, namespace: str, query: SearchQuery, system_k: int, result: SearchResult
@@ -213,7 +304,7 @@ class QueryResultCache:
         """Insert one result, evicting the LRU tail past ``max_entries``."""
         key = self.key_for(namespace, query, system_k)
         with self._lock:
-            self._store_locked(key, result)
+            self._store_locked(key, query, result)
 
     def fetch(
         self,
@@ -230,7 +321,8 @@ class QueryResultCache:
         so a transient remote failure never poisons the key.
 
         Returns the result plus how it was satisfied; ``MISS`` results carry
-        the real ``elapsed_seconds``, ``HIT``/``COALESCED`` results cost zero.
+        the real ``elapsed_seconds``; ``HIT``/``CONTAINED``/``COALESCED``
+        results cost zero.
         """
         key = self.key_for(namespace, query, system_k)
         while True:
@@ -239,10 +331,18 @@ class QueryResultCache:
                 if entry is not None:
                     self.statistics.record("hits")
                     return self._replay(entry.result), FetchStatus.HIT
+                derived = self._contained_answer_locked(namespace, query, system_k, key)
+                if derived is not None:
+                    self.statistics.record("contained")
+                    return self._replay(derived), FetchStatus.CONTAINED
                 flight = self._inflight.get(key)
                 if flight is None:
                     flight = _InFlight()
                     self._inflight[key] = flight
+                    # An invalidation between now and the store means the
+                    # result we are about to compute may be stale: remember
+                    # the generation the query began under.
+                    generation = self._generation_locked(namespace)
                     break
             # Another caller owns the remote query for this key: wait for it.
             flight.done.wait()
@@ -261,7 +361,8 @@ class QueryResultCache:
             raise
         flight.result = result
         with self._lock:
-            self._store_locked(key, result)
+            if self._generation_locked(namespace) == generation:
+                self._store_locked(key, query, result)
             self._inflight.pop(key, None)
         flight.done.set()
         self.statistics.record("misses")
@@ -283,7 +384,8 @@ class QueryResultCache:
         cache with at most one ``compute_many`` round trip.
 
         Under one lock pass, every query is classified: live entries are
-        ``HIT``\\ s, keys another caller is already computing are coalesced
+        ``HIT``\\ s, queries a stored covering superset entry can answer are
+        ``CONTAINED``, keys another caller is already computing are coalesced
         onto that caller's flight, duplicates within the batch ride on the
         batch's own computation (the later occurrences are ``HIT``\\ s, exactly
         as in the sequential path where the first store answers the repeat),
@@ -304,12 +406,24 @@ class QueryResultCache:
         duplicates: List[Tuple[int, CacheKey]] = []
         waiting: List[Tuple[int, CacheKey, _InFlight]] = []
         hits = 0
+        contained = 0
         with self._lock:
+            generation = self._generation_locked(namespace)
             for position, key in enumerate(keys):
                 entry = self._live_entry(key)
                 if entry is not None:
                     outcomes[position] = (self._replay(entry.result), FetchStatus.HIT)
                     hits += 1
+                    continue
+                derived = self._contained_answer_locked(
+                    namespace, materialized[position], system_k, key
+                )
+                if derived is not None:
+                    outcomes[position] = (
+                        self._replay(derived),
+                        FetchStatus.CONTAINED,
+                    )
+                    contained += 1
                     continue
                 if key in owned:
                     duplicates.append((position, key))
@@ -324,6 +438,8 @@ class QueryResultCache:
                 owner_position[key] = position
         if hits:
             self.statistics.record("hits", hits)
+        if contained:
+            self.statistics.record("contained", contained)
 
         owner_results: Dict[CacheKey, SearchResult] = {}
         if owned:
@@ -347,8 +463,12 @@ class QueryResultCache:
             for flight, result in zip(owned.values(), results):
                 flight.result = result
             with self._lock:
+                store_allowed = self._generation_locked(namespace) == generation
                 for key, result in zip(owned, results):
-                    self._store_locked(key, result)
+                    if store_allowed:
+                        self._store_locked(
+                            key, materialized[owner_position[key]], result
+                        )
                     self._inflight.pop(key, None)
             for flight in owned.values():
                 flight.done.set()
@@ -388,21 +508,52 @@ class QueryResultCache:
         return complete
 
     # ------------------------------------------------------------------ #
+    # Persistence support
+    # ------------------------------------------------------------------ #
+    def export_entries(self) -> List[Tuple[str, int, SearchResult]]:
+        """Stable snapshot of the live entries for persistence adapters.
+
+        One ``(namespace, system_k, result)`` triple per entry in LRU order
+        (least recently used first, so re-storing in order reproduces the
+        eviction order).  The result carries its query, which is all a loader
+        needs to re-:meth:`store` the entry.  Expired entries are skipped
+        without being counted as expirations.
+        """
+        now = self._clock()
+        with self._lock:
+            return [
+                (key[0], key[1], entry.result)
+                for key, entry in self._entries.items()
+                if self._ttl is None or now - entry.stored_at < self._ttl
+            ]
+
+    # ------------------------------------------------------------------ #
     # Invalidation
     # ------------------------------------------------------------------ #
     def invalidate(self, namespace: Optional[str] = None) -> int:
         """Drop every entry (or every entry of one namespace); returns the
-        number removed.  In-flight queries are unaffected — they complete and
-        re-store their (fresh) results."""
+        number removed.
+
+        The namespace's generation counter is bumped, so in-flight queries
+        that began *before* the invalidation complete normally for their
+        callers but do **not** re-store their results — without the counter a
+        slow pre-invalidation query could resurrect a stale entry after the
+        flush."""
         with self._lock:
             if namespace is None:
                 removed = len(self._entries)
                 self._entries.clear()
+                self._covering.clear()
+                self._global_generation += 1
             else:
                 doomed = [key for key in self._entries if key[0] == namespace]
                 for key in doomed:
                     del self._entries[key]
+                    self._forget_covering_locked(key)
                 removed = len(doomed)
+                self._namespace_generations[namespace] = (
+                    self._namespace_generations.get(namespace, 0) + 1
+                )
         if removed:
             self.statistics.record("invalidations", removed)
         return removed
@@ -410,23 +561,123 @@ class QueryResultCache:
     # ------------------------------------------------------------------ #
     # Internals (call with the lock held)
     # ------------------------------------------------------------------ #
+    def _generation_locked(self, namespace: str) -> Tuple[int, int]:
+        """The generation token a store must match to be accepted: bumped
+        globally by a full invalidation, per namespace by a scoped one."""
+        return (
+            self._global_generation,
+            self._namespace_generations.get(namespace, 0),
+        )
+
     def _live_entry(self, key: CacheKey) -> Optional[_Entry]:
         entry = self._entries.get(key)
         if entry is None:
             return None
         if self._ttl is not None and self._clock() - entry.stored_at >= self._ttl:
             del self._entries[key]
+            self._forget_covering_locked(key)
             self.statistics.record("expirations")
             return None
         self._entries.move_to_end(key)
         return entry
 
-    def _store_locked(self, key: CacheKey, result: SearchResult) -> None:
-        self._entries[key] = _Entry(result=result, stored_at=self._clock())
+    def _store_locked(
+        self,
+        key: CacheKey,
+        query: SearchQuery,
+        result: SearchResult,
+        stored_at: Optional[float] = None,
+    ) -> None:
+        stamp = self._clock() if stored_at is None else stored_at
+        self._entries[key] = _Entry(result=result, stored_at=stamp)
         self._entries.move_to_end(key)
+        scope = (key[0], key[1])
+        if result.covers_query:
+            # Only covering (valid/underflow) results may answer subset
+            # queries: an overflow result is truncated at ``k`` and proves
+            # nothing about which subset tuples the database holds.  The
+            # attribute signature rides along for cheap candidate pruning.
+            self._covering.setdefault(scope, {})[key] = (
+                query,
+                frozenset(query.constrained_attributes),
+            )
+        else:
+            self._forget_covering_locked(key)
         while len(self._entries) > self._max_entries:
-            self._entries.popitem(last=False)
+            evicted, _ = self._entries.popitem(last=False)
+            self._forget_covering_locked(evicted)
             self.statistics.record("evictions")
+
+    def _forget_covering_locked(self, key: CacheKey) -> None:
+        scope = (key[0], key[1])
+        queries = self._covering.get(scope)
+        if queries is not None:
+            queries.pop(key, None)
+            if not queries:
+                del self._covering[scope]
+
+    def _contained_answer_locked(
+        self,
+        namespace: str,
+        query: SearchQuery,
+        system_k: int,
+        key: CacheKey,
+        memoize: bool = True,
+    ) -> Optional[SearchResult]:
+        """Derive ``query``'s answer from a stored covering superset entry.
+
+        A covering (valid/underflow) entry for ``Q' ⊇ Q`` holds *every* tuple
+        matching ``Q'`` in hidden-rank order, so the tuples matching ``Q``
+        are exactly the entry rows passing ``Q.matches`` — in the same rank
+        order the database itself would return.  Truncating at ``system_k``
+        reproduces the overflow/valid/underflow trichotomy bit for bit.
+
+        With ``memoize`` (the default) the derived result is stored under
+        ``key`` — inheriting the *source* entry's ``stored_at`` so derivation
+        never extends the TTL freshness horizon of the underlying
+        observation — and repeats of the subset query become exact hits.
+        Cache-bypassing callers (the crawler) pass ``memoize=False``: their
+        effectively unique queries would only churn the LRU.  Returns
+        ``None`` when containment is disabled or no live covering superset
+        exists.
+        """
+        if not self._containment:
+            return None
+        candidates = self._covering.get((namespace, system_k))
+        if not candidates:
+            return None
+        constrained = set(query.constrained_attributes)
+        for covering_key, (covering_query, covering_names) in list(candidates.items()):
+            # Cheap signature pre-filter: a covering query can only contain
+            # ``query`` if every attribute it constrains is also constrained
+            # by ``query`` — prunes most candidates before the full check.
+            if not covering_names <= constrained:
+                continue
+            if not covering_query.contains(query):
+                continue
+            entry = self._live_entry(covering_key)
+            if entry is None:  # expired between store and probe
+                continue
+            matched = [row for row in entry.result.rows if query.matches(row)]
+            overflow = len(matched) > system_k
+            rows = tuple(dict(row) for row in matched[:system_k])
+            if overflow:
+                outcome = Outcome.OVERFLOW
+            elif rows:
+                outcome = Outcome.VALID
+            else:
+                outcome = Outcome.UNDERFLOW
+            derived = SearchResult(
+                query=query,
+                rows=rows,
+                outcome=outcome,
+                system_k=system_k,
+                elapsed_seconds=0.0,
+            )
+            if memoize:
+                self._store_locked(key, query, derived, stored_at=entry.stored_at)
+            return derived
+        return None
 
     @staticmethod
     def _replay(result: SearchResult) -> SearchResult:

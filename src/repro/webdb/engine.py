@@ -39,7 +39,7 @@ from itertools import chain
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.exceptions import QueryError
-from repro.webdb.indexes import NUMERIC_TYPES, ColumnarCatalog
+from repro.webdb.indexes import ColumnarCatalog, is_numeric
 from repro.webdb.query import InPredicate, RangePredicate, SearchQuery
 
 Row = Dict[str, object]
@@ -277,15 +277,13 @@ class IndexedColumnarEngine(ExecutionEngine):
             return None
         floats = catalog.float_column(attribute)
         if floats is None:
-            # Mixed or non-numeric column: replicate the per-value
-            # isinstance check of the reference scan; no index support.
+            # Mixed or non-numeric column: replicate the per-value numeric
+            # check of the reference scan; no index support.
             raw = catalog.raw_column(attribute)
             assert raw is not None
             matches = predicate.matches
             block_filter: BlockFilter = lambda ranks, raw=raw, matches=matches: [
-                i
-                for i in ranks
-                if isinstance(raw[i], NUMERIC_TYPES) and matches(float(raw[i]))
+                i for i in ranks if is_numeric(raw[i]) and matches(float(raw[i]))
             ]
             return block_filter, None, None
 

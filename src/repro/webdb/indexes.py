@@ -24,15 +24,27 @@ and databases are constructed eagerly all over the test suite.
 
 from __future__ import annotations
 
+import math
 import threading
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 Row = Dict[str, object]
 
-#: The exact type test the naive scan applies to range-predicate values
-#: (``bool`` is intentionally included — it is an ``int`` subclass and the
-#: reference scan treats it as numeric).
+#: The raw type pair behind :func:`is_numeric`; kept for isinstance checks.
 NUMERIC_TYPES = (int, float)
+
+
+def is_numeric(value: object) -> bool:
+    """The exact value test range predicates apply: a real number.
+
+    Mirrors :meth:`~repro.webdb.query.SearchQuery.matches` so both execution
+    engines stay differentially identical: ``bool`` is excluded (``True``
+    must not satisfy a range containing ``1.0`` even though it is an ``int``
+    subclass) and ``NaN`` is excluded (it satisfies no range).
+    """
+    if isinstance(value, bool) or not isinstance(value, NUMERIC_TYPES):
+        return False
+    return not (isinstance(value, float) and math.isnan(value))
 
 
 class ColumnarCatalog:
@@ -107,15 +119,16 @@ class ColumnarCatalog:
         """``float``-converted column for fully numeric columns.
 
         Returns ``None`` when the column is unknown or holds any non-numeric
-        value — the engine then falls back to the per-value ``isinstance``
-        check the naive scan performs.
+        value (including ``bool`` and ``NaN``, which range predicates reject)
+        — the engine then falls back to the per-value check the naive scan
+        performs.
         """
         if name not in self._float_columns:
             with self._lock:
                 if name not in self._float_columns:
                     column = self._columns().get(name)
                     if column is None or not all(
-                        isinstance(value, NUMERIC_TYPES) for value in column
+                        is_numeric(value) for value in column
                     ):
                         self._float_columns[name] = None
                     else:

@@ -50,12 +50,36 @@ class RangePredicate:
 
     # ------------------------------------------------------------------ #
     def matches(self, value: float) -> bool:
-        """True when ``value`` satisfies the predicate."""
+        """True when ``value`` satisfies the predicate.
+
+        ``NaN`` never matches: every comparison against it is ``False``, so
+        without the explicit rejection a NaN attribute value would satisfy
+        *every* range predicate and poison covered-region accounting."""
+        if math.isnan(value):
+            return False
         if value < self.lower or value > self.upper:
             return False
         if value == self.lower and not self.include_lower:
             return False
         if value == self.upper and not self.include_upper:
+            return False
+        return True
+
+    def contains(self, other: "RangePredicate") -> bool:
+        """True when every value matching ``other`` also matches this
+        predicate (``other``'s range lies inside this one, exclusive bounds
+        respected)."""
+        if other.attribute != self.attribute:
+            raise QueryError(
+                f"cannot compare ranges on {self.attribute!r} and {other.attribute!r}"
+            )
+        if other.lower < self.lower:
+            return False
+        if other.lower == self.lower and other.include_lower and not self.include_lower:
+            return False
+        if other.upper > self.upper:
+            return False
+        if other.upper == self.upper and other.include_upper and not self.include_upper:
             return False
         return True
 
@@ -141,6 +165,15 @@ class InPredicate:
     def matches(self, value: object) -> bool:
         """True when ``value`` is one of the allowed values."""
         return value in self.values
+
+    def contains(self, other: "InPredicate") -> bool:
+        """True when every value matching ``other`` also matches this
+        predicate (``other``'s value set is a subset of this one)."""
+        if other.attribute != self.attribute:
+            raise QueryError(
+                f"cannot compare predicates on {self.attribute!r} and {other.attribute!r}"
+            )
+        return other.values <= self.values
 
     def intersect(self, other: "InPredicate") -> Optional["InPredicate"]:
         """Intersection with another IN predicate (``None`` if disjoint)."""
@@ -228,13 +261,40 @@ class SearchQuery:
         return None
 
     def matches(self, row: Row) -> bool:
-        """True when ``row`` satisfies every predicate."""
+        """True when ``row`` satisfies every predicate.
+
+        Range predicates only accept genuinely numeric values: ``bool`` is an
+        ``int`` subclass, but ``True`` satisfying a range containing ``1.0``
+        is never what a search form means, so it is excluded explicitly."""
         for predicate in self.ranges:
             value = row.get(predicate.attribute)
-            if not isinstance(value, (int, float)) or not predicate.matches(float(value)):
+            if (
+                isinstance(value, bool)
+                or not isinstance(value, (int, float))
+                or not predicate.matches(float(value))
+            ):
                 return False
         for predicate in self.memberships:
             if not predicate.matches(row.get(predicate.attribute)):
+                return False
+        return True
+
+    def contains(self, other: "SearchQuery") -> bool:
+        """True when every row matching ``other`` provably matches this query
+        (``other``'s match set is a subset of this query's match set).
+
+        A query contains another when each of its predicates is implied by a
+        *narrower* predicate of the same kind in ``other``; attributes this
+        query leaves unconstrained are free.  The check is conservative — a
+        membership predicate never implies a range predicate and vice versa —
+        so ``False`` only means "not provably contained"."""
+        for predicate in self.ranges:
+            narrower = other.range_on(predicate.attribute)
+            if narrower is None or not predicate.contains(narrower):
+                return False
+        for predicate in self.memberships:
+            narrower = other.membership_on(predicate.attribute)
+            if narrower is None or not predicate.contains(narrower):
                 return False
         return True
 

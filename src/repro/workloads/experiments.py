@@ -39,7 +39,7 @@ from repro.dataset.diamonds import DiamondCatalogConfig, diamond_schema, generat
 from repro.dataset.housing import HousingCatalogConfig, generate_housing_catalog, housing_schema
 from repro.webdb.database import HiddenWebDatabase
 from repro.webdb.latency import LatencyModel
-from repro.webdb.query import SearchQuery
+from repro.webdb.query import RangePredicate, SearchQuery
 from repro.webdb.ranking import FeaturedScoreRanking
 from repro.workloads.scenarios import (
     Scenario,
@@ -439,6 +439,98 @@ def run_cache_reuse(
                 1.0 - cached_total / uncached_total if uncached_total else 0.0
             ),
             "orders_match": outcomes["cached"]["orders"] == outcomes["uncached"]["orders"],
+        }
+    return payload
+
+
+def run_containment_reuse(
+    environment: Optional[ExperimentEnvironment] = None,
+    sessions: int = 4,
+    depth: int = 10,
+    algorithm: Algorithm = Algorithm.BINARY,
+) -> Dict[str, Dict[str, object]]:
+    """Measure the *additional* external-query savings of containment
+    answering over the exact-match result cache.
+
+    The workload models users refining a popular preset: every session runs
+    the same scenario but with a progressively *narrower* filter window, so
+    no two sessions issue byte-identical queries and the exact-match cache
+    barely helps.  Containment answering converts the nesting into zero-cost
+    answers: a covering (valid/underflow) probe stored by a wider session
+    provably holds every tuple a narrower session's probe can match.
+
+    Both modes run with the result cache *on*; the delta isolates containment
+    itself.  The reranked output must be identical in both modes — a derived
+    answer is byte-identical to a fresh engine query, never an approximation.
+    """
+    environment = environment or ExperimentEnvironment()
+    workloads = {
+        "bluenile": (
+            bluenile_scenarios_1d(environment.diamond_schema)[0],
+            environment.diamond_schema,
+        ),
+        "zillow": (
+            zillow_scenarios_1d(environment.housing_schema)[0],
+            environment.housing_schema,
+        ),
+    }
+
+    payload: Dict[str, Dict[str, object]] = {}
+    for source, (scenario, schema) in workloads.items():
+        # Filter on a numeric attribute the ranking does not use, so the
+        # narrowing windows do not change which probes the algorithm needs —
+        # only whether the cache can answer them.
+        ranking_attributes = set(scenario.ranking.attributes)
+        attribute = next(
+            name for name in schema.rankable_names if name not in ranking_attributes
+        )
+        lower, upper = schema.domain_bounds(attribute)
+        span = upper - lower
+
+        def session_query(index: int) -> SearchQuery:
+            shrink = (0.15 + 0.03 * index) * span
+            return scenario.query.with_range(
+                RangePredicate(attribute, lower + shrink, upper - shrink)
+            )
+
+        outcomes: Dict[str, Dict[str, object]] = {}
+        for mode, config in (
+            ("containment", environment.rerank_config),
+            ("exact", environment.rerank_config.without_containment()),
+        ):
+            reranker = environment.make_reranker(source, config)
+            costs: List[int] = []
+            contained: List[int] = []
+            orders: List[List[object]] = []
+            for index in range(sessions):
+                stream = reranker.rerank(
+                    session_query(index), scenario.ranking, algorithm=algorithm
+                )
+                rows = stream.next_page(depth)
+                costs.append(stream.statistics.external_queries)
+                contained.append(stream.statistics.contained_answers)
+                orders.append([row["id"] for row in rows])
+            outcomes[mode] = {"costs": costs, "contained": contained, "orders": orders}
+
+        containment_total = sum(outcomes["containment"]["costs"])  # type: ignore[arg-type]
+        exact_total = sum(outcomes["exact"]["costs"])  # type: ignore[arg-type]
+        payload[source] = {
+            "scenario": scenario.describe(),
+            "algorithm": algorithm.value,
+            "filter_attribute": attribute,
+            "sessions": sessions,
+            "depth": depth,
+            "containment_costs": outcomes["containment"]["costs"],
+            "exact_costs": outcomes["exact"]["costs"],
+            "contained_answers": outcomes["containment"]["contained"],
+            "containment_total": containment_total,
+            "exact_total": exact_total,
+            "additional_savings_fraction": (
+                1.0 - containment_total / exact_total if exact_total else 0.0
+            ),
+            "orders_match": (
+                outcomes["containment"]["orders"] == outcomes["exact"]["orders"]
+            ),
         }
     return payload
 

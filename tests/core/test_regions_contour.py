@@ -36,6 +36,15 @@ class TestHyperRectangle:
         assert not box.contains({"price": 500.0, "carat": 2.0})
         assert not box.contains({"price": 50.0})
 
+    def test_contains_rejects_nan_and_bool(self, box):
+        """Regression: the region test must use the same value semantics as
+        ``SearchQuery.matches`` and the execution engines — a row the
+        database would never return must never be replayed from a region."""
+        assert not box.contains({"price": math.nan, "carat": 2.0})
+        assert not box.contains({"price": True, "carat": 2.0})
+        assert not box.contains({"price": 50.0, "carat": False})
+        assert box.contains({"price": 50, "carat": 2})  # genuine ints are fine
+
     def test_split_partitions_without_overlap(self, box):
         low, high = box.split("price")
         for value in (0.0, 25.0, 50.0, 50.1, 100.0):

@@ -391,3 +391,65 @@ class TestRankingMemoization:
         once = sorted(rows, key=key)
         again = sorted(rows, key=key)  # fully memoized second pass
         assert [row["id"] for row in once] == [row["id"] for row in again]
+
+
+class TestNumericValueSemantics:
+    """NaN and bool regressions: range predicates reject both, and the two
+    engines must stay differentially identical about it.  NaN rows cannot
+    pass schema validation, so these drive the raw engines directly."""
+
+    @staticmethod
+    def _raw_pair(rows):
+        from repro.webdb.engine import IndexedColumnarEngine, NaiveScanEngine
+        from repro.webdb.indexes import ColumnarCatalog
+
+        order = list(rows[0].keys())
+        catalog = ColumnarCatalog(rows, order, "id")
+        return NaiveScanEngine(rows), IndexedColumnarEngine(catalog)
+
+    @staticmethod
+    def _assert_engines_agree(naive, indexed, query, k=10):
+        naive_rows, naive_overflow = naive.execute(query, k)
+        indexed_rows, indexed_overflow = indexed.execute(query, k)
+        assert naive_overflow == indexed_overflow, f"query: {query!r}"
+        assert [list(row.items()) for row in naive_rows] == [
+            list(row.items()) for row in indexed_rows
+        ], f"query: {query!r}"
+        return naive_rows
+
+    def test_nan_matches_no_range_in_either_engine(self):
+        rows = [{"id": f"t{i}", "x": float(i)} for i in range(6)]
+        rows[2]["x"] = math.nan
+        naive, indexed = self._raw_pair(rows)
+        for query in (
+            SearchQuery.build(ranges={"x": (0.0, 10.0)}),
+            SearchQuery((RangePredicate("x"),), ()),  # unbounded range
+            SearchQuery((RangePredicate("x", upper=3.0),), ()),
+        ):
+            matched = self._assert_engines_agree(naive, indexed, query)
+            assert all(row["id"] != "t2" for row in matched)
+
+    def test_bool_matches_no_range_in_either_engine(self):
+        rows = [
+            {"id": "t0", "x": True},
+            {"id": "t1", "x": 1.0},
+            {"id": "t2", "x": False},
+            {"id": "t3", "x": 0},
+            {"id": "t4", "x": 2.5},
+        ]
+        naive, indexed = self._raw_pair(rows)
+        query = SearchQuery.build(ranges={"x": (0.0, 2.0)})
+        matched = self._assert_engines_agree(naive, indexed, query)
+        # True/False are int subclasses but must not satisfy the range; the
+        # genuine 0 and 1.0 values must.
+        assert [row["id"] for row in matched] == ["t1", "t3"]
+
+    def test_all_bool_column_falls_back_without_diverging(self):
+        rows = [{"id": f"t{i}", "x": bool(i % 2)} for i in range(4)]
+        naive, indexed = self._raw_pair(rows)
+        for query in (
+            SearchQuery.build(ranges={"x": (0.0, 1.0)}),
+            SearchQuery((RangePredicate("x"),), ()),
+        ):
+            matched = self._assert_engines_agree(naive, indexed, query)
+            assert matched == []

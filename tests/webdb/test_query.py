@@ -194,3 +194,99 @@ class TestSearchQuery:
     def test_constrained_attributes(self):
         query = SearchQuery.build(ranges={"price": (0, 1)}, memberships={"cut": ["good"]})
         assert set(query.constrained_attributes) == {"price", "cut"}
+
+
+class TestContainmentAlgebra:
+    def test_range_contains_narrower(self):
+        wide = RangePredicate("price", 0.0, 100.0)
+        assert wide.contains(RangePredicate("price", 10.0, 90.0))
+        assert wide.contains(RangePredicate("price", 0.0, 100.0))
+        assert not wide.contains(RangePredicate("price", -1.0, 50.0))
+        assert not wide.contains(RangePredicate("price", 50.0, 101.0))
+
+    def test_range_contains_respects_exclusive_bounds(self):
+        open_ended = RangePredicate("price", 0.0, 100.0, include_upper=False)
+        # The closed range reaches 100.0, which the open range excludes.
+        assert not open_ended.contains(RangePredicate("price", 0.0, 100.0))
+        assert open_ended.contains(
+            RangePredicate("price", 0.0, 100.0, include_upper=False)
+        )
+        assert open_ended.contains(RangePredicate("price", 0.0, 99.0))
+        open_start = RangePredicate("price", 0.0, 100.0, include_lower=False)
+        assert not open_start.contains(RangePredicate("price", 0.0, 50.0))
+        assert open_start.contains(
+            RangePredicate("price", 0.0, 50.0, include_lower=False)
+        )
+
+    def test_range_contains_unbounded(self):
+        everything = RangePredicate("price")
+        assert everything.contains(RangePredicate("price", -1e9, 1e9))
+        assert everything.contains(everything)
+
+    def test_range_contains_wrong_attribute_rejected(self):
+        with pytest.raises(QueryError):
+            RangePredicate("price").contains(RangePredicate("carat"))
+
+    def test_in_contains_subset(self):
+        wide = InPredicate.of("cut", ["good", "ideal", "fair"])
+        assert wide.contains(InPredicate.of("cut", ["good"]))
+        assert wide.contains(InPredicate.of("cut", ["good", "ideal", "fair"]))
+        assert not wide.contains(InPredicate.of("cut", ["good", "premium"]))
+        with pytest.raises(QueryError):
+            wide.contains(InPredicate.of("color", ["D"]))
+
+    def test_query_contains_fewer_or_wider_predicates(self):
+        wide = SearchQuery.build(ranges={"price": (0, 100)})
+        narrow = SearchQuery.build(
+            ranges={"price": (10, 90), "carat": (1, 2)},
+            memberships={"cut": ["good"]},
+        )
+        assert wide.contains(narrow)
+        assert not narrow.contains(wide)
+        assert SearchQuery.everything().contains(narrow)
+        assert SearchQuery.everything().contains(SearchQuery.everything())
+
+    def test_query_containment_needs_same_kind_predicate(self):
+        # A membership on the attribute never implies the range (and vice
+        # versa): containment must be conservative across predicate kinds.
+        by_range = SearchQuery.build(ranges={"x": (0, 1)})
+        by_membership = SearchQuery.build(memberships={"x": ["0.5"]})
+        assert not by_range.contains(by_membership)
+        assert not by_membership.contains(by_range)
+
+    def test_query_containment_unconstrained_attribute_not_implied(self):
+        constrained = SearchQuery.build(ranges={"price": (0, 100)})
+        assert not constrained.contains(SearchQuery.everything())
+
+    def test_contained_rows_actually_match(self):
+        wide = SearchQuery.build(ranges={"price": (0, 100)})
+        narrow = SearchQuery.build(ranges={"price": (25, 75)}, memberships={"cut": ["good"]})
+        assert wide.contains(narrow)
+        row = {"price": 50.0, "cut": "good"}
+        assert narrow.matches(row) and wide.matches(row)
+
+
+class TestMatchesRegressions:
+    def test_nan_never_matches_a_range(self):
+        """A NaN value compares False against both bounds, so before the
+        explicit rejection it satisfied *every* range predicate."""
+        predicate = RangePredicate("x", 0.0, 10.0)
+        assert not predicate.matches(math.nan)
+        assert not RangePredicate("x").matches(math.nan)  # even unbounded
+        query = SearchQuery.build(ranges={"x": (0.0, 10.0)})
+        assert not query.matches({"x": math.nan})
+        assert query.matches({"x": 5.0})
+
+    def test_bool_never_matches_a_range(self):
+        """``bool`` is an ``int`` subclass; ``True`` must not satisfy a range
+        containing ``1.0``."""
+        query = SearchQuery.build(ranges={"x": (0.0, 2.0)})
+        assert not query.matches({"x": True})
+        assert not query.matches({"x": False})
+        assert query.matches({"x": 1})
+        assert query.matches({"x": 1.0})
+
+    def test_bool_still_matches_membership(self):
+        query = SearchQuery(memberships=(InPredicate("flag", frozenset([True])),))
+        assert query.matches({"flag": True})
+        assert not query.matches({"flag": False})
