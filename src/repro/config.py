@@ -108,6 +108,12 @@ class RerankConfig:
         (valid/underflow) entry of a superset query by filtering its
         rank-ordered rows — zero round trips for queries never issued
         verbatim.  Exact-match caching still works with this off.
+    dense_index_impl:
+        Implementation of the on-the-fly dense-region index: ``"interval"``
+        (default) uses per-signature interval maps with bisect lookups and
+        coalesces adjacent/overlapping regions on insert; ``"naive"`` keeps
+        the seed's linear reference scan, used for differential testing and
+        as a fallback knob (mirrors ``DatabaseConfig.engine``).
     """
 
     dense_ratio_threshold: float = 0.005
@@ -122,6 +128,7 @@ class RerankConfig:
     result_cache_size: int = 4096
     result_cache_ttl_seconds: Optional[float] = None
     result_cache_containment: bool = True
+    dense_index_impl: str = "interval"
 
     def without_parallel(self) -> "RerankConfig":
         """Copy of this configuration with parallel processing disabled."""
@@ -143,6 +150,11 @@ class RerankConfig:
         """Copy of this configuration with containment answering disabled
         (the result cache falls back to exact-match-only behaviour)."""
         return replace(self, result_cache_containment=False)
+
+    def with_dense_index_impl(self, impl: str) -> "RerankConfig":
+        """Copy of this configuration with a different dense-index
+        implementation (``"interval"`` or ``"naive"``)."""
+        return replace(self, dense_index_impl=impl)
 
 
 @dataclass(frozen=True)

@@ -18,62 +18,362 @@ store) so the index survives restarts and is shared between service workers.
 Regions are stored *without* the user's filter predicates: they describe the
 database's content inside an attribute-space box, so any user query can reuse
 them by filtering locally.
+
+Two implementations are available (mirroring ``DatabaseConfig.engine``):
+
+``interval`` (default)
+    The sublinear structure.  Regions are grouped per attribute signature;
+    1D intervals are kept disjoint and sorted by lower bound so a covering
+    lookup is a bisect, MD boxes are kept sorted by their first axis with a
+    prefix-maximum pruning array.  Adjacent and overlapping regions of the
+    same signature are *coalesced* on insert — union of rows, widened box —
+    which keeps the index small and lets :meth:`~DenseRegionIndex.covers`
+    succeed on unions of separately crawled regions (fewer external queries,
+    not just faster lookups).  Rows inside a region are deduplicated by key,
+    stored once as immutable mappings sorted on the region's primary axis,
+    and returned as shared references; range selections are bisect spans.
+
+``naive``
+    The seed's reference behaviour: append-only region lists, linear
+    ``covering_region`` scans, per-call ``dict`` row copies, no coalescing.
+    Kept for differential testing and as an escape hatch
+    (``RerankConfig.dense_index_impl``).
 """
 
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass
+from bisect import bisect_left, bisect_right
+from dataclasses import dataclass, field
+from types import MappingProxyType
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.regions import HyperRectangle
 from repro.dataset.schema import Schema
 from repro.exceptions import DenseRegionError
 from repro.sqlstore.dense_cache import DenseRegionCache
+from repro.webdb.indexes import is_numeric
 from repro.webdb.query import RangePredicate, SearchQuery
 
-Row = Dict[str, object]
+Row = Mapping[str, object]
+
+DENSE_INDEX_IMPLS = ("interval", "naive")
 
 
 @dataclass
 class IndexedRegion:
-    """One covered region: a closed box plus every database tuple inside it."""
+    """One covered region: a closed box plus every database tuple inside it.
+
+    ``attributes`` (the sorted signature) is computed once at construction —
+    it used to be a property re-sorting the signature on every coverage
+    probe, which showed up on the lookup hot path.
+    """
 
     box: HyperRectangle
     rows: List[Row]
+    attributes: Tuple[str, ...] = field(init=False)
 
-    @property
-    def attributes(self) -> Tuple[str, ...]:
-        """Attributes the region constrains (sorted)."""
-        return tuple(sorted(self.box.attributes))
+    def __post_init__(self) -> None:
+        self.attributes = tuple(sorted(self.box.attributes))
+
+
+def _union_interval(
+    a: RangePredicate, b: RangePredicate
+) -> Optional[RangePredicate]:
+    """Union of two ranges on the same attribute when it is itself a range
+    (they overlap or touch without a gap), else ``None``."""
+    if (b.lower, not b.include_lower) < (a.lower, not a.include_lower):
+        a, b = b, a
+    if b.lower > a.upper or (
+        b.lower == a.upper and not (a.include_upper or b.include_lower)
+    ):
+        return None
+    include_lower = a.include_lower or (b.lower == a.lower and b.include_lower)
+    if b.upper > a.upper:
+        upper, include_upper = b.upper, b.include_upper
+    elif b.upper < a.upper:
+        upper, include_upper = a.upper, a.include_upper
+    else:
+        upper, include_upper = a.upper, a.include_upper or b.include_upper
+    return RangePredicate(a.attribute, a.lower, upper, include_lower, include_upper)
+
+
+def _union_box(a: HyperRectangle, b: HyperRectangle) -> Optional[HyperRectangle]:
+    """Union of two boxes over the same attributes when it is itself a box.
+
+    That is the case when one box covers the other, or when they agree on
+    every side except one and overlap or touch on that free side (the shape
+    binary splitting produces).  Returns ``None`` otherwise — merging to the
+    bounding box would claim coverage of space that was never crawled."""
+    if a.covers(b):
+        return a
+    if b.covers(a):
+        return b
+    free: Optional[str] = None
+    for side in a.sides:
+        other = b.side(side.attribute)
+        if side == other:
+            continue
+        if free is not None:
+            return None
+        free = side.attribute
+    if free is None:  # identical boxes are caught by the covers() checks
+        return a
+    merged = _union_interval(a.side(free), b.side(free))
+    if merged is None:
+        return None
+    return a.replace_side(merged)
+
+
+class _SignatureIndex:
+    """Regions of one attribute signature in the ``interval`` implementation.
+
+    The primary axis is the signature's first attribute.  Regions are kept
+    sorted by their primary-axis lower bound; 1D signatures additionally
+    maintain the invariant that stored intervals are pairwise disjoint with a
+    real gap between neighbours (anything else is coalesced on insert), so a
+    covering lookup inspects at most two bisect neighbours.  MD signatures
+    keep a prefix-maximum array of primary-axis upper bounds so a covering
+    scan stops as soon as no earlier candidate can reach the probe's upper
+    bound.
+    """
+
+    __slots__ = ("primary", "is_1d", "regions", "lowers", "prefix_max_upper")
+
+    def __init__(self, signature: Tuple[str, ...]) -> None:
+        self.primary = signature[0]
+        self.is_1d = len(signature) == 1
+        self.regions: List[_SortedRegion] = []
+        self.lowers: List[float] = []
+        self.prefix_max_upper: List[float] = []
+
+    # -------------------------------------------------------------- #
+    def insert(self, region: "_SortedRegion") -> Tuple[int, int, int]:
+        """Insert (coalescing as needed); returns the deltas
+        ``(regions, tuples, merges)`` this insert caused."""
+        if self.is_1d:
+            return self._insert_1d(region)
+        return self._insert_md(region)
+
+    def _insert_1d(self, region: "_SortedRegion") -> Tuple[int, int, int]:
+        side = region.box.side(self.primary)
+        position = bisect_right(self.lowers, side.lower)
+        start = end = position
+        merged_side = side
+        absorbed: List[_SortedRegion] = []
+        while end < len(self.regions):
+            union = _union_interval(
+                merged_side, self.regions[end].box.side(self.primary)
+            )
+            if union is None:
+                break
+            merged_side = union
+            absorbed.append(self.regions[end])
+            end += 1
+        while start > 0:
+            union = _union_interval(
+                self.regions[start - 1].box.side(self.primary), merged_side
+            )
+            if union is None:
+                break
+            merged_side = union
+            absorbed.append(self.regions[start - 1])
+            start -= 1
+        if absorbed:
+            region = region.merge(absorbed, HyperRectangle((merged_side,)))
+        removed_tuples = sum(len(existing.rows) for existing in absorbed)
+        self.regions[start:end] = [region]
+        self._rebuild_arrays()
+        return (
+            1 - len(absorbed),
+            len(region.rows) - removed_tuples,
+            len(absorbed),
+        )
+
+    def _insert_md(self, region: "_SortedRegion") -> Tuple[int, int, int]:
+        merges = 0
+        removed_tuples = 0
+        absorbed_total: List[_SortedRegion] = []
+        changed = True
+        merged_box = region.box
+        while changed:
+            changed = False
+            for index, existing in enumerate(self.regions):
+                union = _union_box(existing.box, merged_box)
+                if union is None:
+                    continue
+                merged_box = union
+                removed_tuples += len(existing.rows)
+                absorbed_total.append(existing)
+                del self.regions[index]
+                merges += 1
+                changed = True
+                break
+        if absorbed_total:
+            region = region.merge(absorbed_total, merged_box)
+        lower = region.box.side(self.primary).lower
+        # self.lowers may be stale after the deletions above; recompute just
+        # the lower bounds for the insertion bisect and rebuild both arrays
+        # once after the insert.
+        remaining_lowers = [r.box.side(self.primary).lower for r in self.regions]
+        self.regions.insert(bisect_right(remaining_lowers, lower), region)
+        self._rebuild_arrays()
+        return 1 - merges, len(region.rows) - removed_tuples, merges
+
+    def _rebuild_arrays(self) -> None:
+        self.lowers = [r.box.side(self.primary).lower for r in self.regions]
+        self.prefix_max_upper = []
+        running = float("-inf")
+        for region in self.regions:
+            running = max(running, region.box.side(self.primary).upper)
+            self.prefix_max_upper.append(running)
+
+    # -------------------------------------------------------------- #
+    def find(self, box: HyperRectangle) -> Optional["_SortedRegion"]:
+        """A stored region fully covering ``box``, or ``None``."""
+        probe = box.side(self.primary)
+        position = bisect_right(self.lowers, probe.lower)
+        if self.is_1d:
+            # Stored intervals are disjoint with real gaps, so only the
+            # bisect neighbours can contain the probe's lower edge.
+            for index in (position - 1, position):
+                if 0 <= index < len(self.regions):
+                    region = self.regions[index]
+                    if region.box.covers(box):
+                        return region
+            return None
+        for index in range(position - 1, -1, -1):
+            if self.prefix_max_upper[index] < probe.upper:
+                return None  # nothing earlier reaches the probe's upper bound
+            region = self.regions[index]
+            if region.box.covers(box):
+                return region
+        return None
+
+
+@dataclass
+class _SortedRegion(IndexedRegion):
+    """An :class:`IndexedRegion` whose rows are deduplicated by key, stored
+    as immutable mappings, and sorted on the signature's primary axis.
+
+    ``values`` holds the primary-axis value of each row in the sorted
+    (numeric) prefix of ``rows`` so range selections are bisect spans; rows
+    with a non-numeric primary value sit in an unsorted tail — they can never
+    match a box on this signature, so selections skip them entirely.
+    """
+
+    key_column: str = "id"
+    values: List[float] = field(init=False, default_factory=list)
+
+    @staticmethod
+    def build(
+        box: HyperRectangle,
+        rows_by_key: Dict[object, Row],
+        key_column: str,
+    ) -> "_SortedRegion":
+        primary = tuple(sorted(box.attributes))[0]
+        sortable: List[Tuple[float, Row]] = []
+        tail: List[Row] = []
+        for row in rows_by_key.values():
+            value = row.get(primary)
+            if is_numeric(value):
+                sortable.append((float(value), row))  # type: ignore[arg-type]
+            else:
+                tail.append(row)
+        sortable.sort(key=lambda pair: pair[0])
+        region = _SortedRegion(
+            box=box,
+            rows=[row for _, row in sortable] + tail,
+            key_column=key_column,
+        )
+        region.values = [value for value, _ in sortable]
+        return region
+
+    def merge(
+        self, others: Sequence["_SortedRegion"], box: HyperRectangle
+    ) -> "_SortedRegion":
+        """A new region over ``box`` holding the key-deduplicated union of
+        this region's rows and every absorbed region's rows."""
+        rows_by_key: Dict[object, Row] = {}
+        for other in others:
+            for row in other.rows:
+                rows_by_key[row[self.key_column]] = row
+        for row in self.rows:
+            rows_by_key[row[self.key_column]] = row
+        return _SortedRegion.build(box, rows_by_key, self.key_column)
+
+    def select(
+        self,
+        box: HyperRectangle,
+        base_query: Optional[SearchQuery],
+    ) -> List[Row]:
+        """Rows inside ``box`` matching ``base_query``, as shared immutable
+        references — a bisect span on the primary axis, then a filter."""
+        side = box.side(self.attributes[0])
+        start = bisect_left(self.values, side.lower)
+        stop = bisect_right(self.values, side.upper, lo=start)
+        selected = []
+        for row in self.rows[start:stop]:
+            if not box.contains(row):
+                continue
+            if base_query is not None and not base_query.matches(row):
+                continue
+            selected.append(row)
+        return selected
 
 
 class DenseRegionIndex:
-    """Shared index of crawled dense regions."""
+    """Shared index of crawled dense regions.
+
+    ``impl`` selects the lookup structure: ``"interval"`` (sublinear,
+    coalescing — the default) or ``"naive"`` (the seed's linear reference).
+    Both expose the same API and return the same answers; the interval
+    implementation may additionally cover unions of separately added regions.
+    """
 
     def __init__(
         self,
         schema: Schema,
         cache: Optional[DenseRegionCache] = None,
+        impl: str = "interval",
     ) -> None:
+        if impl not in DENSE_INDEX_IMPLS:
+            valid = ", ".join(DENSE_INDEX_IMPLS)
+            raise DenseRegionError(
+                f"unknown dense-index impl {impl!r}; expected one of: {valid}"
+            )
         self._schema = schema
         self._cache = cache
+        self._impl = impl
         self._lock = threading.Lock()
-        # Regions grouped by their (sorted) attribute signature, e.g. all 1D
-        # "price" regions together, all ("carat", "price") boxes together.
+        # interval impl: signature -> _SignatureIndex.
+        self._indexes: Dict[Tuple[str, ...], _SignatureIndex] = {}
+        # naive impl: signature -> append-only region list (seed behaviour).
         self._regions: Dict[Tuple[str, ...], List[IndexedRegion]] = {}
+        # Incremental counters — statistics snapshots used to re-sum every
+        # region under the lock on each call.
+        self._region_count = 0
+        self._tuple_count = 0
+        self._coalesced = 0
+        self._lookups = 0
+        self._hits = 0
         if cache is not None:
             self._load_from_cache()
 
     # ------------------------------------------------------------------ #
     # Persistence
     # ------------------------------------------------------------------ #
+    @property
+    def impl(self) -> str:
+        """Name of the active implementation (``interval`` or ``naive``)."""
+        return self._impl
+
     def _load_from_cache(self) -> None:
         assert self._cache is not None
         for stored in self._cache.regions():
             box = HyperRectangle.from_bounds(stored.bounds)
             rows = self._cache.rows_for_region(stored)
-            self._insert(IndexedRegion(box=box, rows=rows), persist=False)
+            self._insert(box, rows, persist=False)
 
     # ------------------------------------------------------------------ #
     # Writes
@@ -85,8 +385,7 @@ class DenseRegionIndex:
         invariant the covering lookups rely on; it is the crawler's job to
         guarantee it.
         """
-        region = IndexedRegion(box=box, rows=[dict(row) for row in rows])
-        self._insert(region, persist=True)
+        self._insert(box, rows, persist=True)
 
     def add_interval(
         self,
@@ -98,25 +397,48 @@ class DenseRegionIndex:
         """Convenience wrapper for 1D regions."""
         self.add_region(HyperRectangle.from_bounds({attribute: (lower, upper)}), rows)
 
-    def _insert(self, region: IndexedRegion, persist: bool) -> None:
-        signature = region.attributes
-        with self._lock:
-            self._regions.setdefault(signature, []).append(region)
+    def _insert(
+        self, box: HyperRectangle, rows: Sequence[Mapping[str, object]], persist: bool
+    ) -> None:
+        if self._impl == "naive":
+            region = IndexedRegion(box=box, rows=[dict(row) for row in rows])
+            with self._lock:
+                self._regions.setdefault(region.attributes, []).append(region)
+                self._region_count += 1
+                self._tuple_count += len(region.rows)
+        else:
+            key_column = self._schema.key
+            rows_by_key: Dict[object, Row] = {}
+            for row in rows:
+                rows_by_key[row[key_column]] = MappingProxyType(dict(row))
+            region = _SortedRegion.build(box, rows_by_key, key_column)
+            with self._lock:
+                signature_index = self._indexes.get(region.attributes)
+                if signature_index is None:
+                    signature_index = _SignatureIndex(region.attributes)
+                    self._indexes[region.attributes] = signature_index
+                region_delta, tuple_delta, merges = signature_index.insert(region)
+                self._region_count += region_delta
+                self._tuple_count += tuple_delta
+                self._coalesced += merges
         if persist and self._cache is not None:
-            self._cache.store_region(region.box.bounds(), region.rows)
+            self._cache.store_region(box.bounds(), list(rows))
 
     def clear(self) -> None:
-        """Drop every in-memory region (the persistent cache is left alone)."""
+        """Drop every in-memory region and reset every counter (the
+        persistent cache is left alone)."""
         with self._lock:
             self._regions.clear()
+            self._indexes.clear()
+            self._region_count = 0
+            self._tuple_count = 0
+            self._coalesced = 0
+            self._lookups = 0
+            self._hits = 0
 
     # ------------------------------------------------------------------ #
     # Lookups
     # ------------------------------------------------------------------ #
-    def _candidates(self, attributes: Tuple[str, ...]) -> List[IndexedRegion]:
-        with self._lock:
-            return list(self._regions.get(tuple(sorted(attributes)), []))
-
     def covering_region(self, box: HyperRectangle) -> Optional[IndexedRegion]:
         """A stored region that fully covers ``box``, or ``None``.
 
@@ -126,10 +448,20 @@ class DenseRegionIndex:
         question (it does cover it logically, but the bookkeeping cost is not
         worth it at this catalog scale).
         """
-        for region in self._candidates(box.attributes):
-            if region.box.covers(box):
-                return region
-        return None
+        with self._lock:
+            return self._find_locked(box)
+
+    def _find_locked(self, box: HyperRectangle) -> Optional[IndexedRegion]:
+        signature = tuple(sorted(box.attributes))
+        if self._impl == "naive":
+            for region in self._regions.get(signature, []):
+                if region.box.covers(box):
+                    return region
+            return None
+        signature_index = self._indexes.get(signature)
+        if signature_index is None:
+            return None
+        return signature_index.find(box)
 
     def covers(self, box: HyperRectangle) -> bool:
         """True when a stored region fully covers ``box``."""
@@ -140,6 +472,38 @@ class DenseRegionIndex:
         box = HyperRectangle((interval,))
         return self.covers(box)
 
+    def lookup(
+        self,
+        box: HyperRectangle,
+        base_query: Optional[SearchQuery] = None,
+    ) -> Optional[List[Row]]:
+        """Single-pass covered lookup: every known tuple inside ``box`` that
+        also matches ``base_query``, or ``None`` when ``box`` is not covered.
+
+        This replaces the ``covers()``-then-``rows_in()`` double call on the
+        algorithms' hot path: one signature walk decides coverage *and*
+        produces the answer.  A covered-but-empty answer is ``[]``, never
+        ``None``.  The interval implementation returns shared immutable row
+        mappings (no copies); the naive implementation returns fresh dicts.
+        """
+        with self._lock:
+            region = self._find_locked(box)
+            self._lookups += 1
+            if region is not None:
+                self._hits += 1
+        if region is None:
+            return None
+        return self._select(region, box, base_query)
+
+    def lookup_interval(
+        self,
+        attribute: str,
+        interval: RangePredicate,
+        base_query: Optional[SearchQuery] = None,
+    ) -> Optional[List[Row]]:
+        """1D convenience wrapper around :meth:`lookup`."""
+        return self.lookup(HyperRectangle((interval,)), base_query)
+
     def rows_in(
         self,
         box: HyperRectangle,
@@ -148,20 +512,13 @@ class DenseRegionIndex:
         """Every known tuple inside ``box`` that also matches ``base_query``.
 
         Raises :class:`DenseRegionError` when ``box`` is not covered — callers
-        must check :meth:`covers` first, because an uncovered answer would be
-        silently incomplete.
+        that cannot handle a miss must use this; :meth:`lookup` is the
+        single-pass variant returning ``None`` instead.
         """
         region = self.covering_region(box)
         if region is None:
             raise DenseRegionError(f"region not covered by the index: {box.describe()}")
-        selected = []
-        for row in region.rows:
-            if not box.contains(row):
-                continue
-            if base_query is not None and not base_query.matches(row):
-                continue
-            selected.append(dict(row))
-        return selected
+        return self._select(region, box, base_query)
 
     def rows_in_interval(
         self,
@@ -172,38 +529,71 @@ class DenseRegionIndex:
         """1D convenience wrapper around :meth:`rows_in`."""
         return self.rows_in(HyperRectangle((interval,)), base_query)
 
+    def _select(
+        self,
+        region: IndexedRegion,
+        box: HyperRectangle,
+        base_query: Optional[SearchQuery],
+    ) -> List[Row]:
+        if isinstance(region, _SortedRegion):
+            return region.select(box, base_query)
+        selected = []
+        for row in region.rows:
+            if not box.contains(row):
+                continue
+            if base_query is not None and not base_query.matches(row):
+                continue
+            selected.append(dict(row))
+        return selected
+
     # ------------------------------------------------------------------ #
     # Introspection / maintenance
     # ------------------------------------------------------------------ #
     def region_count(self) -> int:
-        """Number of stored regions."""
+        """Number of stored regions (after coalescing), maintained
+        incrementally — O(1)."""
         with self._lock:
-            return sum(len(regions) for regions in self._regions.values())
+            return self._region_count
 
     def tuple_count(self) -> int:
-        """Number of stored tuples across all regions (with multiplicity)."""
+        """Number of stored tuples across all regions (with multiplicity
+        across regions; deduplicated by key within a coalesced region),
+        maintained incrementally — O(1)."""
         with self._lock:
-            return sum(
-                len(region.rows)
-                for regions in self._regions.values()
-                for region in regions
-            )
+            return self._tuple_count
+
+    def coalesced_count(self) -> int:
+        """Number of region merges performed by the interval implementation."""
+        with self._lock:
+            return self._coalesced
 
     def signatures(self) -> List[Tuple[str, ...]]:
         """Attribute signatures that currently have at least one region."""
         with self._lock:
-            return [signature for signature, regions in self._regions.items() if regions]
+            if self._impl == "naive":
+                return [sig for sig, regions in self._regions.items() if regions]
+            return [sig for sig, index in self._indexes.items() if index.regions]
 
     def describe(self) -> Dict[str, object]:
         """Summary used by the service's statistics endpoint."""
         with self._lock:
-            per_signature = {
-                "+".join(signature): len(regions)
-                for signature, regions in self._regions.items()
+            if self._impl == "naive":
+                per_signature = {
+                    "+".join(sig): len(regions)
+                    for sig, regions in self._regions.items()
+                }
+            else:
+                per_signature = {
+                    "+".join(sig): len(index.regions)
+                    for sig, index in self._indexes.items()
+                }
+            return {
+                "impl": self._impl,
+                "regions": self._region_count,
+                "tuples": self._tuple_count,
+                "coalesced": self._coalesced,
+                "lookups": self._lookups,
+                "hits": self._hits,
+                "per_signature": per_signature,
+                "persistent": self._cache is not None,
             }
-        return {
-            "regions": self.region_count(),
-            "tuples": self.tuple_count(),
-            "per_signature": per_signature,
-            "persistent": self._cache is not None,
-        }

@@ -347,13 +347,14 @@ class MultiDimGetNext:
             batch, work = work, []
             to_query: List[Tuple[HyperRectangle, int]] = []
             for box, depth in batch:
-                if self._use_dense_index() and self._dense_index.covers(box):
-                    rows = self._dense_index.rows_in(box, self._base_query)
-                    self._statistics.record_dense_index_hit()
-                    if self._config.enable_session_cache:
-                        self._session.remember(rows, self._engine.key_column)
-                    best = self._update_best(rows, best, emitted)
-                    continue
+                if self._use_dense_index():
+                    rows = self._dense_index.lookup(box, self._base_query)
+                    if rows is not None:
+                        self._statistics.record_dense_index_hit()
+                        if self._config.enable_session_cache:
+                            self._session.remember(rows, self._engine.key_column)
+                        best = self._update_best(rows, best, emitted)
+                        continue
                 dense = (
                     box.max_relative_width(schema) < self._config.dense_ratio_threshold
                     or depth >= self._dense_depth_limit()
@@ -410,12 +411,17 @@ class MultiDimGetNext:
             assert self._dense_index is not None
             # Index the closed version of the box: half-open sides come from
             # binary splits, and a closed superset both simplifies persistence
-            # and guarantees the coverage invariant after a cache reload.
+            # and guarantees the coverage invariant after a cache reload.  The
+            # crawl decision is keyed on the closed box (what would be stored)
+            # so the interval and naive implementations build identical
+            # coverage from identical crawls.
             closed_box = HyperRectangle.from_bounds(box.bounds())
-            if not self._dense_index.covers(closed_box):
-                rows = self._crawl_box(closed_box, with_base_filter=False)
-                self._dense_index.add_region(closed_box, rows)
-            rows = self._dense_index.rows_in(box, self._base_query)
+            covered = self._dense_index.lookup(closed_box, self._base_query)
+            if covered is None:
+                crawled = self._crawl_box(closed_box, with_base_filter=False)
+                self._dense_index.add_region(closed_box, crawled)
+                covered = self._dense_index.rows_in(closed_box, self._base_query)
+            rows = [row for row in covered if box.contains(row)]
             self._statistics.record_dense_index_hit()
             if self._config.enable_session_cache:
                 self._session.remember(rows, self._engine.key_column)

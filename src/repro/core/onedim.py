@@ -392,10 +392,10 @@ class OneDimGetNext:
                 interval.lower, interval.upper, interval.include_lower, interval.include_upper
             )
             assert self._dense_index is not None
-            if self._dense_index.covers_interval(self._axis.attribute, predicate):
-                rows = self._dense_index.rows_in_interval(
-                    self._axis.attribute, predicate, self._base_query
-                )
+            rows = self._dense_index.lookup_interval(
+                self._axis.attribute, predicate, self._base_query
+            )
+            if rows is not None:
                 self._statistics.record_dense_index_hit()
                 lower, include_lower = self._frontier_lower()
                 eligible = [
@@ -450,19 +450,22 @@ class OneDimGetNext:
         if self._use_dense_index():
             predicate = self._axis.interval_predicate(lower, best, True, True)
             assert self._dense_index is not None
-            if not self._dense_index.covers_interval(self._axis.attribute, predicate):
+            rows = self._dense_index.lookup_interval(
+                self._axis.attribute, predicate, self._base_query
+            )
+            if rows is None:
                 region_query = SearchQuery((predicate,), ())
                 crawler = HiddenDatabaseCrawler(
                     _EngineInterfaceAdapter(self._engine)
                 )
-                rows, crawl_stats = crawler.crawl(region_query)
+                crawled, crawl_stats = crawler.crawl(region_query)
                 self._dense_index.add_interval(
-                    self._axis.attribute, predicate.lower, predicate.upper, rows
+                    self._axis.attribute, predicate.lower, predicate.upper, crawled
                 )
                 self._statistics.record_dense_region(crawl_stats.tuples_retrieved)
-            rows = self._dense_index.rows_in_interval(
-                self._axis.attribute, predicate, self._base_query
-            )
+                rows = self._dense_index.rows_in_interval(
+                    self._axis.attribute, predicate, self._base_query
+                )
             self._statistics.record_dense_index_hit()
             frontier_lower, frontier_inclusive = self._frontier_lower()
             eligible = [
@@ -488,13 +491,12 @@ class OneDimGetNext:
         emitted = set(self._session.emitted_keys())
         key_column = self._engine.key_column
 
-        rows: List[Row]
-        if self._use_dense_index() and self._dense_index.covers_interval(
-            self._axis.attribute, point
-        ):
-            rows = self._dense_index.rows_in_interval(
+        rows: Optional[List[Row]] = None
+        if self._use_dense_index():
+            rows = self._dense_index.lookup_interval(
                 self._axis.attribute, point, self._base_query
             )
+        if rows is not None:
             self._statistics.record_dense_index_hit()
         else:
             result = self._engine.search(self._base_query.with_range(point))

@@ -104,7 +104,9 @@ class QueryReranker:
     ) -> None:
         self._interface = interface
         self._config = config or RerankConfig()
-        self._dense_index = DenseRegionIndex(interface.schema, cache=dense_cache)
+        self._dense_index = DenseRegionIndex(
+            interface.schema, cache=dense_cache, impl=self._config.dense_index_impl
+        )
         if result_cache is not None:
             self._result_cache: Optional[QueryResultCache] = result_cache
         elif self._config.enable_result_cache:
@@ -273,5 +275,7 @@ class QueryReranker:
 
         counters = cache.verify_and_refresh(crawl_region)
         # Rebuild the in-memory index from the refreshed cache.
-        self._dense_index = DenseRegionIndex(self._interface.schema, cache=cache)
+        self._dense_index = DenseRegionIndex(
+            self._interface.schema, cache=cache, impl=self._config.dense_index_impl
+        )
         return counters

@@ -121,6 +121,10 @@ class ThresholdAlgorithmGetNext:
         return self._ranking.score(row) >= self._frontier_score - _TOLERANCE
 
     def _best_discovered(self, emitted: set) -> Optional[Row]:
+        # Compare candidates by reference and copy only the winner: the
+        # discovered map can hold thousands of rows (each Get-Next call scans
+        # it), and rows handed out by the dense-region index are shared
+        # immutable mappings that must not leak mutably to callers.
         best: Optional[Row] = None
         key_column = self._engine.key_column
         for row in self._discovered.values():
@@ -130,8 +134,8 @@ class ThresholdAlgorithmGetNext:
                 self._ranking.score(best),
                 str(best[key_column]),
             ):
-                best = dict(row)
-        return best
+                best = row
+        return dict(best) if best is not None else None
 
     def _contribution(self, attribute: str, value: float) -> float:
         weight = self._ranking.weight(attribute)

@@ -161,10 +161,16 @@ class DenseRegionCache:
         return stored
 
     def rows_for_region(self, region: StoredRegion) -> List[Row]:
-        """The crawled tuples belonging to ``region``."""
+        """The crawled tuples belonging to ``region``, in stored-key order.
+
+        Fetched as chunked batch lookups (one region used to cost one
+        ``SELECT`` per tuple, which dominated index warm-start time)."""
+        found = self._tuples.get_many(region.tuple_keys)
         rows = []
         for key in region.tuple_keys:
-            row = self._tuples.get(key)
+            # Keys round-trip through JSON while the store's key column is
+            # TEXT, so a non-string key may come back as its string form.
+            row = found.get(key) or found.get(str(key))
             if row is None:
                 raise DenseRegionError(
                     f"region {region.region_id} references missing tuple {key!r}"

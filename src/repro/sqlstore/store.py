@@ -141,6 +141,31 @@ class SQLiteTupleStore:
             return None
         return self._record_to_row(columns, record)
 
+    def get_many(self, keys: Sequence[object]) -> Dict[object, Row]:
+        """Fetch many tuples by key in chunked ``IN`` queries.
+
+        Returns a ``{key: row}`` mapping; missing keys are simply absent.
+        Used by the dense-region cache at boot, where fetching a region's
+        tuples one ``SELECT`` at a time dominates warm-start latency.
+        """
+        columns = self._schema.columns()
+        column_sql = ", ".join(_quote_identifier(name) for name in columns)
+        key_column = _quote_identifier(self._schema.key)
+        key_index = columns.index(self._schema.key)
+        found: Dict[object, Row] = {}
+        chunk_size = 500  # stay well under SQLite's bound-parameter limit
+        for start in range(0, len(keys), chunk_size):
+            chunk = list(keys[start : start + chunk_size])
+            placeholders = ", ".join("?" for _ in chunk)
+            cursor = self._connection().execute(
+                f"SELECT {column_sql} FROM {_quote_identifier(self._table)} "
+                f"WHERE {key_column} IN ({placeholders})",
+                chunk,
+            )
+            for record in cursor.fetchall():
+                found[record[key_index]] = self._record_to_row(columns, record)
+        return found
+
     def range_scan(
         self,
         attribute: str,

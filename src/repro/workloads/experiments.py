@@ -373,6 +373,72 @@ def run_onthefly_indexing(
     }
 
 
+def run_dense_index_differential(
+    environment: Optional[ExperimentEnvironment] = None,
+    repetitions: int = 3,
+    depth: int = 10,
+) -> Dict[str, object]:
+    """Run a region-heavy 1D-RERANK workload under both dense-index
+    implementations and compare them.
+
+    The workload replays the on-the-fly indexing scenario under several
+    shifted/nested ``length_width_ratio`` windows with an eager density
+    threshold, so the shared reranker accumulates many overlapping and
+    touching dense regions — exactly the state in which the seed's linear
+    index degrades and the interval index coalesces.  The interval
+    implementation must return byte-identical pages while issuing no more
+    external queries than the naive reference (coalesced coverage can only
+    remove crawls, never add them).
+    """
+    from dataclasses import replace
+
+    environment = environment or ExperimentEnvironment()
+    from repro.core.functions import SingleAttributeRanking
+
+    ranking = SingleAttributeRanking("length_width_ratio", ascending=True)
+    # Overlapping and nested windows around the big = 1.0 value cluster: each
+    # window probes slightly different intervals, building up regions whose
+    # crawled dense intervals overlap (e.g. [0.995, 1.0] and [0.99, 1.0]).
+    windows = [
+        (0.995, 1.6),
+        (0.99, 1.2),
+        (0.995, 1.3),
+        (1.05, 1.5),
+        (1.15, 1.8),
+        (1.0, 1.45),
+    ]
+    queries = [
+        SearchQuery.build(ranges={"length_width_ratio": window}) for window in windows
+    ]
+
+    payload: Dict[str, object] = {"windows": windows, "repetitions": repetitions}
+    for impl in ("naive", "interval"):
+        # The eager density threshold is what makes the workload region-heavy
+        # at benchmark catalog scales: narrow probe intervals are crawled and
+        # indexed instead of being halved further.
+        config = replace(
+            environment.rerank_config.with_dense_index_impl(impl),
+            dense_ratio_threshold=0.02,
+        )
+        reranker = environment.make_reranker("bluenile", config)
+        costs: List[int] = []
+        pages: List[List[Dict[str, object]]] = []
+        for _ in range(repetitions):
+            for query in queries:
+                stream = reranker.rerank(query, ranking, algorithm=Algorithm.RERANK)
+                rows = stream.top(depth)
+                costs.append(stream.statistics.external_queries)
+                pages.append([dict(row) for row in rows])
+        payload[impl] = {
+            "costs": costs,
+            "total": sum(costs),
+            "pages": pages,
+            "index": reranker.dense_index.describe(),
+        }
+    payload["pages_match"] = payload["naive"]["pages"] == payload["interval"]["pages"]  # type: ignore[index]
+    return payload
+
+
 # --------------------------------------------------------------------------- #
 # SC-CACHE — multi-session savings from the shared query-result cache
 # --------------------------------------------------------------------------- #
