@@ -1,0 +1,128 @@
+"""SC-FEED — cross-session Get-Next sharing through the rerank feed.
+
+The QR2 UI funnels users toward a list of popular ranking functions, so many
+sessions request the identical *(filter, ranking, algorithm)* stream.  PRs 1-4
+made the repeated *external queries* nearly free; the shared rerank feed
+amortizes the remaining per-session cost — the Get-Next algorithm itself.
+This bench serves the same popular-function workload to several sessions with
+the feed on and off:
+
+* **REUSE** — with the feed on, session 1 (the leader) pays the algorithm and
+  its external queries; sessions 2..N (followers) must replay the verified
+  emission prefix with **zero** external queries and a median page latency at
+  least ``MIN_SPEEDUP``× lower than the leader's, while serving pages
+  byte-identical to a feed-disabled control run;
+* **DIFFERENTIAL** — a randomized sweep over sources, filters, rankings (1D
+  and MD), and algorithms (BINARY/RERANK/TA): every page of every session must
+  be byte-identical between the feed-enabled and feed-disabled configurations
+  (replay is replay, never an approximation).
+
+The correctness gates (zero follower queries, byte-identical pages) always
+run; ``--bench-quick`` shrinks the workload for CI.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks._tables import print_table
+from repro.workloads.experiments import run_feed_differential, run_feed_reuse
+
+SESSIONS = 6
+PAGES = 3
+PAGE_SIZE = 5
+MIN_SPEEDUP = 5.0
+
+
+@pytest.mark.benchmark(group="feed-reuse")
+def test_feed_followers_replay_for_free(benchmark, environment, bench_quick):
+    """Sessions 2..N of a popular-function workload must serve every page at
+    zero external queries and >= 5x lower median latency than session 1."""
+    sessions = 4 if bench_quick else SESSIONS
+    pages = 2 if bench_quick else PAGES
+
+    def run():
+        return run_feed_reuse(
+            environment, sessions=sessions, pages=pages, page_size=PAGE_SIZE
+        )
+
+    payload = benchmark.pedantic(run, rounds=1, iterations=1)
+    for source, data in payload.items():
+        benchmark.extra_info.update(
+            {
+                f"{source}_leader_queries": data["leader_queries"],
+                f"{source}_follower_queries": data["follower_queries"],
+                f"{source}_median_speedup": round(
+                    min(data["median_speedup"], 1e9), 1
+                ),
+                f"{source}_wall_speedup": round(min(data["wall_speedup"], 1e9), 1),
+                f"{source}_replayed_tuples": data["replayed_tuples"],
+            }
+        )
+        store = data["feed_store"]
+        rows = [
+            f"{'session':>12s} " + " ".join(f"{i + 1:>7d}" for i in range(sessions)),
+            f"{'feed':>12s} "
+            + " ".join(
+                f"{c:>7d}" for c in [data["leader_queries"], *data["follower_queries"]]
+            ),
+            f"{'no feed':>12s} " + " ".join(f"{c:>7d}" for c in data["nofeed_queries"]),
+            f"{'speedup':>12s} {data['median_speedup']:>10.1f}x latency "
+            f"({data['wall_speedup']:.1f}x wall), "
+            f"{store['leaders']} leader / {store['followers']} followers",
+        ]
+        print_table(
+            f"SC-FEED [{source} / {data['algorithm']}] — {data['popular_function']}",
+            "external queries per session, identical popular-function workload",
+            rows,
+        )
+        # Correctness gates: always enforced.
+        assert data["pages_match"], f"{source}: feed pages diverged from control"
+        assert all(q == 0 for q in data["follower_queries"]), (
+            f"{source}: follower sessions issued external queries "
+            f"{data['follower_queries']}"
+        )
+        assert data["replayed_tuples"] > 0
+        # Perf gates: the leader pays real round trips (simulated latency)
+        # and algorithm work; a follower page is a pure in-memory replay.
+        # Zero follower queries already implies the >= 80 % external-query
+        # reduction gate, asserted explicitly against the leader's cost.
+        assert data["leader_queries"] > 0
+        baseline = data["leader_queries"] * len(data["follower_queries"])
+        reduction = 1.0 - sum(data["follower_queries"]) / baseline
+        assert reduction >= 0.80
+        assert data["median_speedup"] >= MIN_SPEEDUP
+
+
+@pytest.mark.benchmark(group="feed-reuse")
+def test_feed_randomized_differential(benchmark, environment, bench_quick):
+    """Feed-enabled runs must be byte-identical to feed-disabled runs across
+    randomized sources, filters, rankings, and algorithms."""
+    trials = 3 if bench_quick else 6
+
+    def run():
+        return run_feed_differential(
+            environment, trials=trials, sessions=3, pages=2, page_size=PAGE_SIZE
+        )
+
+    payload = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = []
+    for trial in payload["trials"]:
+        rows.append(
+            f"{trial['trial']:>4d} {trial['source']:>9s} {trial['algorithm']:>7s} "
+            f"leader={trial['leader_queries']:>4d} "
+            f"followers={trial['follower_queries']} "
+            f"match={trial['pages_match']}"
+        )
+    print_table(
+        "SC-FEED-DIFF — randomized feed-on/feed-off differential",
+        f"{trials} random (source, filter, ranking, algorithm) trials",
+        rows,
+    )
+    benchmark.extra_info.update({"trials": trials, "all_match": payload["all_match"]})
+    for trial in payload["trials"]:
+        assert trial["pages_match"], f"trial {trial['trial']} diverged: {trial}"
+        assert not any(trial["follower_queries"]), (
+            f"trial {trial['trial']} followers issued queries: {trial}"
+        )
+    assert payload["all_match"]

@@ -114,6 +114,20 @@ class RerankConfig:
         coalesces adjacent/overlapping regions on insert; ``"naive"`` keeps
         the seed's linear reference scan, used for differential testing and
         as a fallback knob (mirrors ``DatabaseConfig.engine``).
+    enable_rerank_feed:
+        Global switch for the shared rerank feed: sessions requesting the
+        same canonical *(query, ranking, algorithm)* share one materialized
+        Get-Next stream — the first session drives the real algorithm (the
+        *leader*), later and concurrent sessions replay its verified
+        emission prefix at zero external queries and zero algorithm work.
+        Turning it off exactly reproduces the unshared per-session
+        behaviour (the ablation benchmarks do).
+    rerank_feed_size:
+        LRU capacity of the feed store (distinct canonical requests kept
+        materialized).
+    rerank_feed_ttl_seconds:
+        Lifetime of a feed from creation; ``None`` disables expiry (correct
+        for the immutable simulated databases).
     """
 
     dense_ratio_threshold: float = 0.005
@@ -129,6 +143,9 @@ class RerankConfig:
     result_cache_ttl_seconds: Optional[float] = None
     result_cache_containment: bool = True
     dense_index_impl: str = "interval"
+    enable_rerank_feed: bool = True
+    rerank_feed_size: int = 256
+    rerank_feed_ttl_seconds: Optional[float] = None
 
     def without_parallel(self) -> "RerankConfig":
         """Copy of this configuration with parallel processing disabled."""
@@ -155,6 +172,11 @@ class RerankConfig:
         """Copy of this configuration with a different dense-index
         implementation (``"interval"`` or ``"naive"``)."""
         return replace(self, dense_index_impl=impl)
+
+    def without_rerank_feed(self) -> "RerankConfig":
+        """Copy of this configuration with the shared rerank feed disabled
+        (every session runs the full Get-Next algorithm privately)."""
+        return replace(self, enable_rerank_feed=False)
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,510 @@
+"""Shared rerank feed cache: cross-session Get-Next sharing.
+
+The QR2 UI funnels users toward a list of *popular functions*, so many
+sessions ask for the identical ``(filter query, ranking, algorithm)`` stream.
+PRs 1-4 made the *external queries* of such repeats nearly free (result cache,
+containment, dense-region index), but every session still re-ran the whole
+Get-Next algorithm — region splits, TA rounds, candidate scoring — from
+scratch.  This module amortizes the algorithm itself:
+
+* a :class:`RerankFeed` materializes, per canonical request key, the **verified
+  emission prefix** of a Get-Next stream: the exact rows a fresh session would
+  be served, in order, produced once by a private *producer* (its own
+  :class:`~repro.core.session.Session` and
+  :class:`~repro.core.parallel.QueryEngine` driving the real algorithm);
+* the first stream that needs a position beyond the verified prefix is
+  promoted to **leader** for that advance: it drives the producer under the
+  per-feed advance latch and appends the emitted tuple to the prefix;
+* every other stream is a **follower**: it replays the verified prefix at zero
+  external queries and zero algorithm work (the classic thundering-herd
+  coalescing of the PR 1 result cache, one layer up — whole reranked streams
+  instead of single query answers).
+
+Rows are stored once as immutable mappings (the PR 4 dense-index pattern) and
+handed to followers as shared references; per-user dedup against the consumer
+session's emitted history still happens in the stream layer
+(:class:`~repro.core.reranker.FeedBackedStream`).
+
+**Invalidation** mirrors the PR 3 generation counters: a feed is stamped with
+the generation of its namespace at creation — a token combining the store's
+own invalidation counters with the attached
+:class:`~repro.webdb.cache.QueryResultCache` generation — and
+
+* :meth:`RerankFeedStore.attach` refuses (and retires) feeds whose stamp no
+  longer matches, so post-invalidation sessions always rebuild from the live
+  database, and
+* an in-flight leader re-checks the stamp before appending: rows produced
+  after an invalidation mark the feed *stale*; the feed keeps serving the
+  streams already attached to it (exactly like an in-flight cached query
+  completes normally for its callers) but can never re-enter the store.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from types import MappingProxyType
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
+
+from repro.core.session import Session
+from repro.core.stats import RerankStatistics
+from repro.webdb.cache import QueryResultCache
+from repro.webdb.query import SearchQuery
+
+Row = Mapping[str, object]
+
+#: ``(namespace, system_k, algorithm, canonical query, canonical ranking)`` —
+#: the full identity of one shareable Get-Next stream.
+FeedKey = Tuple[str, int, str, Tuple, Tuple]
+
+#: Generation token a feed must match to stay (re-)attachable: the store's
+#: own (global, namespace) invalidation counters plus the result cache's
+#: (global, namespace) generation for the same namespace.
+GenerationToken = Tuple[int, int, Tuple[int, int]]
+
+
+def ranking_canonical_key(ranking) -> Optional[Tuple]:
+    """Hashable canonical identity of a user ranking function, or ``None``
+    when the function cannot be canonicalized (custom subclasses without a
+    ``canonical_key``) — such requests bypass the feed entirely."""
+    method = getattr(ranking, "canonical_key", None)
+    if method is None:
+        return None
+    try:
+        return method()
+    except NotImplementedError:
+        return None
+
+
+class FeedProducer:
+    """The private driver of one feed: the real algorithm bound to a
+    feed-internal session and engine, so no consumer's per-user state (seen
+    tuples, emission history) can perturb the canonical emission order."""
+
+    def __init__(self, algorithm, session: Session, engine) -> None:
+        self.algorithm = algorithm
+        self.session = session
+        self.engine = engine
+
+    @property
+    def statistics(self) -> RerankStatistics:
+        """The producer session's statistics (algorithm-work accounting)."""
+        return self.session.statistics
+
+    def close(self) -> None:
+        """Shut the producer's query engine down (idempotent)."""
+        self.engine.shutdown()
+
+
+class RerankFeed:
+    """One shared Get-Next stream: the verified emission prefix plus the
+    lazily created producer that extends it."""
+
+    def __init__(
+        self,
+        key: FeedKey,
+        key_column: str,
+        factory: Callable[[], FeedProducer],
+        generation: GenerationToken,
+        generation_probe: Callable[[], GenerationToken],
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.key = key
+        self.key_column = key_column
+        self.generation = generation
+        self.created_at = clock()
+        self._factory = factory
+        self._generation_probe = generation_probe
+        self._condition = threading.Condition()
+        self._rows: List[Row] = []
+        self._producer: Optional[FeedProducer] = None
+        self._advancing = False
+        self._exhausted = False
+        self._stale = False
+        self._attached = 0
+        self._doomed = False
+        self._closed = False
+        # Counters (read by the store's snapshot).
+        self.replayed_tuples = 0
+        self.leader_advances = 0
+        self.promotions = 0
+
+    # ------------------------------------------------------------------ #
+    @property
+    def depth(self) -> int:
+        """Length of the verified emission prefix."""
+        with self._condition:
+            return len(self._rows)
+
+    @property
+    def exhausted(self) -> bool:
+        """True once the producer has emitted its last tuple."""
+        with self._condition:
+            return self._exhausted
+
+    @property
+    def stale(self) -> bool:
+        """True once an invalidation has outdated this feed; it keeps serving
+        already-attached streams but can never re-enter the store."""
+        with self._condition:
+            return self._stale
+
+    def counters(self) -> Dict[str, int]:
+        """Per-feed counters for the store snapshot."""
+        with self._condition:
+            return {
+                "replayed_tuples": self.replayed_tuples,
+                "leader_advances": self.leader_advances,
+                "promotions": self.promotions,
+                "verified_tuples": len(self._rows),
+            }
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle (driven by the store and the attached streams)
+    # ------------------------------------------------------------------ #
+    def retain(self) -> None:
+        """Record one more attached stream."""
+        with self._condition:
+            self._attached += 1
+
+    def release(self) -> None:
+        """Detach one stream; a doomed feed closes its producer once the last
+        stream lets go."""
+        with self._condition:
+            self._attached = max(self._attached - 1, 0)
+            close_now = self._doomed and self._attached == 0
+        if close_now:
+            self.close()
+
+    def retire(self) -> None:
+        """Mark the feed as removed from the store (evicted, expired, or
+        invalidated).  Already-attached streams keep replaying and advancing
+        it; the producer engine is released when the last one detaches."""
+        with self._condition:
+            self._doomed = True
+            self._stale = True
+            close_now = self._attached == 0
+        if close_now:
+            self.close()
+
+    def close(self) -> None:
+        """Shut the producer engine down (idempotent)."""
+        with self._condition:
+            if self._closed:
+                return
+            self._closed = True
+            producer = self._producer
+        if producer is not None:
+            producer.close()
+
+    # ------------------------------------------------------------------ #
+    # The Get-Next sharing protocol
+    # ------------------------------------------------------------------ #
+    def row_at(
+        self,
+        position: int,
+        statistics: Optional[RerankStatistics] = None,
+    ) -> Tuple[Optional[Row], bool]:
+        """Return the row at ``position`` of the canonical emission order.
+
+        Returns ``(row, replayed)``: ``replayed`` is True when the verified
+        prefix (or the exhaustion mark) already covered the position — zero
+        external queries, zero algorithm work.  Otherwise the calling stream
+        was the leader for this advance: it drove the real algorithm one
+        Get-Next step, and the producer's statistics delta (external queries,
+        simulated latency, cache and index hits) was absorbed into
+        ``statistics`` so the leader's panel reflects the work it paid for.
+
+        ``row`` is ``None`` once the stream is exhausted at ``position``.
+        Concurrent callers needing the same unverified position coalesce:
+        exactly one leads, the rest wait on the advance latch and then replay.
+        """
+        with self._condition:
+            while True:
+                if position < len(self._rows):
+                    self.replayed_tuples += 1
+                    return self._rows[position], True
+                if self._exhausted:
+                    return None, True
+                if not self._advancing:
+                    self._advancing = True
+                    break
+                self._condition.wait()
+            if self._producer is None:
+                try:
+                    self._producer = self._factory()
+                except BaseException:
+                    self._advancing = False
+                    self._condition.notify_all()
+                    raise
+            producer = self._producer
+            self.leader_advances += 1
+
+        # Leader section: real algorithm work, outside the feed mutex so
+        # followers replaying earlier positions are never blocked behind it.
+        row: Optional[Row] = None
+        completed = False
+        mark = producer.statistics.checkpoint() if statistics is not None else None
+        try:
+            row = producer.algorithm.next()
+            completed = True
+        finally:
+            if statistics is not None and mark is not None:
+                statistics.absorb_since(producer.statistics, mark)
+            fresh = self._generation_probe() == self.generation
+            with self._condition:
+                self._advancing = False
+                if completed:
+                    if row is None:
+                        self._exhausted = True
+                    else:
+                        if not fresh:
+                            # Produced after an invalidation: the prefix from
+                            # here on is stale.  Keep serving the streams that
+                            # already share this feed (they coalesced before
+                            # the flush), but the store will never hand the
+                            # feed to a new session again.
+                            self._stale = True
+                        self._rows.append(MappingProxyType(dict(row)))
+                self._condition.notify_all()
+        if row is None:
+            return None, False
+        with self._condition:
+            served = self._rows[position] if position < len(self._rows) else None
+        return served, False
+
+    def note_promotion(self) -> None:
+        """Record that one attached stream performed its first leader advance
+        (the follower-to-leader promotion counter of the statistics panel)."""
+        with self._condition:
+            self.promotions += 1
+
+    def verified_rows(self) -> List[Row]:
+        """Shared references to the verified prefix (immutable mappings)."""
+        with self._condition:
+            return list(self._rows)
+
+
+class RerankFeedStore:
+    """LRU+TTL store of :class:`RerankFeed` objects for one source namespace
+    family, generation-tied to the shared query-result cache.
+
+    Parameters
+    ----------
+    max_feeds:
+        LRU capacity; the least-recently-attached feed is retired when an
+        attach would exceed it.
+    ttl_seconds:
+        Feed lifetime measured from creation; ``None`` disables expiry (the
+        simulated databases are immutable).
+    result_cache:
+        The shared :class:`~repro.webdb.cache.QueryResultCache`, if any.  Its
+        per-namespace generation is folded into every feed's generation
+        stamp, so ``cache.invalidate(namespace)`` transitively invalidates
+        the namespace's feeds — a feed must never outlive the query answers
+        it was derived from.
+    """
+
+    def __init__(
+        self,
+        max_feeds: int = 256,
+        ttl_seconds: Optional[float] = None,
+        result_cache: Optional[QueryResultCache] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if max_feeds <= 0:
+            raise ValueError("max_feeds must be positive")
+        if ttl_seconds is not None and ttl_seconds <= 0:
+            raise ValueError("ttl_seconds must be positive or None")
+        self._max_feeds = max_feeds
+        self._ttl = ttl_seconds
+        self._result_cache = result_cache
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._feeds: "OrderedDict[FeedKey, RerankFeed]" = OrderedDict()
+        # Generation counters live under their own lock: a leader probes them
+        # from inside its feed's critical section, and the main lock may be
+        # held while retiring feeds — separate locks keep the order acyclic.
+        self._generation_lock = threading.Lock()
+        self._global_generation = 0
+        self._namespace_generations: Dict[str, int] = {}
+        # Store-level counters (include retired feeds' totals).
+        self._created = 0
+        self._followers = 0
+        self._invalidated = 0
+        self._evictions = 0
+        self._expirations = 0
+        self._retired_counters: Dict[str, int] = {
+            "replayed_tuples": 0,
+            "leader_advances": 0,
+            "promotions": 0,
+        }
+
+    # ------------------------------------------------------------------ #
+    @property
+    def max_feeds(self) -> int:
+        """The LRU capacity."""
+        return self._max_feeds
+
+    @property
+    def ttl_seconds(self) -> Optional[float]:
+        """Feed lifetime, or ``None`` when feeds never expire."""
+        return self._ttl
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._feeds)
+
+    def generation(self, namespace: str) -> GenerationToken:
+        """The current generation token of ``namespace`` — the stamp a feed
+        must carry to be attachable."""
+        with self._generation_lock:
+            own = (
+                self._global_generation,
+                self._namespace_generations.get(namespace, 0),
+            )
+        cache_generation = (
+            self._result_cache.generation(namespace)
+            if self._result_cache is not None
+            else (0, 0)
+        )
+        return own[0], own[1], cache_generation
+
+    # ------------------------------------------------------------------ #
+    def attach(
+        self,
+        namespace: str,
+        query: SearchQuery,
+        ranking,
+        algorithm: str,
+        system_k: int,
+        key_column: str,
+        factory: Callable[[], FeedProducer],
+    ) -> Optional[RerankFeed]:
+        """Get-or-create the feed for one canonical request, retained for the
+        calling stream (pair with :meth:`RerankFeed.release`).
+
+        Returns ``None`` when the ranking cannot be canonicalized — the
+        caller falls back to a private, unshared stream.  A stored feed whose
+        generation stamp is outdated (store or result-cache invalidation) or
+        whose TTL has lapsed is retired and rebuilt fresh.
+        """
+        ranking_key = ranking_canonical_key(ranking)
+        if ranking_key is None:
+            return None
+        key: FeedKey = (
+            namespace,
+            system_k,
+            algorithm,
+            query.canonical_key(),
+            ranking_key,
+        )
+        now = self._clock()
+        generation = self.generation(namespace)
+        with self._lock:
+            feed = self._feeds.get(key)
+            if feed is not None:
+                expired = self._ttl is not None and now - feed.created_at >= self._ttl
+                if expired:
+                    self._retire_locked(key, "expirations")
+                    feed = None
+                elif feed.stale or feed.generation != generation:
+                    self._retire_locked(key, "invalidations")
+                    feed = None
+            if feed is None:
+                feed = RerankFeed(
+                    key,
+                    key_column,
+                    factory,
+                    generation,
+                    generation_probe=lambda ns=namespace: self.generation(ns),
+                    clock=self._clock,
+                )
+                self._feeds[key] = feed
+                self._created += 1
+            else:
+                self._followers += 1
+            self._feeds.move_to_end(key)
+            feed.retain()
+            while len(self._feeds) > self._max_feeds:
+                oldest = next(iter(self._feeds))
+                self._retire_locked(oldest, "evictions")
+        return feed
+
+    def invalidate(self, namespace: Optional[str] = None) -> int:
+        """Retire every feed (or every feed of one namespace) and bump the
+        matching generation counter so in-flight leaders cannot keep their
+        now-stale prefixes attachable; returns the number retired."""
+        with self._generation_lock:
+            if namespace is None:
+                self._global_generation += 1
+            else:
+                self._namespace_generations[namespace] = (
+                    self._namespace_generations.get(namespace, 0) + 1
+                )
+        removed = 0
+        with self._lock:
+            doomed = [
+                key
+                for key in self._feeds
+                if namespace is None or key[0] == namespace
+            ]
+            for key in doomed:
+                self._retire_locked(key, "invalidations")
+                removed += 1
+        return removed
+
+    def close(self) -> None:
+        """Retire every feed and release the producer engines (idempotent).
+        Feeds still attached to live streams close when those streams do."""
+        with self._lock:
+            for key in list(self._feeds):
+                self._retire_locked(key, "invalidations")
+
+    # ------------------------------------------------------------------ #
+    def snapshot(self) -> Dict[str, object]:
+        """Counters plus occupancy, for the service statistics panel."""
+        with self._lock:
+            feeds = list(self._feeds.values())
+            payload: Dict[str, object] = {
+                "feeds": len(feeds),
+                "created": self._created,
+                "followers": self._followers,
+                "invalidations": self._invalidated,
+                "evictions": self._evictions,
+                "expirations": self._expirations,
+            }
+            totals = dict(self._retired_counters)
+        verified = 0
+        for feed in feeds:
+            counters = feed.counters()
+            verified += counters.pop("verified_tuples")
+            for name, value in counters.items():
+                totals[name] = totals.get(name, 0) + value
+        payload.update(totals)
+        # A "leader" is a stream that performed at least one real advance; a
+        # stream that attached to an already-deep feed and never outran the
+        # prefix stays a pure follower even if it created nothing.
+        payload["leaders"] = int(totals["promotions"])
+        payload["verified_tuples"] = verified
+        payload["max_feeds"] = self._max_feeds
+        payload["ttl_seconds"] = self._ttl
+        return payload
+
+    # ------------------------------------------------------------------ #
+    def _retire_locked(self, key: FeedKey, reason: str) -> None:
+        feed = self._feeds.pop(key, None)
+        if feed is None:
+            return
+        counters = feed.counters()
+        counters.pop("verified_tuples", None)
+        for name, value in counters.items():
+            self._retired_counters[name] = self._retired_counters.get(name, 0) + value
+        if reason == "evictions":
+            self._evictions += 1
+        elif reason == "expirations":
+            self._expirations += 1
+        else:
+            self._invalidated += 1
+        feed.retire()

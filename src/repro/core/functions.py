@@ -51,6 +51,14 @@ class UserRankingFunction(ABC):
     def describe(self) -> str:
         """Human-readable rendering for the UI and logs."""
 
+    def canonical_key(self) -> Tuple:
+        """Hashable canonical identity: two functions with equal keys rank
+        every row identically.  Used by the shared rerank feed to recognize
+        the same popular function across sessions.  Subclasses that cannot
+        guarantee this identity must leave it unimplemented — such functions
+        simply never share a feed."""
+        raise NotImplementedError
+
     # ------------------------------------------------------------------ #
     @property
     def dimensionality(self) -> int:
@@ -114,6 +122,9 @@ class SingleAttributeRanking(UserRankingFunction):
     def describe(self) -> str:
         direction = "asc" if self.ascending else "desc"
         return f"order by {self._attribute} {direction}"
+
+    def canonical_key(self) -> Tuple:
+        return ("1d", self._attribute, self.ascending)
 
 
 class LinearRankingFunction(UserRankingFunction):
@@ -202,6 +213,25 @@ class LinearRankingFunction(UserRankingFunction):
         if rendered.startswith("+ "):
             rendered = rendered[2:]
         return rendered
+
+    def canonical_key(self) -> Tuple:
+        """Weights are kept sorted, so the key is order-insensitive; the
+        normalizer's bounds are part of the identity (the same weights over
+        different normalization bounds score rows differently).  Normalizers
+        without a canonical form make the function uncanonicalizable."""
+        if self._normalizer is None:
+            normalizer_key: object = None
+        else:
+            bounds = getattr(self._normalizer, "bounds", None)
+            if not isinstance(bounds, Mapping):
+                raise NotImplementedError(
+                    "normalizer has no canonicalizable bounds"
+                )
+            normalizer_key = tuple(
+                (name, float(lower), float(upper))
+                for name, (lower, upper) in sorted(bounds.items())
+            )
+        return ("md", tuple(self._weights.items()), normalizer_key)
 
     def restricted_to(self, attribute: str) -> "LinearRankingFunction":
         """Projection onto a single attribute (used by MD-TA's sorted access)."""

@@ -6,22 +6,34 @@ layer (and the examples) consume: it wraps any algorithm object exposing a
 ``next() -> Optional[row]`` method and provides paging, batching, iteration,
 and access to the per-request statistics — the user-visible side of the
 "get-next" button of the QR2 UI.
+
+Emitted rows are stored once as immutable mappings and handed out as shared
+references (the dense-index pattern of PR 4): ``top()`` and
+``returned_so_far`` are O(count) slices, not deep copies of the whole prefix.
+The check-emit-append step of :meth:`get_next` runs under a per-stream lock,
+so concurrent page requests against one stream interleave at tuple
+granularity instead of corrupting the emission history.  Subclasses override
+:meth:`_next_row` to change where tuples come from — the shared rerank feed's
+:class:`~repro.core.reranker.FeedBackedStream` replays a verified prefix
+there and hands off to the live algorithm past its end.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Protocol
+import threading
+from types import MappingProxyType
+from typing import Dict, Iterator, List, Mapping, Optional, Protocol
 
 from repro.core.session import Session
 from repro.core.stats import RerankStatistics
 
-Row = Dict[str, object]
+Row = Mapping[str, object]
 
 
 class GetNextAlgorithm(Protocol):
     """Structural interface of the algorithm objects this stream can drive."""
 
-    def next(self) -> Optional[Row]:  # pragma: no cover - protocol definition
+    def next(self) -> Optional[Dict[str, object]]:  # pragma: no cover - protocol
         """Return the next tuple, or ``None`` when exhausted."""
         ...
 
@@ -31,15 +43,19 @@ class GetNextStream:
 
     def __init__(
         self,
-        algorithm: GetNextAlgorithm,
+        algorithm: Optional[GetNextAlgorithm],
         session: Session,
         description: str = "",
+        engine=None,
     ) -> None:
         self._algorithm = algorithm
         self._session = session
         self._description = description
+        self._engine = engine
         self._exhausted = False
+        self._closed = False
         self._returned: List[Row] = []
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------------ #
     @property
@@ -63,50 +79,73 @@ class GetNextStream:
         return self._exhausted
 
     @property
+    def closed(self) -> bool:
+        """True after :meth:`close`; further Get-Next calls return ``None``."""
+        return self._closed
+
+    @property
     def returned_so_far(self) -> List[Row]:
-        """Copies of every tuple already returned, in rank order."""
-        return [dict(row) for row in self._returned]
+        """Every tuple already returned, in rank order (shared immutable
+        references — callers must not rely on mutating them)."""
+        with self._lock:
+            return list(self._returned)
 
     # ------------------------------------------------------------------ #
     def get_next(self) -> Optional[Row]:
         """Return the next tuple of the reranked answer (the paper's Get-Next
-        primitive), or ``None`` when the answer is exhausted."""
-        if self._exhausted:
-            return None
-        self.statistics.start_timer()
-        try:
-            row = self._algorithm.next()
-        finally:
-            self.statistics.stop_timer()
-        if row is None:
-            self._exhausted = True
-            return None
-        self._returned.append(dict(row))
-        return row
+        primitive), or ``None`` when the answer is exhausted.
+
+        Thread-safe: concurrent callers serialize on the stream lock, so the
+        emission history can never record a tuple twice or drop one."""
+        with self._lock:
+            if self._exhausted or self._closed:
+                return None
+            self.statistics.start_timer()
+            try:
+                row = self._next_row()
+            finally:
+                self.statistics.stop_timer()
+            if row is None:
+                self._exhausted = True
+                return None
+            if not isinstance(row, MappingProxyType):
+                row = MappingProxyType(dict(row))
+            self._returned.append(row)
+            return row
+
+    def _next_row(self) -> Optional[Row]:
+        """Produce the next raw tuple.  The default implementation drives the
+        wrapped live algorithm; subclasses replace it to replay shared state
+        (the feed-backed stream's replay/live handoff lives here)."""
+        assert self._algorithm is not None
+        return self._algorithm.next()
 
     def next_page(self, page_size: int) -> List[Row]:
         """Return up to ``page_size`` further tuples (the "next page" button)."""
         if page_size <= 0:
             raise ValueError("page_size must be positive")
         page: List[Row] = []
-        for _ in range(page_size):
-            row = self.get_next()
-            if row is None:
-                break
-            page.append(row)
+        with self._lock:
+            for _ in range(page_size):
+                row = self.get_next()
+                if row is None:
+                    break
+                page.append(row)
         return page
 
     def top(self, count: int) -> List[Row]:
         """Return the first ``count`` tuples overall, fetching more if needed.
 
-        Tuples already returned by earlier calls count toward ``count``.
+        Tuples already returned by earlier calls count toward ``count``.  The
+        returned rows are shared immutable references, not copies.
         """
         if count < 0:
             raise ValueError("count must be non-negative")
-        while len(self._returned) < count and not self._exhausted:
-            if self.get_next() is None:
-                break
-        return [dict(row) for row in self._returned[:count]]
+        with self._lock:
+            while len(self._returned) < count and not self._exhausted:
+                if self.get_next() is None:
+                    break
+            return list(self._returned[:count])
 
     def __iter__(self) -> Iterator[Row]:
         while True:
@@ -116,11 +155,34 @@ class GetNextStream:
             yield row
 
     # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Release the stream's resources (idempotent).
+
+        The stream's private :class:`~repro.core.parallel.QueryEngine` — and
+        with it the lazily created thread pool — is shut down; further
+        Get-Next calls return ``None``.  The service layer calls this when a
+        request is replaced, when its session expires, and at shutdown, so
+        abandoned streams cannot leak executors.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        if self._engine is not None:
+            self._engine.shutdown()
+        self._on_close()
+
+    def _on_close(self) -> None:
+        """Subclass hook run once per :meth:`close` (after the engine stops)."""
+
+    # ------------------------------------------------------------------ #
     def snapshot(self) -> Dict[str, object]:
         """Summary used by the service's statistics panel."""
+        with self._lock:
+            returned = len(self._returned)
         return {
             "description": self._description,
-            "returned": len(self._returned),
+            "returned": returned,
             "exhausted": self._exhausted,
             "statistics": self.statistics.snapshot(),
         }

@@ -211,7 +211,7 @@ class MultiDimGetNext:
     # The search itself
     # ------------------------------------------------------------------ #
     def _find_next_tuple(self) -> Optional[Row]:
-        emitted = set(self._session.emitted_keys())
+        emitted = self._session.emitted_key_set()
         best = self._seed_from_cache(emitted)
         if self._variant is MDVariant.BASELINE:
             return self._baseline_search(best, emitted)

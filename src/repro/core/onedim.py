@@ -488,7 +488,7 @@ class OneDimGetNext:
     def _resolve_value_group(self, oriented_value: float) -> List[Row]:
         raw_value = self._axis.unorient(oriented_value)
         point = RangePredicate(self._axis.attribute, raw_value, raw_value)
-        emitted = set(self._session.emitted_keys())
+        emitted = self._session.emitted_key_set()
         key_column = self._engine.key_column
 
         rows: Optional[List[Row]] = None

@@ -20,12 +20,13 @@ from typing import Dict, Mapping, Optional
 
 from repro.config import RerankConfig
 from repro.core.dense_index import DenseRegionIndex
+from repro.core.feed import FeedProducer, RerankFeed, RerankFeedStore
 from repro.core.functions import (
     LinearRankingFunction,
     SingleAttributeRanking,
     UserRankingFunction,
 )
-from repro.core.getnext import GetNextStream
+from repro.core.getnext import GetNextStream, Row
 from repro.core.multidim import MDVariant, MultiDimGetNext
 from repro.core.onedim import OneDimGetNext, OneDimVariant
 from repro.core.parallel import QueryEngine
@@ -118,7 +119,16 @@ class QueryReranker:
         else:
             self._result_cache = None
         self._cache_namespace = default_namespace(interface)
+        if self._config.enable_rerank_feed:
+            self._feed_store: Optional[RerankFeedStore] = RerankFeedStore(
+                max_feeds=self._config.rerank_feed_size,
+                ttl_seconds=self._config.rerank_feed_ttl_seconds,
+                result_cache=self._result_cache,
+            )
+        else:
+            self._feed_store = None
         self._session_counter = itertools.count(1)
+        self._feed_counter = itertools.count(1)
         self._lock = threading.Lock()
 
     # ------------------------------------------------------------------ #
@@ -144,6 +154,21 @@ class QueryReranker:
         cache object — reuse each other's query answers."""
         return self._result_cache
 
+    @property
+    def feed_store(self) -> Optional[RerankFeedStore]:
+        """The shared rerank feed store (``None`` when the feed is disabled).
+        Sessions asking for the same canonical *(query, ranking, algorithm)*
+        share one materialized Get-Next stream through it."""
+        return self._feed_store
+
+    def close(self) -> None:
+        """Release shared resources: every feed's producer engine is shut
+        down (feeds still attached to live streams close when those streams
+        do).  Idempotent; the reranker remains usable, but new requests
+        rebuild their feeds from scratch."""
+        if self._feed_store is not None:
+            self._feed_store.close()
+
     def _new_session(self, label: str) -> Session:
         with self._lock:
             number = next(self._session_counter)
@@ -162,42 +187,42 @@ class QueryReranker:
 
         The returned stream is lazy: no external query is issued until its
         first ``get_next()`` / ``next_page()`` call.
+
+        With the shared rerank feed enabled, requests for the same canonical
+        *(query, ranking, algorithm)* share one materialized stream: the
+        first session to need each position drives the real algorithm (the
+        *leader*), every other session replays the verified prefix at zero
+        external queries (a *follower*).  Requests carrying a private
+        ``budget`` bypass the feed — budget enforcement is per-request and
+        cannot be shared.
         """
         ranking.validate(self._interface.schema)
         query.validate(self._interface.schema)
+        if not ranking.is_single_attribute:
+            # Fail eagerly (feed producers are built lazily on first advance,
+            # which would otherwise delay this error to the first page).
+            self._require_linear(ranking)
         session = session or self._new_session("session")
-        engine = QueryEngine(
-            self._interface,
-            config=self._config,
-            statistics=session.statistics,
-            budget=budget,
-            result_cache=self._result_cache,
-            cache_namespace=self._cache_namespace,
-        )
-
-        if ranking.is_single_attribute:
-            algorithm_object = self._build_onedim(engine, query, ranking, session, algorithm)
-        elif algorithm is Algorithm.TA:
-            algorithm_object = ThresholdAlgorithmGetNext(
-                engine=engine,
-                base_query=query,
-                ranking=self._require_linear(ranking),
-                session=session,
-                config=self._config,
-                dense_index=self._dense_index,
-            )
-        else:
-            algorithm_object = MultiDimGetNext(
-                engine=engine,
-                base_query=query,
-                ranking=self._require_linear(ranking),
-                session=session,
-                config=self._config,
-                variant=_MD_VARIANTS[algorithm],
-                dense_index=self._dense_index,
-            )
         description = RerankRequest(query=query, ranking=ranking, algorithm=algorithm).describe()
-        return GetNextStream(algorithm_object, session, description=description)
+
+        if self._feed_store is not None and budget is None:
+            feed = self._feed_store.attach(
+                self._cache_namespace,
+                query,
+                ranking,
+                algorithm.value,
+                self._interface.system_k,
+                self._interface.key_column,
+                factory=lambda: self._build_feed_producer(query, ranking, algorithm),
+            )
+            if feed is not None:
+                return FeedBackedStream(feed, session, description=description)
+
+        engine = self._build_engine(session.statistics, budget)
+        algorithm_object = self._build_algorithm(engine, query, ranking, session, algorithm)
+        return GetNextStream(
+            algorithm_object, session, description=description, engine=engine
+        )
 
     def top(
         self,
@@ -211,6 +236,68 @@ class QueryReranker:
         stream = self.rerank(query, ranking, algorithm=algorithm)
         stream.top(count)
         return stream
+
+    # ------------------------------------------------------------------ #
+    def _build_engine(self, statistics, budget: Optional[QueryBudget]) -> QueryEngine:
+        return QueryEngine(
+            self._interface,
+            config=self._config,
+            statistics=statistics,
+            budget=budget,
+            result_cache=self._result_cache,
+            cache_namespace=self._cache_namespace,
+        )
+
+    def _build_algorithm(
+        self,
+        engine: QueryEngine,
+        query: SearchQuery,
+        ranking: UserRankingFunction,
+        session: Session,
+        algorithm: Algorithm,
+    ):
+        """The algorithm-selection logic shared by private streams and feed
+        producers: 1D functions go to the 1D algorithms, MD ones to the MD
+        algorithms, MD-TA on explicit request."""
+        if ranking.is_single_attribute:
+            return self._build_onedim(engine, query, ranking, session, algorithm)
+        if algorithm is Algorithm.TA:
+            return ThresholdAlgorithmGetNext(
+                engine=engine,
+                base_query=query,
+                ranking=self._require_linear(ranking),
+                session=session,
+                config=self._config,
+                dense_index=self._dense_index,
+            )
+        return MultiDimGetNext(
+            engine=engine,
+            base_query=query,
+            ranking=self._require_linear(ranking),
+            session=session,
+            config=self._config,
+            variant=_MD_VARIANTS[algorithm],
+            dense_index=self._dense_index,
+        )
+
+    def _build_feed_producer(
+        self,
+        query: SearchQuery,
+        ranking: UserRankingFunction,
+        algorithm: Algorithm,
+    ) -> FeedProducer:
+        """The private driver behind one shared feed: a dedicated session (so
+        no user's seen-tuple cache or emission history perturbs the canonical
+        order) and a dedicated engine whose statistics accumulate on the
+        producer session — leaders absorb per-advance deltas from there."""
+        with self._lock:
+            number = next(self._feed_counter)
+        producer_session = Session(session_id=f"feed-{number}")
+        engine = self._build_engine(producer_session.statistics, budget=None)
+        algorithm_object = self._build_algorithm(
+            engine, query, ranking, producer_session, algorithm
+        )
+        return FeedProducer(algorithm_object, producer_session, engine)
 
     # ------------------------------------------------------------------ #
     def _build_onedim(
@@ -279,3 +366,73 @@ class QueryReranker:
             self._interface.schema, cache=cache, impl=self._config.dense_index_impl
         )
         return counters
+
+
+class FeedBackedStream(GetNextStream):
+    """A Get-Next stream served from a shared :class:`RerankFeed`.
+
+    Replay/live handoff: positions inside the feed's verified prefix replay
+    shared immutable rows at zero external queries and zero algorithm work;
+    the first stream to step past the deepest verified position is promoted
+    to leader for that advance, drives the feed's private producer, and
+    absorbs the producer's statistics delta into its own panel.  Per-user
+    dedup still applies: rows this session has already been handed (in this
+    or an earlier request on the same session) are skipped exactly as the
+    live algorithms skip them.
+    """
+
+    def __init__(self, feed: RerankFeed, session: Session, description: str = "") -> None:
+        super().__init__(algorithm=None, session=session, description=description)
+        self._feed = feed
+        self._position = 0
+        self._led = False
+
+    @property
+    def feed(self) -> RerankFeed:
+        """The shared feed backing this stream."""
+        return self._feed
+
+    @property
+    def position(self) -> int:
+        """The stream's cursor within the feed's canonical emission order."""
+        return self._position
+
+    @property
+    def led(self) -> bool:
+        """True once this stream has performed at least one leader advance."""
+        return self._led
+
+    def _next_row(self) -> Optional[Row]:
+        statistics = self.statistics
+        key_column = self._feed.key_column
+        while True:
+            row, replayed = self._feed.row_at(self._position, statistics=statistics)
+            if not replayed and not self._led:
+                self._led = True
+                self._feed.note_promotion()
+            if row is None:
+                if replayed:
+                    statistics.record_feed_replay(returned=False)
+                else:
+                    statistics.record_feed_leader_advance()
+                statistics.record_get_next(returned=False)
+                return None
+            self._position += 1
+            # Per-user dedup over replayed rows: the live algorithms never
+            # re-emit a tuple the session has already been handed, so the
+            # replay path must not either.  The position is still counted —
+            # its cost (for led advances, already absorbed above) must
+            # reconcile with the feed-level counters.
+            duplicate = self._session.has_emitted(row[key_column])
+            if replayed:
+                statistics.record_feed_replay(returned=not duplicate)
+            else:
+                statistics.record_feed_leader_advance()
+            if duplicate:
+                continue
+            self._session.mark_emitted(row, key_column)
+            statistics.record_get_next(returned=True)
+            return row
+
+    def _on_close(self) -> None:
+        self._feed.release()

@@ -38,6 +38,7 @@ class Session:
         self._lock = threading.Lock()
         self._seen_tuples: Dict[object, Row] = {}
         self._emitted_keys: List[object] = []
+        self._emitted_set: set = set()
         self._pending: List[Row] = []
         self.statistics = RerankStatistics()
         self.last_touched = self.created_at
@@ -80,7 +81,7 @@ class Session:
         These seed the best-known candidate before any external query is
         issued — the acceleration the paper attributes to the session cache.
         """
-        emitted = set(self.emitted_keys())
+        emitted = self.emitted_key_set()
         candidates = []
         with self._lock:
             rows = list(self._seen_tuples.values())
@@ -101,6 +102,7 @@ class Session:
         """Record that ``row`` has been returned to the user."""
         with self._lock:
             self._emitted_keys.append(row[key_column])
+            self._emitted_set.add(row[key_column])
             self._seen_tuples[row[key_column]] = dict(row)
             self.last_touched = time.time()
 
@@ -108,6 +110,17 @@ class Session:
         """Keys of the tuples already returned, in emission order."""
         with self._lock:
             return list(self._emitted_keys)
+
+    def emitted_key_set(self) -> set:
+        """Copy of the emitted keys as a set (O(1) membership for dedup)."""
+        with self._lock:
+            return set(self._emitted_set)
+
+    def has_emitted(self, key: object) -> bool:
+        """True when a tuple with ``key`` was already returned to the user —
+        the per-user dedup check replayed feed rows go through."""
+        with self._lock:
+            return key in self._emitted_set
 
     def emitted_count(self) -> int:
         """Number of tuples returned so far (the ``h`` of top-h)."""
@@ -150,6 +163,7 @@ class Session:
         """
         with self._lock:
             self._emitted_keys.clear()
+            self._emitted_set.clear()
             self._pending.clear()
             self.statistics = RerankStatistics()
             self.last_touched = time.time()

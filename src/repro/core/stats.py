@@ -37,6 +37,9 @@ class RerankStatistics:
     crawled_tuples: int = 0
     get_next_calls: int = 0
     tuples_returned: int = 0
+    feed_hits: int = 0
+    feed_replayed_tuples: int = 0
+    feed_leader_advances: int = 0
 
     def __post_init__(self) -> None:
         self._lock = threading.Lock()
@@ -129,6 +132,20 @@ class RerankStatistics:
             if returned:
                 self.tuples_returned += 1
 
+    def record_feed_replay(self, returned: bool) -> None:
+        """Record one Get-Next call answered from a shared rerank feed's
+        verified prefix — zero external queries, zero algorithm work."""
+        with self._lock:
+            self.feed_hits += 1
+            if returned:
+                self.feed_replayed_tuples += 1
+
+    def record_feed_leader_advance(self, count: int = 1) -> None:
+        """Record Get-Next calls for which this request led the shared feed
+        (drove the real algorithm and extended the verified prefix)."""
+        with self._lock:
+            self.feed_leader_advances += count
+
     # ------------------------------------------------------------------ #
     # Derived metrics
     # ------------------------------------------------------------------ #
@@ -191,7 +208,59 @@ class RerankStatistics:
                 "crawled_tuples": self.crawled_tuples,
                 "get_next_calls": self.get_next_calls,
                 "tuples_returned": self.tuples_returned,
+                "feed_hits": self.feed_hits,
+                "feed_replayed_tuples": self.feed_replayed_tuples,
+                "feed_leader_advances": self.feed_leader_advances,
             }
+
+    # ------------------------------------------------------------------ #
+    # Delta accounting (shared rerank feeds)
+    # ------------------------------------------------------------------ #
+    #: Algorithm-work counters a feed leader inherits from the shared
+    #: producer.  Emission counters (``get_next_calls``/``tuples_returned``)
+    #: and feed counters are deliberately excluded: the consumer stream
+    #: records its own emissions, and the producer serves many consumers.
+    _ABSORBED_FIELDS = (
+        "external_queries",
+        "simulated_seconds",
+        "wall_seconds",
+        "iterations",
+        "parallel_iterations",
+        "parallel_queries",
+        "sequential_queries",
+        "cache_hits",
+        "result_cache_hits",
+        "contained_answers",
+        "coalesced_queries",
+        "dense_index_hits",
+        "dense_regions_built",
+        "crawled_tuples",
+    )
+
+    def checkpoint(self) -> Dict[str, float]:
+        """Lightweight mark of the absorbable counters, for later
+        :meth:`absorb_since` delta accounting."""
+        with self._lock:
+            mark: Dict[str, float] = {
+                name: getattr(self, name) for name in self._ABSORBED_FIELDS
+            }
+            mark["iteration_group_sizes"] = len(self.iteration_group_sizes)
+            return mark
+
+    def absorb_since(self, other: "RerankStatistics", mark: Dict[str, float]) -> None:
+        """Fold into this object the algorithm work ``other`` accumulated
+        since ``mark`` (a :meth:`checkpoint` of ``other``).
+
+        Used by shared rerank feeds: the stream leading an advance absorbs the
+        producer's per-advance delta, so its statistics panel reflects exactly
+        the external queries and latency its Get-Next call caused."""
+        with other._lock:
+            current = {name: getattr(other, name) for name in self._ABSORBED_FIELDS}
+            tail = list(other.iteration_group_sizes[int(mark["iteration_group_sizes"]):])
+        with self._lock:
+            for name in self._ABSORBED_FIELDS:
+                setattr(self, name, getattr(self, name) + current[name] - mark[name])
+            self.iteration_group_sizes.extend(tail)
 
     def merge(self, other: "RerankStatistics") -> None:
         """Fold another statistics object into this one (used when a request
@@ -215,3 +284,6 @@ class RerankStatistics:
             self.crawled_tuples += other.crawled_tuples
             self.get_next_calls += other.get_next_calls
             self.tuples_returned += other.tuples_returned
+            self.feed_hits += other.feed_hits
+            self.feed_replayed_tuples += other.feed_replayed_tuples
+            self.feed_leader_advances += other.feed_leader_advances

@@ -175,7 +175,7 @@ class ThresholdAlgorithmGetNext:
 
     # ------------------------------------------------------------------ #
     def _find_next_tuple(self) -> Optional[Row]:
-        emitted = set(self._session.emitted_keys())
+        emitted = self._session.emitted_key_set()
         best = self._best_discovered(emitted)
 
         while True:

@@ -133,12 +133,20 @@ class QR2Service:
         return self._result_cache_store.save(self._shared_result_cache)
 
     def close(self) -> None:
-        """Persist the result cache (when configured) and release the spill's
-        connections.  Idempotent."""
+        """Persist the result cache (when configured), close every active
+        request stream (releasing its query engine), and shut the rerank feed
+        stores down.  Idempotent."""
         if self._result_cache_store is not None:
             self.save_result_cache()
             self._result_cache_store.close()
             self._result_cache_store = None
+        with self._lock:
+            requests = list(self._requests.values())
+            self._requests.clear()
+        for request in requests:
+            request.stream.close()
+        for name in self._registry.names():
+            self._registry.get(name).reranker.close()
 
     def list_sources(self) -> List[Dict[str, object]]:
         """Describe every selectable data source (the UI's source picker)."""
@@ -175,14 +183,20 @@ class QR2Service:
 
     def expire_idle_sessions(self) -> int:
         """Drop sessions idle for longer than the configured TTL; returns the
-        number removed."""
+        number removed.  Each dropped session's active stream is closed so
+        its query engine (and thread pool) is released, not leaked."""
         removed = 0
+        dropped: List[_ActiveRequest] = []
         with self._lock:
             for session_id in list(self._sessions):
                 if self._sessions[session_id].idle_seconds() > self._config.session_ttl_seconds:
                     self._sessions.pop(session_id)
-                    self._requests.pop(session_id, None)
+                    request = self._requests.pop(session_id, None)
+                    if request is not None:
+                        dropped.append(request)
                     removed += 1
+        for request in dropped:
+            request.stream.close()
         return removed
 
     # ------------------------------------------------------------------ #
@@ -221,9 +235,14 @@ class QR2Service:
             query, ranking_function, algorithm=chosen_algorithm, session=session
         )
         with self._lock:
+            replaced = self._requests.get(session_id)
             self._requests[session_id] = _ActiveRequest(
                 source=source, stream=stream, page_size=size
             )
+        if replaced is not None:
+            # The old stream's query engine (and its lazily created thread
+            # pool) would otherwise live as long as the process.
+            replaced.stream.close()
         return self._serve_page(session_id)
 
     def get_next_page(self, session_id: str) -> Dict[str, object]:
@@ -313,6 +332,7 @@ class QR2Service:
     def _statistics_panel(self, request: _ActiveRequest) -> Dict[str, object]:
         snapshot = request.stream.statistics.snapshot()
         result_cache = request.source.reranker.result_cache
+        feed_store = request.source.reranker.feed_store
         return {
             "description": request.stream.description,
             "external_queries": snapshot["external_queries"],
@@ -326,8 +346,12 @@ class QR2Service:
             "dense_index_hits": snapshot["dense_index_hits"],
             "dense_regions_built": snapshot["dense_regions_built"],
             "tuples_returned": snapshot["tuples_returned"],
+            "feed_hits": snapshot["feed_hits"],
+            "feed_replayed_tuples": snapshot["feed_replayed_tuples"],
+            "feed_leader_advances": snapshot["feed_leader_advances"],
             "dense_index": request.source.reranker.dense_index.describe(),
             "result_cache": result_cache.snapshot() if result_cache else None,
+            "rerank_feed": feed_store.snapshot() if feed_store else None,
             "result_cache_persistence": (
                 {
                     "path": self._config.result_cache_path,

@@ -530,6 +530,16 @@ class QueryResultCache:
     # ------------------------------------------------------------------ #
     # Invalidation
     # ------------------------------------------------------------------ #
+    def generation(self, namespace: str) -> Tuple[int, int]:
+        """The namespace's current generation token (global, namespace).
+
+        Bumped by every :meth:`invalidate` covering the namespace.  Derived
+        caches — the shared rerank feed store folds this into its feed
+        stamps — compare tokens to detect that their source answers were
+        flushed and must not be reused."""
+        with self._lock:
+            return self._generation_locked(namespace)
+
     def invalidate(self, namespace: Optional[str] = None) -> int:
         """Drop every entry (or every entry of one namespace); returns the
         number removed.

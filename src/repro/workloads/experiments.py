@@ -27,12 +27,18 @@ same harness drives ``pytest-benchmark``, the example scripts, and
 
 from __future__ import annotations
 
+import random
 import statistics as pystats
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.config import DatabaseConfig, RerankConfig
-from repro.core.functions import LinearRankingFunction, UserRankingFunction
+from repro.core.functions import (
+    LinearRankingFunction,
+    SingleAttributeRanking,
+    UserRankingFunction,
+)
 from repro.core.normalization import MinMaxNormalizer
 from repro.core.reranker import Algorithm, QueryReranker
 from repro.dataset.diamonds import DiamondCatalogConfig, diamond_schema, generate_diamond_catalog
@@ -338,7 +344,11 @@ def run_onthefly_indexing(
     # matching value is exactly 1.0).
     query = SearchQuery.build(ranges={"length_width_ratio": (0.995, 1.6)})
 
-    shared_rerank = environment.make_reranker("bluenile")
+    # The rerank feed is ablated: it would replay every repetition for free
+    # and hide the dense index's amortization, which is what this measures.
+    shared_rerank = environment.make_reranker(
+        "bluenile", environment.rerank_config.without_rerank_feed()
+    )
     rerank_costs: List[int] = []
     rerank_seconds: List[float] = []
     for _ in range(repetitions):
@@ -415,10 +425,12 @@ def run_dense_index_differential(
     for impl in ("naive", "interval"):
         # The eager density threshold is what makes the workload region-heavy
         # at benchmark catalog scales: narrow probe intervals are crawled and
-        # indexed instead of being halved further.
+        # indexed instead of being halved further.  The rerank feed is
+        # ablated so repeated windows exercise the dense index, not a replay.
         config = replace(
             environment.rerank_config.with_dense_index_impl(impl),
             dense_ratio_threshold=0.02,
+            enable_rerank_feed=False,
         )
         reranker = environment.make_reranker("bluenile", config)
         costs: List[int] = []
@@ -474,9 +486,15 @@ def run_cache_reuse(
     payload: Dict[str, Dict[str, object]] = {}
     for source, scenario in workloads.items():
         outcomes: Dict[str, Dict[str, object]] = {}
+        # Both modes ablate the rerank feed: with it on, sessions 2..N replay
+        # the whole stream for free in either mode and the delta no longer
+        # isolates the result cache.
         for mode, config in (
-            ("cached", environment.rerank_config),
-            ("uncached", environment.rerank_config.without_result_cache()),
+            ("cached", environment.rerank_config.without_rerank_feed()),
+            (
+                "uncached",
+                environment.rerank_config.without_result_cache().without_rerank_feed(),
+            ),
         ):
             reranker = environment.make_reranker(source, config)
             costs: List[int] = []
@@ -560,9 +578,15 @@ def run_containment_reuse(
             )
 
         outcomes: Dict[str, Dict[str, object]] = {}
+        # Feed ablated for the same reason as in run_cache_reuse; the nested
+        # windows would not share feeds anyway (distinct canonical queries),
+        # but keeping both modes feed-free makes the isolation explicit.
         for mode, config in (
-            ("containment", environment.rerank_config),
-            ("exact", environment.rerank_config.without_containment()),
+            ("containment", environment.rerank_config.without_rerank_feed()),
+            (
+                "exact",
+                environment.rerank_config.without_containment().without_rerank_feed(),
+            ),
         ):
             reranker = environment.make_reranker(source, config)
             costs: List[int] = []
@@ -599,6 +623,223 @@ def run_containment_reuse(
             ),
         }
     return payload
+
+
+# --------------------------------------------------------------------------- #
+# SC-FEED — cross-session Get-Next sharing through the rerank feed
+# --------------------------------------------------------------------------- #
+def _page_through(
+    reranker: QueryReranker,
+    query: SearchQuery,
+    ranking: UserRankingFunction,
+    algorithm: Algorithm,
+    pages: int,
+    page_size: int,
+) -> Dict[str, object]:
+    """Serve one session: ``pages`` pages of ``page_size``, with per-page
+    latency (simulated + wall) and wall-only timings."""
+    stream = reranker.rerank(query, ranking, algorithm=algorithm)
+    page_rows: List[List[Dict[str, object]]] = []
+    page_seconds: List[float] = []
+    page_wall_seconds: List[float] = []
+    for _ in range(pages):
+        before = stream.statistics.processing_seconds
+        started = time.perf_counter()
+        rows = stream.next_page(page_size)
+        page_wall_seconds.append(time.perf_counter() - started)
+        page_seconds.append(stream.statistics.processing_seconds - before)
+        page_rows.append([dict(row) for row in rows])
+    snapshot = stream.statistics.snapshot()
+    stream.close()
+    return {
+        "pages": page_rows,
+        "page_seconds": page_seconds,
+        "page_wall_seconds": page_wall_seconds,
+        "external_queries": snapshot["external_queries"],
+        "feed_hits": snapshot["feed_hits"],
+        "feed_replayed_tuples": snapshot["feed_replayed_tuples"],
+        "feed_leader_advances": snapshot["feed_leader_advances"],
+    }
+
+
+def run_feed_reuse(
+    environment: Optional[ExperimentEnvironment] = None,
+    sessions: int = 6,
+    pages: int = 3,
+    page_size: int = 5,
+    algorithm: Algorithm = Algorithm.RERANK,
+) -> Dict[str, Dict[str, object]]:
+    """Measure the shared rerank feed on a popular-function workload.
+
+    For each source, ``sessions`` independent sessions ask for the identical
+    popular ranking function (the list the QR2 UI funnels users toward) and
+    page through the answer.  With the feed on, session 1 is the leader (it
+    pays the algorithm work and the external queries) and sessions 2..N are
+    followers replaying the verified prefix: **zero** external queries and a
+    page latency that is pure replay.  A feed-disabled control run of the
+    same workload must produce byte-identical pages — the feed replays the
+    canonical stream, it never changes it.
+    """
+    environment = environment or ExperimentEnvironment()
+    from repro.service.popular import popular_function
+    from repro.service.sliders import ranking_from_sliders
+
+    workloads = {
+        "bluenile": (
+            popular_function("bluenile", "best_value_carat"),
+            environment.diamond_schema,
+        ),
+        "zillow": (
+            popular_function("zillow", "best_case_price_sqft"),
+            environment.housing_schema,
+        ),
+    }
+    payload: Dict[str, Dict[str, object]] = {}
+    for source, (function, schema) in workloads.items():
+        ranking = ranking_from_sliders(function.sliders, schema)
+        query = SearchQuery.everything()
+        modes: Dict[str, Dict[str, object]] = {}
+        for mode, config in (
+            ("feed", environment.rerank_config),
+            ("nofeed", environment.rerank_config.without_rerank_feed()),
+        ):
+            reranker = environment.make_reranker(source, config)
+            outcomes = [
+                _page_through(reranker, query, ranking, algorithm, pages, page_size)
+                for _ in range(sessions)
+            ]
+            store = reranker.feed_store
+            modes[mode] = {
+                "sessions": outcomes,
+                "feed_store": store.snapshot() if store is not None else None,
+            }
+            reranker.close()  # release the feed producers' engines
+
+        leader = modes["feed"]["sessions"][0]  # type: ignore[index]
+        followers = modes["feed"]["sessions"][1:]  # type: ignore[index]
+        leader_median = pystats.median(leader["page_seconds"])
+        follower_page_seconds = [s for f in followers for s in f["page_seconds"]]
+        follower_median = pystats.median(follower_page_seconds)
+        leader_wall_median = pystats.median(leader["page_wall_seconds"])
+        follower_wall_median = pystats.median(
+            [s for f in followers for s in f["page_wall_seconds"]]
+        )
+        payload[source] = {
+            "popular_function": function.name,
+            "ranking": ranking.describe(),
+            "algorithm": algorithm.value,
+            "sessions": sessions,
+            "pages": pages,
+            "page_size": page_size,
+            "leader_queries": leader["external_queries"],
+            "follower_queries": [f["external_queries"] for f in followers],
+            "nofeed_queries": [
+                s["external_queries"]
+                for s in modes["nofeed"]["sessions"]  # type: ignore[index]
+            ],
+            "leader_median_page_seconds": leader_median,
+            "follower_median_page_seconds": follower_median,
+            "median_speedup": (
+                leader_median / follower_median if follower_median > 0 else float("inf")
+            ),
+            "leader_median_page_wall_seconds": leader_wall_median,
+            "follower_median_page_wall_seconds": follower_wall_median,
+            "wall_speedup": (
+                leader_wall_median / follower_wall_median
+                if follower_wall_median > 0
+                else float("inf")
+            ),
+            "replayed_tuples": sum(f["feed_replayed_tuples"] for f in followers),
+            "pages_match": (
+                [s["pages"] for s in modes["feed"]["sessions"]]  # type: ignore[index]
+                == [s["pages"] for s in modes["nofeed"]["sessions"]]  # type: ignore[index]
+            ),
+            "feed_store": modes["feed"]["feed_store"],
+        }
+    return payload
+
+
+def run_feed_differential(
+    environment: Optional[ExperimentEnvironment] = None,
+    trials: int = 4,
+    sessions: int = 3,
+    pages: int = 2,
+    page_size: int = 5,
+    seed: int = 20180416,
+) -> Dict[str, object]:
+    """Randomized differential: feed-enabled runs must be byte-identical to
+    feed-disabled runs.
+
+    Each trial draws a random source, filter window, ranking function (1D or
+    slider-style MD), and algorithm, then serves the same request to
+    ``sessions`` sessions under both configurations.  Every page of every
+    session must match exactly — replaying a verified prefix is replay, not
+    approximation — and the follower sessions must not issue a single
+    external query.
+    """
+    environment = environment or ExperimentEnvironment()
+    rng = random.Random(seed)
+    trials_payload: List[Dict[str, object]] = []
+    all_match = True
+    for index in range(trials):
+        source = rng.choice(["bluenile", "zillow"])
+        schema = (
+            environment.diamond_schema
+            if source == "bluenile"
+            else environment.housing_schema
+        )
+        rankable = list(schema.rankable_names)
+        if rng.random() < 0.5:
+            attribute = rng.choice(rankable)
+            ranking: UserRankingFunction = SingleAttributeRanking(
+                attribute, ascending=rng.random() < 0.5
+            )
+            algorithm = rng.choice([Algorithm.BINARY, Algorithm.RERANK])
+        else:
+            count = min(2, len(rankable))
+            chosen = rng.sample(rankable, count)
+            weights = {name: rng.choice([-1.0, -0.5, 0.5, 1.0]) for name in chosen}
+            ranking = LinearRankingFunction(
+                weights, normalizer=MinMaxNormalizer.from_schema(schema, chosen)
+            )
+            algorithm = rng.choice([Algorithm.RERANK, Algorithm.TA])
+        filter_attribute = rng.choice(rankable)
+        lower, upper = schema.domain_bounds(filter_attribute)
+        span = upper - lower
+        low = lower + rng.uniform(0.0, 0.3) * span
+        high = upper - rng.uniform(0.0, 0.3) * span
+        query = SearchQuery.build(ranges={filter_attribute: (low, high)})
+
+        results: Dict[str, List[Dict[str, object]]] = {}
+        for mode, config in (
+            ("feed", environment.rerank_config),
+            ("nofeed", environment.rerank_config.without_rerank_feed()),
+        ):
+            reranker = environment.make_reranker(source, config)
+            results[mode] = [
+                _page_through(reranker, query, ranking, algorithm, pages, page_size)
+                for _ in range(sessions)
+            ]
+            reranker.close()  # release the feed producers' engines
+        pages_match = [s["pages"] for s in results["feed"]] == [
+            s["pages"] for s in results["nofeed"]
+        ]
+        follower_queries = [s["external_queries"] for s in results["feed"][1:]]
+        all_match = all_match and pages_match and not any(follower_queries)
+        trials_payload.append(
+            {
+                "trial": index,
+                "source": source,
+                "algorithm": algorithm.value,
+                "ranking": ranking.describe(),
+                "query": query.describe(),
+                "pages_match": pages_match,
+                "leader_queries": results["feed"][0]["external_queries"],
+                "follower_queries": follower_queries,
+                "nofeed_queries": [s["external_queries"] for s in results["nofeed"]],
+            }
+        )
+    return {"trials": trials_payload, "all_match": all_match}
 
 
 # --------------------------------------------------------------------------- #
@@ -641,7 +882,11 @@ def run_best_worst_cases(
             "dense_index_hits": stream.statistics.dense_index_hits,
         }
 
-    worst_reranker = environment.make_reranker("bluenile")
+    # Feed ablated on the shared reranker: the warm TA run measures the
+    # dense index's amortization, not a feed replay.
+    worst_reranker = environment.make_reranker(
+        "bluenile", environment.rerank_config.without_rerank_feed()
+    )
     worst_cold = _run(worst_reranker, SearchQuery.everything(), worst_ranking, Algorithm.TA)
     worst_warm = _run(worst_reranker, SearchQuery.everything(), worst_ranking, Algorithm.TA)
     worst_rerank = _run(

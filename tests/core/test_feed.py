@@ -1,0 +1,446 @@
+"""Tests for the shared rerank feed: leader/follower Get-Next sharing."""
+
+import threading
+
+import pytest
+
+from repro.config import RerankConfig
+from repro.core.feed import FeedProducer, RerankFeedStore, ranking_canonical_key
+from repro.core.functions import (
+    LinearRankingFunction,
+    SingleAttributeRanking,
+    UserRankingFunction,
+)
+from repro.core.getnext import GetNextStream
+from repro.core.normalization import MinMaxNormalizer
+from repro.core.reranker import Algorithm, FeedBackedStream, QueryReranker
+from repro.core.session import Session
+from repro.core.stats import RerankStatistics
+from repro.webdb.cache import QueryResultCache
+from repro.webdb.counters import QueryBudget
+from repro.webdb.query import SearchQuery
+
+
+RANKING = SingleAttributeRanking("carat", ascending=False)
+QUERY = SearchQuery.build(ranges={"price": (500.0, 9000.0)})
+
+
+def _ids(rows):
+    return [row["id"] for row in rows]
+
+
+# --------------------------------------------------------------------------- #
+# Canonical ranking keys
+# --------------------------------------------------------------------------- #
+class TestRankingCanonicalKeys:
+    def test_single_attribute_key(self):
+        assert ranking_canonical_key(RANKING) == ("1d", "carat", False)
+
+    def test_linear_key_is_order_insensitive(self):
+        a = LinearRankingFunction({"price": 1.0, "carat": -0.5})
+        b = LinearRankingFunction({"carat": -0.5, "price": 1.0})
+        assert ranking_canonical_key(a) == ranking_canonical_key(b)
+
+    def test_normalizer_bounds_are_part_of_the_identity(self):
+        bounds_a = MinMaxNormalizer({"price": (0.0, 100.0)})
+        bounds_b = MinMaxNormalizer({"price": (0.0, 200.0)})
+        a = LinearRankingFunction({"price": 1.0, "carat": -0.5}, normalizer=bounds_a)
+        b = LinearRankingFunction({"price": 1.0, "carat": -0.5}, normalizer=bounds_b)
+        assert ranking_canonical_key(a) != ranking_canonical_key(b)
+
+    def test_uncanonicalizable_ranking_returns_none(self):
+        class Opaque(UserRankingFunction):
+            @property
+            def attributes(self):
+                return ("price",)
+
+            def score(self, row):
+                return float(row["price"])
+
+            def weight(self, attribute):
+                return 1.0
+
+            def describe(self):
+                return "opaque"
+
+        assert ranking_canonical_key(Opaque()) is None
+
+
+# --------------------------------------------------------------------------- #
+# Leader/follower protocol through the reranker
+# --------------------------------------------------------------------------- #
+class TestLeaderFollower:
+    def test_followers_replay_at_zero_external_queries(self, bluenile_db):
+        shared = QueryReranker(bluenile_db, config=RerankConfig())
+        control = QueryReranker(
+            bluenile_db, config=RerankConfig().without_rerank_feed()
+        )
+
+        leader = shared.rerank(QUERY, RANKING, algorithm=Algorithm.RERANK)
+        leader_rows = leader.next_page(8)
+        assert leader.statistics.external_queries > 0
+        assert leader.statistics.feed_leader_advances > 0
+        assert leader.statistics.feed_hits == 0
+
+        follower = shared.rerank(QUERY, RANKING, algorithm=Algorithm.RERANK)
+        follower_rows = follower.next_page(8)
+        assert follower.statistics.external_queries == 0
+        assert follower.statistics.feed_hits == 8
+        assert follower.statistics.feed_replayed_tuples == 8
+        assert _ids(follower_rows) == _ids(leader_rows)
+
+        expected = control.rerank(QUERY, RANKING, algorithm=Algorithm.RERANK)
+        assert _ids(expected.next_page(8)) == _ids(leader_rows)
+
+    def test_leader_statistics_match_feed_disabled_run(self, bluenile_db):
+        shared = QueryReranker(bluenile_db, config=RerankConfig())
+        control = QueryReranker(
+            bluenile_db, config=RerankConfig().without_rerank_feed()
+        )
+        led = shared.rerank(QUERY, RANKING, algorithm=Algorithm.RERANK)
+        led.next_page(6)
+        plain = control.rerank(QUERY, RANKING, algorithm=Algorithm.RERANK)
+        plain.next_page(6)
+        # The absorbed producer delta must equal what a private stream pays.
+        assert led.statistics.external_queries == plain.statistics.external_queries
+        assert led.statistics.tuples_returned == plain.statistics.tuples_returned
+        assert led.statistics.iterations == plain.statistics.iterations
+
+    def test_follower_promoted_to_leader_past_verified_prefix(self, bluenile_db):
+        reranker = QueryReranker(bluenile_db, config=RerankConfig())
+        first = reranker.rerank(QUERY, RANKING, algorithm=Algorithm.RERANK)
+        first.next_page(3)
+
+        second = reranker.rerank(QUERY, RANKING, algorithm=Algorithm.RERANK)
+        assert isinstance(second, FeedBackedStream)
+        second_rows = second.next_page(6)
+        assert len(second_rows) == 6
+        # Positions 0..2 replayed, 3..5 led: the stream was promoted.
+        assert second.led
+        assert second.statistics.feed_replayed_tuples == 3
+        assert second.statistics.feed_leader_advances == 3
+        assert second.statistics.external_queries > 0
+
+        # The original leader replays the extension for free.
+        more = first.next_page(3)
+        assert first.statistics.feed_replayed_tuples == 3
+        assert _ids(first.returned_so_far) == _ids(second_rows)
+        assert len(more) == 3
+
+    def test_concurrent_sessions_coalesce_onto_one_algorithm_run(self, bluenile_db):
+        reranker = QueryReranker(bluenile_db, config=RerankConfig())
+        control = QueryReranker(
+            bluenile_db, config=RerankConfig().without_rerank_feed()
+        )
+        expected_stream = control.rerank(QUERY, RANKING, algorithm=Algorithm.RERANK)
+        expected = _ids(expected_stream.next_page(10))
+        expected_cost = expected_stream.statistics.external_queries
+
+        barrier = threading.Barrier(4)
+        results = {}
+        errors = []
+
+        def run(worker: int) -> None:
+            try:
+                stream = reranker.rerank(QUERY, RANKING, algorithm=Algorithm.RERANK)
+                barrier.wait()
+                results[worker] = (
+                    _ids(stream.next_page(10)),
+                    stream.statistics.external_queries,
+                )
+            except BaseException as error:  # noqa: BLE001
+                errors.append(error)
+
+        threads = [threading.Thread(target=run, args=(i,)) for i in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        for ids, _cost in results.values():
+            assert ids == expected
+        # The algorithm ran once: the combined external cost of all four
+        # racing sessions equals one private run's cost.
+        assert sum(cost for _, cost in results.values()) == expected_cost
+        store = reranker.feed_store
+        assert store is not None
+        snapshot = store.snapshot()
+        assert snapshot["feeds"] == 1
+        assert snapshot["leader_advances"] == expected_stream.statistics.get_next_calls
+
+    def test_exhausted_feed_replays_exhaustion(self, bluenile_db):
+        reranker = QueryReranker(bluenile_db, config=RerankConfig())
+        narrow = SearchQuery.build(ranges={"carat": (0.3, 0.45)})
+        first = reranker.rerank(narrow, RANKING, algorithm=Algorithm.RERANK)
+        all_rows = list(first)
+        assert first.exhausted
+
+        second = reranker.rerank(narrow, RANKING, algorithm=Algorithm.RERANK)
+        replayed = list(second)
+        assert _ids(replayed) == _ids(all_rows)
+        assert second.exhausted
+        assert second.statistics.external_queries == 0
+
+
+# --------------------------------------------------------------------------- #
+# Feed bypass
+# --------------------------------------------------------------------------- #
+class TestFeedBypass:
+    def test_budgeted_requests_bypass_the_feed(self, bluenile_db):
+        reranker = QueryReranker(bluenile_db, config=RerankConfig())
+        stream = reranker.rerank(
+            QUERY, RANKING, algorithm=Algorithm.RERANK, budget=QueryBudget(10_000)
+        )
+        assert not isinstance(stream, FeedBackedStream)
+        assert type(stream) is GetNextStream
+
+    def test_uncanonicalizable_ranking_bypasses_the_feed(self, bluenile_db):
+        class Opaque(SingleAttributeRanking):
+            def canonical_key(self):
+                raise NotImplementedError
+
+        reranker = QueryReranker(bluenile_db, config=RerankConfig())
+        stream = reranker.rerank(QUERY, Opaque("carat"), algorithm=Algorithm.RERANK)
+        assert not isinstance(stream, FeedBackedStream)
+        assert stream.next_page(3)
+
+    def test_disabled_feed_produces_plain_streams(self, bluenile_db):
+        reranker = QueryReranker(
+            bluenile_db, config=RerankConfig().without_rerank_feed()
+        )
+        assert reranker.feed_store is None
+        stream = reranker.rerank(QUERY, RANKING, algorithm=Algorithm.RERANK)
+        assert type(stream) is GetNextStream
+
+
+# --------------------------------------------------------------------------- #
+# Per-user dedup over replayed rows
+# --------------------------------------------------------------------------- #
+class TestReplayDedup:
+    def test_replay_skips_rows_already_emitted_to_the_session(self, bluenile_db):
+        shared = QueryReranker(bluenile_db, config=RerankConfig())
+        control = QueryReranker(
+            bluenile_db, config=RerankConfig().without_rerank_feed()
+        )
+
+        def second_request_rows(reranker):
+            session = Session(session_id="dedup")
+            first = reranker.rerank(
+                QUERY, RANKING, algorithm=Algorithm.RERANK, session=session
+            )
+            first_rows = first.next_page(4)
+            # Same session, same request, *no* reset: the live algorithms
+            # never re-emit tuples the session was already handed, and the
+            # feed replay must behave identically.
+            second = reranker.rerank(
+                QUERY, RANKING, algorithm=Algorithm.RERANK, session=session
+            )
+            return first_rows, second.next_page(4)
+
+        shared_first, shared_second = second_request_rows(shared)
+        control_first, control_second = second_request_rows(control)
+        assert _ids(shared_first) == _ids(control_first)
+        assert _ids(shared_second) == _ids(control_second)
+        assert not set(_ids(shared_first)) & set(_ids(shared_second))
+
+    def test_reset_session_sees_the_full_stream_again(self, bluenile_db):
+        reranker = QueryReranker(bluenile_db, config=RerankConfig())
+        session = Session(session_id="reset")
+        first = reranker.rerank(
+            QUERY, RANKING, algorithm=Algorithm.RERANK, session=session
+        )
+        first_rows = first.next_page(4)
+        session.reset_for_new_request()
+        second = reranker.rerank(
+            QUERY, RANKING, algorithm=Algorithm.RERANK, session=session
+        )
+        assert _ids(second.next_page(4)) == _ids(first_rows)
+
+
+# --------------------------------------------------------------------------- #
+# Invalidation (generation counters, mirroring the PR 3 result-cache test)
+# --------------------------------------------------------------------------- #
+class TestFeedInvalidation:
+    def test_store_invalidation_retires_feeds(self, bluenile_db):
+        reranker = QueryReranker(bluenile_db, config=RerankConfig())
+        stream = reranker.rerank(QUERY, RANKING, algorithm=Algorithm.RERANK)
+        stream.next_page(3)
+        store = reranker.feed_store
+        assert store is not None and len(store) == 1
+        first_feed = stream.feed
+
+        assert store.invalidate() == 1
+        assert len(store) == 0
+        assert first_feed.stale
+
+        fresh = reranker.rerank(QUERY, RANKING, algorithm=Algorithm.RERANK)
+        assert fresh.feed is not first_feed
+        assert fresh.feed.depth == 0
+        # The rebuilt feed re-pays the algorithm from the live database.
+        fresh.next_page(3)
+        assert fresh.statistics.feed_leader_advances == 3
+
+    def test_result_cache_invalidation_bumps_feed_generation(self, bluenile_db):
+        reranker = QueryReranker(bluenile_db, config=RerankConfig())
+        namespace = reranker.result_cache is not None
+        assert namespace
+        stream = reranker.rerank(QUERY, RANKING, algorithm=Algorithm.RERANK)
+        stream.next_page(3)
+        old_feed = stream.feed
+
+        # Flushing the *source* answers must transitively outdate the feed: a
+        # feed must never outlive the query answers it was derived from.
+        reranker.result_cache.invalidate(reranker._cache_namespace)
+
+        fresh = reranker.rerank(QUERY, RANKING, algorithm=Algorithm.RERANK)
+        assert fresh.feed is not old_feed
+        assert fresh.feed.depth == 0
+
+    def test_inflight_leader_cannot_restore_stale_prefix(self, bluenile_db):
+        """Mirror of the PR 3 generation-counter test: an invalidation while
+        a leader is mid-stream marks its feed stale; the leader's own caller
+        completes normally, but the stale prefix never re-enters the store."""
+        reranker = QueryReranker(bluenile_db, config=RerankConfig())
+        leader = reranker.rerank(QUERY, RANKING, algorithm=Algorithm.RERANK)
+        leader.next_page(2)
+        inflight_feed = leader.feed
+
+        reranker.result_cache.invalidate(reranker._cache_namespace)
+
+        # The in-flight leader keeps serving its caller (like a pre-flush
+        # query completing for its waiters) ...
+        more = leader.next_page(2)
+        assert len(more) == 2
+        # ... but its post-invalidation appends marked the feed stale ...
+        assert inflight_feed.stale
+        # ... so a new session never attaches to it: the store hands out a
+        # fresh feed that recomputes from scratch.
+        fresh = reranker.rerank(QUERY, RANKING, algorithm=Algorithm.RERANK)
+        assert fresh.feed is not inflight_feed
+        rows = fresh.next_page(4)
+        assert fresh.statistics.feed_leader_advances == 4
+        assert fresh.statistics.feed_replayed_tuples == 0
+        assert _ids(rows) == _ids(leader.returned_so_far)
+
+    def test_store_generation_probe_combines_cache_generation(self):
+        cache = QueryResultCache()
+        store = RerankFeedStore(result_cache=cache)
+        before = store.generation("ns")
+        cache.invalidate("ns")
+        after = store.generation("ns")
+        assert before != after
+        store.invalidate("ns")
+        assert store.generation("ns") != after
+
+
+# --------------------------------------------------------------------------- #
+# Store bookkeeping: LRU, TTL, refcounts
+# --------------------------------------------------------------------------- #
+class _ListProducerFactory:
+    """Factory building producers that emit a fixed row list (no engine)."""
+
+    def __init__(self, rows):
+        self._rows = rows
+        self.closed = 0
+
+    def __call__(self) -> FeedProducer:
+        rows = iter(self._rows)
+
+        class _Algorithm:
+            def next(self_inner):
+                return next(rows, None)
+
+        factory = self
+
+        class _Engine:
+            def shutdown(self_inner):
+                factory.closed += 1
+
+        return FeedProducer(_Algorithm(), Session(session_id="fake"), _Engine())
+
+
+class TestFeedStore:
+    ROWS = [{"id": i, "carat": float(i)} for i in range(5)]
+
+    def _attach(self, store, query, factory=None):
+        return store.attach(
+            "ns",
+            query,
+            RANKING,
+            "rerank",
+            10,
+            "id",
+            factory or _ListProducerFactory(self.ROWS),
+        )
+
+    def test_lru_eviction_retires_oldest_feed(self):
+        store = RerankFeedStore(max_feeds=2)
+        queries = [
+            SearchQuery.build(ranges={"price": (0.0, float(100 + i))})
+            for i in range(3)
+        ]
+        feeds = [self._attach(store, query) for query in queries]
+        assert len(store) == 2
+        snapshot = store.snapshot()
+        assert snapshot["evictions"] == 1
+        assert feeds[0].stale  # retired feeds never re-enter the store
+        # Re-attaching the evicted request builds a fresh feed.
+        again = self._attach(store, queries[0])
+        assert again is not feeds[0]
+
+    def test_ttl_expiry_rebuilds_the_feed(self):
+        clock = [0.0]
+        store = RerankFeedStore(ttl_seconds=10.0, clock=lambda: clock[0])
+        query = SearchQuery.build(ranges={"price": (0.0, 100.0)})
+        feed = self._attach(store, query)
+        clock[0] = 5.0
+        assert self._attach(store, query) is feed
+        clock[0] = 15.0
+        fresh = self._attach(store, query)
+        assert fresh is not feed
+        assert store.snapshot()["expirations"] == 1
+
+    def test_producer_engine_closes_when_last_stream_releases(self):
+        store = RerankFeedStore()
+        factory = _ListProducerFactory(self.ROWS)
+        query = SearchQuery.build(ranges={"price": (0.0, 100.0)})
+        feed = self._attach(store, query, factory)
+        stats = RerankStatistics()
+        row, replayed = feed.row_at(0, statistics=stats)
+        assert row is not None and not replayed
+        store.close()
+        # Still attached: the engine must survive until the stream lets go.
+        assert factory.closed == 0
+        feed.release()
+        assert factory.closed == 1
+
+    def test_unattached_feed_closes_immediately_on_invalidate(self):
+        store = RerankFeedStore()
+        factory = _ListProducerFactory(self.ROWS)
+        query = SearchQuery.build(ranges={"price": (0.0, 100.0)})
+        feed = self._attach(store, query, factory)
+        feed.row_at(0, statistics=RerankStatistics())
+        feed.release()
+        assert factory.closed == 0
+        store.invalidate("ns")
+        assert factory.closed == 1
+
+    def test_row_at_validates_and_counts(self):
+        store = RerankFeedStore()
+        query = SearchQuery.build(ranges={"price": (0.0, 100.0)})
+        feed = self._attach(store, query)
+        stats = RerankStatistics()
+        served = []
+        while True:
+            row, _ = feed.row_at(len(served), statistics=stats)
+            if row is None:
+                break
+            served.append(row)
+        assert [row["id"] for row in served] == [0, 1, 2, 3, 4]
+        assert feed.exhausted
+        assert feed.depth == 5
+        # Replays return the same immutable objects.
+        replay, replayed = feed.row_at(2, statistics=stats)
+        assert replayed and replay is served[2]
+        with pytest.raises(TypeError):
+            replay["id"] = 99

@@ -226,3 +226,91 @@ class TestValidation:
                 filters={"ranges": {"bogus": (0, 1)}},
                 sliders={"price": 1.0},
             )
+
+
+class TestStreamLifecycle:
+    """Streams must be closed — releasing their query engines — whenever the
+    service lets go of them (request replacement, expiry, shutdown)."""
+
+    def _active_stream(self, service, session_id):
+        return service._requests[session_id].stream
+
+    def test_request_replacement_closes_the_old_stream(self, registry):
+        service = QR2Service(registry=registry, config=ServiceConfig(default_page_size=5))
+        session_id = service.create_session()
+        service.submit_query(session_id, "bluenile", sliders={"price": 1.0})
+        old_stream = self._active_stream(service, session_id)
+        service.submit_query(session_id, "bluenile", sliders={"carat": -1.0})
+        assert old_stream.closed
+        assert not self._active_stream(service, session_id).closed
+
+    def test_expiring_a_session_closes_its_stream(self, registry):
+        service = QR2Service(
+            registry=registry, config=ServiceConfig(session_ttl_seconds=0.0)
+        )
+        session_id = service.create_session()
+        service.submit_query(session_id, "zillow", sliders={"price": 1.0})
+        stream = self._active_stream(service, session_id)
+        assert service.expire_idle_sessions() == 1
+        assert stream.closed
+
+    def test_service_close_closes_active_streams(self, registry):
+        service = QR2Service(registry=registry, config=ServiceConfig(default_page_size=5))
+        session_id = service.create_session()
+        service.submit_query(session_id, "bluenile", sliders={"price": 1.0})
+        stream = self._active_stream(service, session_id)
+        service.close()
+        assert stream.closed
+        # close() is idempotent and leaves the registry usable.
+        service.close()
+
+    def test_replaced_private_stream_releases_its_engine(self):
+        # A feed-disabled registry gives each stream a private engine; losing
+        # the stream without close() would leak its thread pool forever.
+        config = RerankConfig(enable_rerank_feed=False)
+        registry = build_default_registry(
+            diamond_config=DiamondCatalogConfig(size=200, seed=5),
+            housing_config=HousingCatalogConfig(size=200, seed=6),
+            database_config=DatabaseConfig(system_k=10),
+            rerank_config=config,
+        )
+        service = QR2Service(
+            registry=registry, config=ServiceConfig(rerank=config)
+        )
+        session_id = service.create_session()
+        service.submit_query(session_id, "bluenile", sliders={"price": 1.0})
+        stream = service._requests[session_id].stream
+        engine = stream._engine
+        assert engine is not None
+        service.submit_query(session_id, "bluenile", sliders={"carat": -1.0})
+        assert engine.closed
+
+    def test_panel_surfaces_feed_counters(self):
+        # A private registry: the module-scoped one shares feed stores across
+        # tests, which would make the exact leader/follower counters below
+        # depend on test order.
+        registry = build_default_registry(
+            diamond_config=DiamondCatalogConfig(size=200, seed=5),
+            housing_config=HousingCatalogConfig(size=200, seed=6),
+            database_config=DatabaseConfig(system_k=10),
+            rerank_config=RerankConfig(),
+        )
+        service = QR2Service(registry=registry, config=ServiceConfig(default_page_size=5))
+        session_id = service.create_session()
+        first = service.submit_query(
+            session_id, "bluenile", sliders={"price": 1.0, "carat": -0.25}
+        )
+        other = service.create_session()
+        second = service.submit_query(
+            other, "bluenile", sliders={"price": 1.0, "carat": -0.25}
+        )
+        assert first["statistics"]["feed_leader_advances"] == 5
+        assert second["statistics"]["feed_hits"] == 5
+        assert second["statistics"]["feed_replayed_tuples"] == 5
+        assert second["statistics"]["external_queries"] == 0
+        store_snapshot = second["statistics"]["rerank_feed"]
+        assert store_snapshot is not None
+        assert store_snapshot["followers"] >= 1
+        assert [row["id"] for row in second["rows"]] == [
+            row["id"] for row in first["rows"]
+        ]

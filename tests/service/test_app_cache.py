@@ -13,7 +13,12 @@ FILTERS = {"ranges": {"carat": (0.5, 3.0)}}
 
 
 def _make_service(enable_result_cache: bool) -> QR2Service:
-    rerank_config = RerankConfig(enable_result_cache=enable_result_cache)
+    # The rerank feed is ablated: these tests isolate the result cache, and
+    # with the feed on the second session replays the whole stream for free
+    # in *both* modes, hiding the cache's effect.
+    rerank_config = RerankConfig(
+        enable_result_cache=enable_result_cache, enable_rerank_feed=False
+    )
     registry = build_default_registry(
         diamond_config=DiamondCatalogConfig(size=350, seed=5),
         housing_config=HousingCatalogConfig(size=400, seed=6),
