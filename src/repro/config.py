@@ -41,6 +41,18 @@ class DatabaseConfig:
         runs the vectorized columnar engine with index-assisted planning;
         ``"naive"`` keeps the seed's row-at-a-time reference scan, used for
         differential testing and as a fallback knob.
+    shards:
+        Number of shards the source's catalog is partitioned across.  The
+        default ``1`` keeps the single unsharded :class:`HiddenWebDatabase`
+        as the reference engine; any larger value builds a
+        :class:`~repro.webdb.federation.FederatedInterface` over that many
+        per-shard databases (each its own engine/k/latency).
+    shard_by:
+        Partitioning key when ``shards > 1``: ``"rank"`` deals tuples
+        round-robin in hidden-rank order (every shard sees the same score
+        distribution), while any attribute name splits the catalog into
+        contiguous quantile ranges of that attribute (enables shard pruning
+        for range-filtered queries).
     """
 
     system_k: int = 20
@@ -49,6 +61,8 @@ class DatabaseConfig:
     fail_rate: float = 0.0
     seed: int = 7
     engine: str = "indexed"
+    shards: int = 1
+    shard_by: str = "rank"
 
     def with_latency(self, seconds: float) -> "DatabaseConfig":
         """Return a copy of this configuration with a different latency."""
@@ -57,6 +71,10 @@ class DatabaseConfig:
     def with_engine(self, engine: str) -> "DatabaseConfig":
         """Return a copy of this configuration with a different engine."""
         return replace(self, engine=engine)
+
+    def with_shards(self, shards: int, by: str = "rank") -> "DatabaseConfig":
+        """Return a copy of this configuration with a sharded catalog."""
+        return replace(self, shards=shards, shard_by=by)
 
 
 @dataclass(frozen=True)
@@ -128,6 +146,16 @@ class RerankConfig:
     rerank_feed_ttl_seconds:
         Lifetime of a feed from creation; ``None`` disables expiry (correct
         for the immutable simulated databases).
+    federation_mode:
+        How requests against a federated (sharded) source execute:
+        ``"scatter"`` (default) runs the unmodified algorithms against the
+        federation facade — every external query scatters to the live
+        shards and gathers one merged page, so the session-level query
+        accounting is identical to the unsharded engine; ``"merge"`` builds
+        one Get-Next stream *per shard* and lazily merges their verified
+        emissions TA-style, which tolerates heterogeneous per-shard ``k``
+        at the cost of per-shard descents.  Both modes emit byte-identical
+        pages in the same order as the unsharded reference.
     """
 
     dense_ratio_threshold: float = 0.005
@@ -146,6 +174,7 @@ class RerankConfig:
     enable_rerank_feed: bool = True
     rerank_feed_size: int = 256
     rerank_feed_ttl_seconds: Optional[float] = None
+    federation_mode: str = "scatter"
 
     def without_parallel(self) -> "RerankConfig":
         """Copy of this configuration with parallel processing disabled."""
@@ -178,6 +207,13 @@ class RerankConfig:
         (every session runs the full Get-Next algorithm privately)."""
         return replace(self, enable_rerank_feed=False)
 
+    def with_federation_mode(self, mode: str) -> "RerankConfig":
+        """Copy of this configuration with a different federated execution
+        mode (``"scatter"`` or ``"merge"``)."""
+        if mode not in ("scatter", "merge"):
+            raise ValueError(f"unknown federation mode {mode!r}")
+        return replace(self, federation_mode=mode)
+
 
 @dataclass(frozen=True)
 class ServiceConfig:
@@ -197,6 +233,12 @@ class ServiceConfig:
     schema version or a source's changed ``system_k`` are ignored.  Only
     effective with ``share_result_cache`` (one file maps to one shared
     cache).
+
+    ``database`` configures the simulated sources the default registry
+    builds — notably :attr:`DatabaseConfig.shards`: with ``shards > 1``
+    every source becomes a federated, sharded catalog behind a
+    :class:`~repro.webdb.federation.FederatedInterface` while the service
+    semantics (pages, statistics, caching) stay identical.
     """
 
     default_page_size: int = 10
@@ -205,6 +247,7 @@ class ServiceConfig:
     dense_cache_path: Optional[str] = None
     share_result_cache: bool = True
     result_cache_path: Optional[str] = None
+    database: DatabaseConfig = field(default_factory=DatabaseConfig)
     rerank: RerankConfig = field(default_factory=RerankConfig)
 
 

@@ -1,0 +1,157 @@
+"""Scatter-gather Get-Next over a federated, sharded source.
+
+The default execution mode for a :class:`~repro.webdb.federation.FederatedInterface`
+is *scatter*: the unmodified reranking algorithms talk to the facade and every
+external query fans out below the interface.  This module implements the
+alternative *merge* mode, which mirrors the threshold-algorithm machinery of
+:mod:`repro.core.ta` one level up: one full Get-Next stream runs **per shard**
+(each with its own query engine, cache namespace, and dense-region index) and
+:class:`FederatedGetNext` lazily merges their verified emissions into the
+global order.
+
+Why the merge is exact: shard catalogs are disjoint and every per-shard
+stream emits *its* matching tuples in ``(user score, str(key))`` order — the
+same deterministic order the unsharded algorithms use — so repeatedly taking
+the minimum head across shards reproduces the unsharded emission sequence
+byte for byte.  The merge is lazy in the TA sense: after the warm-up fill,
+each emission advances exactly one shard stream (the one that produced the
+emitted tuple); the other heads stay buffered.
+
+Merge mode exists for federations the scatter facade cannot serve as one
+logical source — notably heterogeneous shards whose interfaces differ — and
+costs per-shard binary descents; the benchmark reports both modes' external
+query counts side by side.
+
+:class:`ShardStreamGroup` owns the per-shard producer streams' lifecycle.  It
+implements the ``shutdown()`` protocol of
+:class:`~repro.core.parallel.QueryEngine`, so a merged
+:class:`~repro.core.getnext.GetNextStream` (or a feed producer) built over it
+closes every per-shard stream exactly once, no matter how many callers race
+into ``close()``.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.functions import UserRankingFunction
+from repro.core.getnext import GetNextStream, Row
+from repro.core.session import Session
+
+
+class ShardStreamGroup:
+    """Owns N per-shard producer streams; closes each exactly once.
+
+    Quacks like a query engine for :class:`GetNextStream`'s ``close()`` hook:
+    ``shutdown()`` closes the per-shard streams (each of which shuts down its
+    own engine through its own idempotent ``close()``).  The group-level
+    guard makes the fan-out itself exactly-once under racing closers.
+    """
+
+    def __init__(self, streams: Sequence[GetNextStream]) -> None:
+        self._streams = list(streams)
+        self._lock = threading.Lock()
+        self._closed = False
+
+    @property
+    def streams(self) -> List[GetNextStream]:
+        """The per-shard producer streams (shard index order)."""
+        return list(self._streams)
+
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`shutdown` has run."""
+        return self._closed
+
+    def shutdown(self) -> None:
+        """Close every per-shard stream exactly once (thread-safe)."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        for stream in self._streams:
+            stream.close()
+
+    # Context-manager parity with QueryEngine.
+    def __enter__(self) -> "ShardStreamGroup":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.shutdown()
+
+
+class FederatedGetNext:
+    """Lazy TA-style merge of per-shard Get-Next streams.
+
+    Drives the per-shard streams through the standard
+    :class:`GetNextAlgorithm` protocol: each ``next()`` returns the globally
+    best undelivered tuple across shards.  Per-user dedup happens here — the
+    shard streams run on private sessions (exactly like the TA sub-streams),
+    so tuples the *user's* session was already handed in an earlier request
+    are skipped at the merge, matching the live algorithms' behaviour.
+    """
+
+    variant = "federated-merge"
+
+    def __init__(
+        self,
+        streams: Sequence[GetNextStream],
+        ranking: UserRankingFunction,
+        session: Session,
+        key_column: str,
+    ) -> None:
+        if not streams:
+            raise ValueError("a federated merge needs at least one shard stream")
+        self._streams = list(streams)
+        self._ranking = ranking
+        self._session = session
+        self._statistics = session.statistics
+        self._key_column = key_column
+        self._sort_key = ranking.sort_key(key_column)
+        self._heads: List[Optional[Row]] = [None] * len(self._streams)
+        self._exhausted = [False] * len(self._streams)
+        self._merged = 0
+
+    @property
+    def emitted(self) -> int:
+        """Tuples emitted through the merge so far."""
+        return self._merged
+
+    def _refill(self) -> None:
+        """Advance every shard stream whose head slot is empty (lazy: after
+        warm-up only the shard that just emitted has an empty slot)."""
+        for index, stream in enumerate(self._streams):
+            if self._heads[index] is None and not self._exhausted[index]:
+                row = stream.get_next()
+                if row is None:
+                    self._exhausted[index] = True
+                else:
+                    self._heads[index] = row
+
+    def next(self) -> Optional[Dict[str, object]]:
+        """Return the next tuple of the merged global order, or ``None``."""
+        while True:
+            self._refill()
+            best_index: Optional[int] = None
+            best_key = None
+            for index, head in enumerate(self._heads):
+                if head is None:
+                    continue
+                candidate = self._sort_key(head)
+                if best_key is None or candidate < best_key:
+                    best_index, best_key = index, candidate
+            if best_index is None:
+                self._statistics.record_get_next(returned=False)
+                return None
+            row = self._heads[best_index]
+            self._heads[best_index] = None
+            assert row is not None
+            if self._session.has_emitted(row[self._key_column]):
+                # Handed to this user in an earlier request: skip, exactly as
+                # the live algorithms skip session-emitted tuples.
+                continue
+            self._session.mark_emitted(row, self._key_column)
+            self._statistics.record_get_next(returned=True)
+            self._merged += 1
+            return dict(row)

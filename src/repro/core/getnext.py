@@ -84,6 +84,13 @@ class GetNextStream:
         return self._closed
 
     @property
+    def engine(self):
+        """The engine (or engine-like owner, e.g. a
+        :class:`~repro.core.federated.ShardStreamGroup`) this stream shuts
+        down on close; ``None`` when the stream owns no engine."""
+        return self._engine
+
+    @property
     def returned_so_far(self) -> List[Row]:
         """Every tuple already returned, in rank order (shared immutable
         references — callers must not rely on mutating them)."""

@@ -20,6 +20,7 @@ from typing import Dict, Mapping, Optional
 
 from repro.config import RerankConfig
 from repro.core.dense_index import DenseRegionIndex
+from repro.core.federated import FederatedGetNext, ShardStreamGroup
 from repro.core.feed import FeedProducer, RerankFeed, RerankFeedStore
 from repro.core.functions import (
     LinearRankingFunction,
@@ -36,6 +37,7 @@ from repro.exceptions import RankingFunctionError
 from repro.sqlstore.dense_cache import DenseRegionCache
 from repro.webdb.cache import QueryResultCache, default_namespace
 from repro.webdb.counters import QueryBudget
+from repro.webdb.federation import FederatedInterface
 from repro.webdb.interface import TopKInterface
 from repro.webdb.query import SearchQuery
 
@@ -119,6 +121,26 @@ class QueryReranker:
         else:
             self._result_cache = None
         self._cache_namespace = default_namespace(interface)
+        # Federated sources: the facade caches per shard (shard-scoped
+        # namespaces) while the engines above it cache under the federated
+        # namespace — the feed and cache keys stay above the shard layer.
+        self._federation: Optional[FederatedInterface] = (
+            interface if isinstance(interface, FederatedInterface) else None
+        )
+        if self._federation is not None:
+            if (
+                self._result_cache is not None
+                and self._federation.result_cache is None
+            ):
+                self._federation.attach_cache(self._result_cache)
+            self._shard_dense_indexes: Dict[int, DenseRegionIndex] = {
+                index: DenseRegionIndex(
+                    interface.schema, impl=self._config.dense_index_impl
+                )
+                for index in range(self._federation.shard_count)
+            }
+        else:
+            self._shard_dense_indexes = {}
         if self._config.enable_rerank_feed:
             self._feed_store: Optional[RerankFeedStore] = RerankFeedStore(
                 max_feeds=self._config.rerank_feed_size,
@@ -148,6 +170,17 @@ class QueryReranker:
         return self._dense_index
 
     @property
+    def federation(self) -> Optional[FederatedInterface]:
+        """The federated interface when this reranker serves a sharded
+        source; ``None`` over a plain (unsharded) database."""
+        return self._federation
+
+    @property
+    def shard_dense_indexes(self) -> Dict[int, DenseRegionIndex]:
+        """Per-shard dense-region indexes (merge mode; empty unsharded)."""
+        return dict(self._shard_dense_indexes)
+
+    @property
     def result_cache(self) -> Optional[QueryResultCache]:
         """The shared query-result cache (``None`` when disabled).  Sessions
         created through this reranker — and any other reranker handed the same
@@ -168,6 +201,52 @@ class QueryReranker:
         rebuild their feeds from scratch."""
         if self._feed_store is not None:
             self._feed_store.close()
+
+    def invalidate(self, shard: Optional[int] = None) -> Dict[str, int]:
+        """Retire cached state after the backing data changes.
+
+        Over an unsharded source (``shard=None`` required) this flushes the
+        source's result-cache namespace, rebuilds the dense-region index, and
+        retires the source's rerank feeds.
+
+        Over a federated source, ``shard=i`` retires exactly shard *i*'s
+        state — its result-cache namespace and its dense-region index — plus
+        the state derived from *all* shards, which a single shard's change
+        invalidates: the federated-namespace cache entries (merged pages),
+        the facade-level dense index, and the source's feeds.  **Sibling
+        shards' cache entries and dense indexes survive untouched**, which is
+        the point of shard-scoped namespaces.  ``shard=None`` retires every
+        shard.
+
+        A persistent dense-region cache is detached by invalidation (its
+        on-disk regions would otherwise be reloaded stale); re-verify and
+        re-attach via a fresh reranker or :meth:`verify_dense_cache`.
+        """
+        cache_entries = 0
+        if shard is not None:
+            if self._federation is None:
+                raise ValueError(
+                    "shard-scoped invalidation requires a federated source"
+                )
+            cache_entries += self._federation.invalidate_shard(shard)
+            self._shard_dense_indexes[shard] = DenseRegionIndex(
+                self._interface.schema, impl=self._config.dense_index_impl
+            )
+        elif self._federation is not None:
+            for index in range(self._federation.shard_count):
+                cache_entries += self._federation.invalidate_shard(index)
+                self._shard_dense_indexes[index] = DenseRegionIndex(
+                    self._interface.schema, impl=self._config.dense_index_impl
+                )
+        if self._result_cache is not None:
+            cache_entries += self._result_cache.invalidate(self._cache_namespace)
+        self._dense_index = DenseRegionIndex(
+            self._interface.schema, impl=self._config.dense_index_impl
+        )
+        feeds_retired = 0
+        if self._feed_store is not None:
+            feeds_retired = self._feed_store.invalidate(self._cache_namespace)
+        return {"cache_entries": cache_entries, "feeds_retired": feeds_retired}
 
     def _new_session(self, label: str) -> Session:
         with self._lock:
@@ -218,6 +297,13 @@ class QueryReranker:
             if feed is not None:
                 return FeedBackedStream(feed, session, description=description)
 
+        if self._merge_mode():
+            merged, group = self._build_federated_merge(
+                query, ranking, algorithm, session, budget
+            )
+            return GetNextStream(
+                merged, session, description=description, engine=group
+            )
         engine = self._build_engine(session.statistics, budget)
         algorithm_object = self._build_algorithm(engine, query, ranking, session, algorithm)
         return GetNextStream(
@@ -255,12 +341,18 @@ class QueryReranker:
         ranking: UserRankingFunction,
         session: Session,
         algorithm: Algorithm,
+        dense_index: Optional[DenseRegionIndex] = None,
     ):
         """The algorithm-selection logic shared by private streams and feed
         producers: 1D functions go to the 1D algorithms, MD ones to the MD
-        algorithms, MD-TA on explicit request."""
+        algorithms, MD-TA on explicit request.  ``dense_index`` overrides the
+        reranker-wide index — merge-mode shard streams pass their shard's own
+        index, since region coverage is only valid per shard."""
+        dense_index = dense_index if dense_index is not None else self._dense_index
         if ranking.is_single_attribute:
-            return self._build_onedim(engine, query, ranking, session, algorithm)
+            return self._build_onedim(
+                engine, query, ranking, session, algorithm, dense_index
+            )
         if algorithm is Algorithm.TA:
             return ThresholdAlgorithmGetNext(
                 engine=engine,
@@ -268,7 +360,7 @@ class QueryReranker:
                 ranking=self._require_linear(ranking),
                 session=session,
                 config=self._config,
-                dense_index=self._dense_index,
+                dense_index=dense_index,
             )
         return MultiDimGetNext(
             engine=engine,
@@ -277,7 +369,7 @@ class QueryReranker:
             session=session,
             config=self._config,
             variant=_MD_VARIANTS[algorithm],
-            dense_index=self._dense_index,
+            dense_index=dense_index,
         )
 
     def _build_feed_producer(
@@ -289,15 +381,94 @@ class QueryReranker:
         """The private driver behind one shared feed: a dedicated session (so
         no user's seen-tuple cache or emission history perturbs the canonical
         order) and a dedicated engine whose statistics accumulate on the
-        producer session — leaders absorb per-advance deltas from there."""
+        producer session — leaders absorb per-advance deltas from there.
+
+        Feed keys are computed above the shard layer (federated namespace and
+        federated ``system_k``), so followers replay one merged prefix
+        regardless of the shard count or execution mode below."""
         with self._lock:
             number = next(self._feed_counter)
         producer_session = Session(session_id=f"feed-{number}")
+        if self._merge_mode():
+            merged, group = self._build_federated_merge(
+                query, ranking, algorithm, producer_session, budget=None
+            )
+            return FeedProducer(merged, producer_session, group)
         engine = self._build_engine(producer_session.statistics, budget=None)
         algorithm_object = self._build_algorithm(
             engine, query, ranking, producer_session, algorithm
         )
         return FeedProducer(algorithm_object, producer_session, engine)
+
+    # ------------------------------------------------------------------ #
+    def _merge_mode(self) -> bool:
+        """True when requests run as per-shard streams merged TA-style."""
+        return (
+            self._federation is not None
+            and self._config.federation_mode == "merge"
+        )
+
+    def _build_federated_merge(
+        self,
+        query: SearchQuery,
+        ranking: UserRankingFunction,
+        algorithm: Algorithm,
+        session: Session,
+        budget: Optional[QueryBudget],
+    ):
+        """Build one Get-Next stream per shard and the lazy merge over them.
+
+        Every shard stream gets a private session (mirroring the TA
+        sub-streams), its own engine bound to the shard's instrumented
+        interface and cache namespace, and the shard's own dense-region
+        index; all engines share one query budget and accumulate statistics
+        on the *caller's* session, so the per-request panel aggregates the
+        federation exactly like a single engine would.
+        """
+        federation = self._federation
+        assert federation is not None
+        shared_budget = budget if budget is not None else QueryBudget(
+            self._config.query_budget
+        )
+        merge_ranking: UserRankingFunction = (
+            self._effective_onedim(ranking)
+            if ranking.is_single_attribute
+            else ranking
+        )
+        streams = []
+        namespaces = federation.shard_namespaces
+        for index, shard_interface in enumerate(federation.shard_interfaces):
+            shard_session = Session(
+                session_id=f"{session.session_id}:shard:{index}"
+            )
+            engine = QueryEngine(
+                shard_interface,
+                config=self._config,
+                statistics=session.statistics,
+                budget=shared_budget,
+                result_cache=self._result_cache,
+                cache_namespace=namespaces[index],
+            )
+            algorithm_object = self._build_algorithm(
+                engine,
+                query,
+                ranking,
+                shard_session,
+                algorithm,
+                dense_index=self._shard_dense_indexes[index],
+            )
+            streams.append(
+                GetNextStream(
+                    algorithm_object,
+                    shard_session,
+                    description=f"shard {namespaces[index]}",
+                    engine=engine,
+                )
+            )
+        merged = FederatedGetNext(
+            streams, merge_ranking, session, self._interface.key_column
+        )
+        return merged, ShardStreamGroup(streams)
 
     # ------------------------------------------------------------------ #
     def _build_onedim(
@@ -307,22 +478,29 @@ class QueryReranker:
         ranking: UserRankingFunction,
         session: Session,
         algorithm: Algorithm,
+        dense_index: Optional[DenseRegionIndex] = None,
     ) -> OneDimGetNext:
-        if isinstance(ranking, SingleAttributeRanking):
-            single = ranking
-        else:
-            attribute = ranking.attributes[0]
-            single = SingleAttributeRanking(
-                attribute, ascending=ranking.weight(attribute) > 0
-            )
         return OneDimGetNext(
             engine=engine,
             base_query=query,
-            ranking=single,
+            ranking=self._effective_onedim(ranking),
             session=session,
             config=self._config,
             variant=_ONEDIM_VARIANTS[algorithm],
-            dense_index=self._dense_index,
+            dense_index=dense_index if dense_index is not None else self._dense_index,
+        )
+
+    @staticmethod
+    def _effective_onedim(ranking: UserRankingFunction) -> SingleAttributeRanking:
+        """The single-attribute ranking a 1D request actually executes under
+        (a 1D linear function runs as its attribute sorted by weight sign).
+        The federated merge compares heads with the same function, so the
+        merged order equals each shard stream's emission order exactly."""
+        if isinstance(ranking, SingleAttributeRanking):
+            return ranking
+        attribute = ranking.attributes[0]
+        return SingleAttributeRanking(
+            attribute, ascending=ranking.weight(attribute) > 0
         )
 
     @staticmethod

@@ -81,6 +81,7 @@ class QR2Service:
                     enable_containment=rerank.result_cache_containment,
                 )
             self._registry = build_default_registry(
+                database_config=self._config.database,
                 rerank_config=self._config.rerank,
                 dense_cache_path=self._config.dense_cache_path,
                 share_result_cache=self._config.share_result_cache,
@@ -352,6 +353,13 @@ class QR2Service:
             "dense_index": request.source.reranker.dense_index.describe(),
             "result_cache": result_cache.snapshot() if result_cache else None,
             "rerank_feed": feed_store.snapshot() if feed_store else None,
+            # Sharded sources: per-shard queries issued, merge depth, and
+            # scatter fan-out from the federated interface's describe().
+            "federation": (
+                request.source.reranker.federation.describe()
+                if request.source.reranker.federation is not None
+                else None
+            ),
             "result_cache_persistence": (
                 {
                     "path": self._config.result_cache_path,

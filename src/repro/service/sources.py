@@ -26,6 +26,7 @@ from repro.exceptions import DataSourceError
 from repro.sqlstore.dense_cache import DenseRegionCache
 from repro.webdb.cache import QueryResultCache
 from repro.webdb.database import HiddenWebDatabase
+from repro.webdb.federation import build_federation
 from repro.webdb.interface import TopKInterface
 from repro.webdb.latency import LatencyModel
 from repro.webdb.ranking import FeaturedScoreRanking, SystemRankingFunction
@@ -60,6 +61,7 @@ class DataSource:
             "name": self.name,
             "title": self.title,
             "system_k": self.interface.system_k,
+            "shards": getattr(self.interface, "shard_count", 1),
             "filtering_attributes": self.filtering_attributes(),
             "ranking_attributes": self.ranking_attributes(),
             "result_columns": list(self.result_columns) or self.schema.columns(),
@@ -186,20 +188,40 @@ def _make_source(
     result_columns: List[str],
     result_cache: Optional[QueryResultCache] = None,
 ) -> DataSource:
-    latency = LatencyModel.accounted(
-        database_config.latency_seconds,
-        jitter=database_config.latency_jitter,
-        seed=database_config.seed,
-    )
-    database = HiddenWebDatabase(
-        catalog=catalog,
-        schema=schema,
-        system_ranking=system_ranking,
-        system_k=database_config.system_k,
-        latency=latency,
-        name=name,
-        engine=database_config.engine,
-    )
+    if database_config.shards > 1:
+        # Sharded source: the catalog is partitioned across N per-shard
+        # databases behind a federated facade.  Shards are named
+        # "{name}#{i}", giving each its own cache namespace, while the
+        # reranker keys its cache/feed state under the federated name —
+        # above the shard layer.
+        database: TopKInterface = build_federation(
+            catalog=catalog,
+            schema=schema,
+            system_ranking=system_ranking,
+            shards=database_config.shards,
+            by=database_config.shard_by,
+            name=name,
+            system_k=database_config.system_k,
+            latency_mean=database_config.latency_seconds,
+            latency_jitter=database_config.latency_jitter,
+            latency_seed=database_config.seed,
+            engine=database_config.engine,
+        )
+    else:
+        latency = LatencyModel.accounted(
+            database_config.latency_seconds,
+            jitter=database_config.latency_jitter,
+            seed=database_config.seed,
+        )
+        database = HiddenWebDatabase(
+            catalog=catalog,
+            schema=schema,
+            system_ranking=system_ranking,
+            system_k=database_config.system_k,
+            latency=latency,
+            name=name,
+            engine=database_config.engine,
+        )
     dense_cache = (
         DenseRegionCache(schema, path=dense_cache_path) if dense_cache_path else None
     )

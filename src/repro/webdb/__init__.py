@@ -12,6 +12,12 @@ from repro.webdb.ranking import (
 )
 from repro.webdb.cache import CachingInterface, FetchStatus, QueryResultCache
 from repro.webdb.counters import QueryBudget, QueryCounter, QueryLog
+from repro.webdb.federation import (
+    FederatedInterface,
+    ShardSpec,
+    ShardedCatalog,
+    build_federation,
+)
 from repro.webdb.engine import (
     ExecutionEngine,
     IndexedColumnarEngine,
@@ -48,4 +54,8 @@ __all__ = [
     "QueryBudget",
     "QueryLog",
     "LatencyModel",
+    "FederatedInterface",
+    "ShardSpec",
+    "ShardedCatalog",
+    "build_federation",
 ]

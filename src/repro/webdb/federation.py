@@ -1,0 +1,597 @@
+"""Sharded, federated hidden-web sources.
+
+Real deployments of the paper's scenario rarely sit on one monolithic
+database: a large catalog is horizontally partitioned across shards, each
+exposing its own top-k interface (possibly with different engines, ``k``
+values, and latencies).  This module supplies the two pieces that let the
+rest of the library stay shard-agnostic:
+
+* :class:`ShardedCatalog` — partitions one catalog into N disjoint shard
+  catalogs, either **by hidden rank** (round-robin in hidden-rank order, so
+  every shard sees the same score distribution) or **by attribute range**
+  (contiguous quantile slices of one numeric attribute, which enables shard
+  pruning for range-filtered queries);
+* :class:`FederatedInterface` — presents the shard databases as a single
+  :class:`~repro.webdb.interface.TopKInterface`.  A ``search`` **scatters**
+  the query to the non-pruned shards, **gathers** their top-k pages, and
+  merges them by the (shared) hidden system ranking into one page that is
+  *byte-identical* to what the unsharded reference database would return.
+
+Correctness of the scatter-gather merge:
+
+* every shard's ``k`` is required to be ≥ the federated ``k``, so the global
+  top-k of any query is contained in the union of the per-shard top-k pages;
+* shard catalogs are disjoint by construction and the merge comparator is the
+  same ``(score, str(key))`` used by :class:`HiddenWebDatabase`, so the merged
+  order equals the unsharded hidden-rank order exactly;
+* the outcome trichotomy is preserved: any shard overflow implies the global
+  query overflows (that shard alone has unreturned matches); otherwise every
+  matching tuple was gathered, and the total count classifies the result.
+
+The facade can additionally cache per shard: with an attached
+:class:`~repro.webdb.cache.QueryResultCache`, each shard's answers are stored
+under that shard's own namespace, so invalidating one shard never retires a
+sibling shard's entries.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.dataset.schema import Schema
+from repro.dataset.table import ColumnTable
+from repro.exceptions import QueryError
+from repro.webdb.cache import FetchStatus, QueryResultCache, default_namespace
+from repro.webdb.database import HiddenWebDatabase
+from repro.webdb.interface import (
+    InstrumentedInterface,
+    Outcome,
+    SearchResult,
+    TopKInterface,
+)
+from repro.webdb.latency import LatencyModel
+from repro.webdb.query import RangePredicate, SearchQuery
+from repro.webdb.ranking import SystemRankingFunction
+
+Row = Dict[str, object]
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """Optional per-shard overrides (heterogeneous federations).
+
+    ``None`` fields fall back to the federation-wide defaults.  ``system_k``
+    may only *raise* a shard's page size above the federated ``k`` — the
+    merge is provably complete only when every shard returns at least the
+    federated ``k`` tuples per query.
+    """
+
+    system_k: Optional[int] = None
+    engine: Optional[str] = None
+    latency: Optional[LatencyModel] = None
+
+
+class ShardedCatalog:
+    """One catalog partitioned into N disjoint shard catalogs.
+
+    Instances are produced by :meth:`partition`; ``tables[i]`` is shard *i*'s
+    catalog and — for attribute partitioning — ``partitions[i]`` is the range
+    of the partition attribute that shard *i* owns (used for shard pruning).
+    """
+
+    def __init__(
+        self,
+        tables: Sequence[ColumnTable],
+        schema: Schema,
+        shard_by: str,
+        partitions: Optional[Sequence[Optional[RangePredicate]]] = None,
+    ) -> None:
+        if not tables:
+            raise QueryError("a sharded catalog needs at least one shard")
+        if partitions is not None and len(partitions) != len(tables):
+            raise QueryError("partitions must align with shard tables")
+        self.tables: List[ColumnTable] = list(tables)
+        self.schema = schema
+        self.shard_by = shard_by
+        self.partitions: Optional[List[Optional[RangePredicate]]] = (
+            list(partitions) if partitions is not None else None
+        )
+
+    @property
+    def shard_count(self) -> int:
+        """Number of shards the catalog was split into."""
+        return len(self.tables)
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def partition(
+        catalog: ColumnTable,
+        schema: Schema,
+        system_ranking: SystemRankingFunction,
+        shards: int,
+        by: str = "rank",
+    ) -> "ShardedCatalog":
+        """Partition ``catalog`` into ``shards`` disjoint shard catalogs.
+
+        ``by="rank"`` deals tuples round-robin in hidden-rank order;
+        any other value names a numeric attribute and splits the catalog
+        into contiguous quantile ranges of that attribute.
+        """
+        if shards <= 0:
+            raise QueryError("shard count must be positive")
+        if by == "rank":
+            return ShardedCatalog._by_rank(catalog, schema, system_ranking, shards)
+        return ShardedCatalog._by_attribute(catalog, schema, by, shards)
+
+    @staticmethod
+    def _by_rank(
+        catalog: ColumnTable,
+        schema: Schema,
+        system_ranking: SystemRankingFunction,
+        shards: int,
+    ) -> "ShardedCatalog":
+        rows = sorted(catalog.to_rows(), key=system_ranking.sort_key(schema.key))
+        columns = catalog.columns
+        buckets: List[List[Row]] = [[] for _ in range(shards)]
+        for position, row in enumerate(rows):
+            buckets[position % shards].append(row)
+        tables = [
+            ColumnTable.from_rows(bucket, columns=columns)
+            for bucket in buckets
+            if bucket
+        ]
+        return ShardedCatalog(tables, schema, shard_by="rank")
+
+    @staticmethod
+    def _by_attribute(
+        catalog: ColumnTable,
+        schema: Schema,
+        attribute: str,
+        shards: int,
+    ) -> "ShardedCatalog":
+        schema.require_numeric(attribute)
+        rows = catalog.to_rows()
+        values = sorted(float(row[attribute]) for row in rows)  # type: ignore[arg-type]
+        if not values:
+            raise QueryError("cannot partition an empty catalog")
+        # Quantile boundaries, deduplicated: a heavily skewed attribute can
+        # yield fewer distinct cut points than requested shards, in which
+        # case the federation simply has fewer (non-empty) shards.
+        cuts: List[float] = []
+        for index in range(1, shards):
+            cut = values[(index * len(values)) // shards]
+            if not cuts or cut > cuts[-1]:
+                cuts.append(cut)
+        # Shard i owns [cuts[i-1], cuts[i]) with open extremes at ±inf, so
+        # every possible value belongs to exactly one shard.
+        bounds: List[Tuple[float, float]] = []
+        lower = float("-inf")
+        for cut in cuts:
+            bounds.append((lower, cut))
+            lower = cut
+        bounds.append((lower, float("inf")))
+        columns = catalog.columns
+        buckets: List[List[Row]] = [[] for _ in bounds]
+        for row in rows:
+            value = float(row[attribute])  # type: ignore[arg-type]
+            for index, (low, high) in enumerate(bounds):
+                if low <= value < high or (index == len(bounds) - 1 and value >= low):
+                    buckets[index].append(row)
+                    break
+        tables: List[ColumnTable] = []
+        partitions: List[Optional[RangePredicate]] = []
+        for bucket, (low, high) in zip(buckets, bounds):
+            if not bucket:
+                continue
+            tables.append(ColumnTable.from_rows(bucket, columns=columns))
+            is_last = high == float("inf")
+            partitions.append(
+                RangePredicate(
+                    attribute,
+                    lower=low,
+                    upper=high,
+                    include_lower=True,
+                    include_upper=is_last,
+                )
+            )
+        return ShardedCatalog(tables, schema, shard_by=attribute, partitions=partitions)
+
+    # ------------------------------------------------------------------ #
+    def build_databases(
+        self,
+        system_ranking: SystemRankingFunction,
+        name: str = "federation",
+        system_k: int = 20,
+        latency_mean: float = 0.0,
+        latency_jitter: float = 0.25,
+        latency_seed: int = 11,
+        engine: str = "indexed",
+        specs: Optional[Sequence[Optional[ShardSpec]]] = None,
+    ) -> List[HiddenWebDatabase]:
+        """Materialize one :class:`HiddenWebDatabase` per shard.
+
+        Shards are named ``"{name}#{i}"`` so that
+        :func:`~repro.webdb.cache.default_namespace` automatically gives each
+        shard its own cache namespace.  Every shard gets an independent
+        latency model (same distribution, shard-specific seed) unless a
+        :class:`ShardSpec` overrides it.
+        """
+        if specs is not None and len(specs) != self.shard_count:
+            raise QueryError("specs must align with shard tables")
+        databases: List[HiddenWebDatabase] = []
+        for index, table in enumerate(self.tables):
+            spec = specs[index] if specs is not None else None
+            shard_k = spec.system_k if spec and spec.system_k is not None else system_k
+            if shard_k < system_k:
+                raise QueryError(
+                    f"shard {index} has system_k={shard_k} below the federated "
+                    f"k={system_k}; the merged top-k would be incomplete"
+                )
+            shard_engine = spec.engine if spec and spec.engine is not None else engine
+            if spec and spec.latency is not None:
+                latency = spec.latency
+            else:
+                latency = LatencyModel.accounted(
+                    latency_mean, jitter=latency_jitter, seed=latency_seed + index
+                )
+            databases.append(
+                HiddenWebDatabase(
+                    catalog=table,
+                    schema=self.schema,
+                    system_ranking=system_ranking,
+                    system_k=shard_k,
+                    latency=latency,
+                    name=f"{name}#{index}",
+                    engine=shard_engine,
+                )
+            )
+        return databases
+
+
+class FederatedInterface(TopKInterface):
+    """N shard databases presented as one top-k source.
+
+    ``search`` scatters to every shard the query cannot be pruned from,
+    gathers the per-shard pages, and merges them by the shared hidden system
+    ranking — reproducing the unsharded reference database's pages byte for
+    byte (see the module docstring for the argument).
+
+    With :meth:`attach_cache`, shard answers are cached under per-shard
+    namespaces: :meth:`invalidate_shard` retires exactly one shard's entries
+    while sibling shards' cached answers keep serving.
+    """
+
+    def __init__(
+        self,
+        shards: Sequence[HiddenWebDatabase],
+        system_ranking: SystemRankingFunction,
+        name: str = "federation",
+        system_k: Optional[int] = None,
+        partitions: Optional[Sequence[Optional[RangePredicate]]] = None,
+        shard_by: str = "rank",
+        result_cache: Optional[QueryResultCache] = None,
+    ) -> None:
+        if not shards:
+            raise QueryError("a federation needs at least one shard")
+        if partitions is not None and len(partitions) != len(shards):
+            raise QueryError("partitions must align with shards")
+        self._shards: List[HiddenWebDatabase] = list(shards)
+        self._schema = shards[0].schema
+        for shard in self._shards[1:]:
+            if shard.schema.key != self._schema.key:
+                raise QueryError("shards must share one key column")
+        self._system_ranking = system_ranking
+        self.name = name
+        self._system_k = system_k if system_k is not None else min(
+            shard.system_k for shard in self._shards
+        )
+        if self._system_k <= 0:
+            raise QueryError("system_k must be positive")
+        for index, shard in enumerate(self._shards):
+            if shard.system_k < self._system_k:
+                raise QueryError(
+                    f"shard {index} has system_k={shard.system_k} below the "
+                    f"federated k={self._system_k}"
+                )
+        self._instrumented = [InstrumentedInterface(shard) for shard in self._shards]
+        self._namespaces = [default_namespace(shard) for shard in self._shards]
+        if len(set(self._namespaces)) != len(self._namespaces):
+            raise QueryError(f"shard names must be unique: {self._namespaces}")
+        if self.name in self._namespaces:
+            raise QueryError(f"federation name {self.name!r} collides with a shard")
+        self._partitions = list(partitions) if partitions is not None else None
+        self._shard_by = shard_by
+        self._cache = result_cache
+        self._lock = threading.Lock()
+        self._scatter_count = 0
+        self._pruned_shard_queries = 0
+        self._fanout_total = 0
+        self._fanout_max = 0
+        self._merge_rows_total = 0
+        self._merge_depth_max = 0
+        self._shard_cache_hits = [0] * len(self._shards)
+
+    # ------------------------------------------------------------------ #
+    # TopKInterface
+    # ------------------------------------------------------------------ #
+    @property
+    def schema(self) -> Schema:
+        return self._schema
+
+    @property
+    def system_k(self) -> int:
+        return self._system_k
+
+    @property
+    def supports_batched_search(self) -> bool:
+        """A scatter already fans out internally; batching is advertised only
+        when every shard could amortize it (no sleeping latency model)."""
+        return all(shard.supports_batched_search for shard in self._shards)
+
+    def search(self, query: SearchQuery) -> SearchResult:
+        """Scatter ``query`` to the live shards and gather one merged page."""
+        query.validate(self._schema)
+        targets = self._targets_for(query)
+        results = [self._shard_search(index, query) for index in targets]
+        merged: List[Row] = [row for result in results for row in result.rows]
+        merged.sort(key=self._system_ranking.sort_key(self._schema.key))
+        overflow = any(result.is_overflow for result in results)
+        total = len(merged)
+        if overflow or total > self._system_k:
+            outcome = Outcome.OVERFLOW
+        elif total == 0:
+            outcome = Outcome.UNDERFLOW
+        else:
+            outcome = Outcome.VALID
+        elapsed = max((result.elapsed_seconds for result in results), default=0.0)
+        with self._lock:
+            self._scatter_count += 1
+            self._pruned_shard_queries += len(self._shards) - len(targets)
+            self._fanout_total += len(targets)
+            self._fanout_max = max(self._fanout_max, len(targets))
+            self._merge_rows_total += total
+            self._merge_depth_max = max(self._merge_depth_max, total)
+        return SearchResult(
+            query=query,
+            rows=tuple(merged[: self._system_k]),
+            outcome=outcome,
+            system_k=self._system_k,
+            elapsed_seconds=elapsed,
+        )
+
+    def queries_issued(self) -> int:
+        """Scatters served by the federation (each is one logical query;
+        :meth:`shard_queries_issued` counts the underlying shard hits)."""
+        with self._lock:
+            return self._scatter_count
+
+    # ------------------------------------------------------------------ #
+    # Shard plumbing
+    # ------------------------------------------------------------------ #
+    def _targets_for(self, query: SearchQuery) -> List[int]:
+        """Indexes of shards that can hold matches of ``query``.
+
+        Only attribute-partitioned federations prune: a shard whose owned
+        range of the partition attribute does not intersect the query's
+        explicit range on that attribute is a guaranteed underflow, so
+        skipping it costs nothing and changes nothing.
+        """
+        if self._partitions is None:
+            return list(range(len(self._shards)))
+        targets: List[int] = []
+        for index, partition in enumerate(self._partitions):
+            if partition is not None:
+                constraint = query.range_on(partition.attribute)
+                if constraint is not None and partition.intersect(constraint) is None:
+                    continue
+            targets.append(index)
+        return targets
+
+    def _shard_search(self, index: int, query: SearchQuery) -> SearchResult:
+        shard = self._instrumented[index]
+        if self._cache is None:
+            return shard.search(query)
+        result, status = self._cache.fetch(
+            self._namespaces[index],
+            query,
+            shard.system_k,
+            lambda: shard.search(query),
+        )
+        if status is not FetchStatus.MISS:
+            with self._lock:
+                self._shard_cache_hits[index] += 1
+        return result
+
+    # ------------------------------------------------------------------ #
+    # Cache / shard management
+    # ------------------------------------------------------------------ #
+    @property
+    def shards(self) -> List[HiddenWebDatabase]:
+        """The shard databases (reference order = shard index)."""
+        return list(self._shards)
+
+    @property
+    def shard_interfaces(self) -> List[InstrumentedInterface]:
+        """Instrumented per-shard interfaces: all shard traffic — scatter
+        *and* merge-mode Get-Next streams — flows through these, so their
+        :class:`~repro.webdb.interface.InterfaceStatistics` aggregate the
+        per-shard budget spent regardless of execution mode."""
+        return list(self._instrumented)
+
+    @property
+    def shard_namespaces(self) -> List[str]:
+        """Cache namespace of each shard (its database name)."""
+        return list(self._namespaces)
+
+    @property
+    def shard_count(self) -> int:
+        """Number of shards federated behind this interface."""
+        return len(self._shards)
+
+    @property
+    def shard_by(self) -> str:
+        """Partitioning key (``"rank"`` or the partition attribute name)."""
+        return self._shard_by
+
+    @property
+    def result_cache(self) -> Optional[QueryResultCache]:
+        """The cache shard answers are stored in (``None`` when detached)."""
+        return self._cache
+
+    def attach_cache(self, cache: QueryResultCache) -> None:
+        """Attach the shared result cache the facade stores shard answers in
+        (idempotent for the same cache object)."""
+        if self._cache is not None and self._cache is not cache:
+            raise QueryError("federation already attached to a different cache")
+        self._cache = cache
+
+    def invalidate_shard(self, index: int) -> int:
+        """Retire shard ``index``'s cached answers (returns entries removed).
+
+        Sibling shards' namespaces are untouched — their cached answers keep
+        serving.  Callers owning federated-level state derived from *all*
+        shards (merged cache entries, feeds, dense regions) must retire that
+        state themselves; :meth:`repro.core.reranker.QueryReranker.invalidate`
+        does.
+        """
+        if not 0 <= index < len(self._shards):
+            raise QueryError(f"no shard {index}; federation has {len(self._shards)}")
+        if self._cache is None:
+            return 0
+        return self._cache.invalidate(self._namespaces[index])
+
+    def reset_query_count(self) -> None:
+        """Reset the scatter counter and every shard's query counter
+        (benchmark repetitions)."""
+        with self._lock:
+            self._scatter_count = 0
+        for shard in self._shards:
+            shard.reset_query_count()
+
+    # ------------------------------------------------------------------ #
+    # Ground-truth helpers (tests / benchmark harness only)
+    # ------------------------------------------------------------------ #
+    @property
+    def size(self) -> int:
+        """Total tuples across every shard."""
+        return sum(shard.size for shard in self._shards)
+
+    def all_matches(self, query: SearchQuery) -> List[Row]:
+        """Every matching tuple across the federation, in hidden-rank order."""
+        merged = [row for shard in self._shards for row in shard.all_matches(query)]
+        merged.sort(key=self._system_ranking.sort_key(self._schema.key))
+        return merged
+
+    def true_ranking(self, query: SearchQuery, score, limit: Optional[int] = None):
+        """Ground-truth reranking across every shard (tests only)."""
+        matches = self.all_matches(query)
+        matches.sort(key=lambda row: (score(row), str(row[self._schema.key])))
+        if limit is not None:
+            return matches[:limit]
+        return matches
+
+    def shard_queries_issued(self) -> int:
+        """Raw shard hits across the federation (cache hits excluded)."""
+        return sum(wrapper.statistics.queries for wrapper in self._instrumented)
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def describe(self) -> Dict[str, object]:
+        """Structured federation metrics for the service statistics panel:
+        per-shard queries issued, merge depth, and scatter fan-out."""
+        with self._lock:
+            scatter = self._scatter_count
+            pruned = self._pruned_shard_queries
+            fanout_total = self._fanout_total
+            fanout_max = self._fanout_max
+            merge_rows = self._merge_rows_total
+            merge_max = self._merge_depth_max
+            cache_hits = list(self._shard_cache_hits)
+        shards = []
+        for index, wrapper in enumerate(self._instrumented):
+            stats = wrapper.statistics.snapshot()
+            partition = (
+                self._partitions[index].describe()
+                if self._partitions is not None and self._partitions[index] is not None
+                else "rank round-robin"
+            )
+            shards.append(
+                {
+                    "name": self._namespaces[index],
+                    "partition": partition,
+                    "size": self._shards[index].size,
+                    "system_k": self._shards[index].system_k,
+                    "engine": self._shards[index].engine_name,
+                    "queries": stats["queries"],
+                    "rows_returned": stats["rows_returned"],
+                    "elapsed_seconds": stats["elapsed_seconds"],
+                    "cache_hits": cache_hits[index],
+                }
+            )
+        return {
+            "name": self.name,
+            "shard_by": self._shard_by,
+            "shard_count": len(self._shards),
+            "system_k": self._system_k,
+            "scatter_queries": scatter,
+            "shard_queries": self.shard_queries_issued(),
+            "pruned_shard_queries": pruned,
+            "fan_out": {
+                "total": fanout_total,
+                "max": fanout_max,
+                "mean": (fanout_total / scatter) if scatter else 0.0,
+            },
+            "merge": {
+                "rows_merged": merge_rows,
+                "max_depth": merge_max,
+                "mean_depth": (merge_rows / scatter) if scatter else 0.0,
+            },
+            "shards": shards,
+        }
+
+
+def build_federation(
+    catalog: ColumnTable,
+    schema: Schema,
+    system_ranking: SystemRankingFunction,
+    shards: int = 2,
+    by: str = "rank",
+    name: str = "federation",
+    system_k: int = 20,
+    latency_mean: float = 0.0,
+    latency_jitter: float = 0.25,
+    latency_seed: int = 11,
+    engine: str = "indexed",
+    specs: Optional[Sequence[Optional[ShardSpec]]] = None,
+    result_cache: Optional[QueryResultCache] = None,
+) -> FederatedInterface:
+    """Partition ``catalog`` and wrap the shards in a federated interface.
+
+    This is the one-call path the service registry and the experiment
+    harness use; ``shards=1`` still produces a (single-shard) federation —
+    callers wanting the unsharded reference engine construct
+    :class:`HiddenWebDatabase` directly.
+    """
+    sharded = ShardedCatalog.partition(catalog, schema, system_ranking, shards, by=by)
+    databases = sharded.build_databases(
+        system_ranking,
+        name=name,
+        system_k=system_k,
+        latency_mean=latency_mean,
+        latency_jitter=latency_jitter,
+        latency_seed=latency_seed,
+        engine=engine,
+        specs=specs,
+    )
+    return FederatedInterface(
+        databases,
+        system_ranking,
+        name=name,
+        system_k=system_k,
+        partitions=sharded.partitions,
+        shard_by=sharded.shard_by,
+        result_cache=result_cache,
+    )

@@ -44,6 +44,7 @@ from repro.core.reranker import Algorithm, QueryReranker
 from repro.dataset.diamonds import DiamondCatalogConfig, diamond_schema, generate_diamond_catalog
 from repro.dataset.housing import HousingCatalogConfig, generate_housing_catalog, housing_schema
 from repro.webdb.database import HiddenWebDatabase
+from repro.webdb.federation import FederatedInterface, build_federation
 from repro.webdb.latency import LatencyModel
 from repro.webdb.query import RangePredicate, SearchQuery
 from repro.webdb.ranking import FeaturedScoreRanking
@@ -115,18 +116,22 @@ class ExperimentEnvironment:
         self.diamond_schema = diamond_schema(diamond_config)
         self.housing_schema = housing_schema(housing_config)
         latency = LatencyModel.accounted(self.latency_seconds, seed=self.seed)
+        self.diamond_catalog = generate_diamond_catalog(diamond_config)
+        self.housing_catalog = generate_housing_catalog(housing_config)
+        self.diamond_ranking = FeaturedScoreRanking("price", boost_weight=2500.0)
+        self.housing_ranking = FeaturedScoreRanking("price", boost_weight=150000.0)
         self.bluenile = HiddenWebDatabase(
-            generate_diamond_catalog(diamond_config),
+            self.diamond_catalog,
             self.diamond_schema,
-            FeaturedScoreRanking("price", boost_weight=2500.0),
+            self.diamond_ranking,
             system_k=self.system_k,
             latency=latency,
             name="bluenile",
         )
         self.zillow = HiddenWebDatabase(
-            generate_housing_catalog(housing_config),
+            self.housing_catalog,
             self.housing_schema,
-            FeaturedScoreRanking("price", boost_weight=150000.0),
+            self.housing_ranking,
             system_k=self.system_k,
             latency=LatencyModel.accounted(self.latency_seconds, seed=self.seed + 1),
             name="zillow",
@@ -143,6 +148,45 @@ class ExperimentEnvironment:
     def make_reranker(self, source: str, config: Optional[RerankConfig] = None) -> QueryReranker:
         """A fresh reranker (fresh dense-region index) over a source."""
         return QueryReranker(self.database(source), config=config or self.rerank_config)
+
+    def make_federation(
+        self, source: str, shards: int, by: str = "rank"
+    ) -> FederatedInterface:
+        """A fresh federated facade over the *same* catalog a source's
+        unsharded database serves — the precondition for byte-identical
+        differentials between the two."""
+        if source == "bluenile":
+            catalog, schema, ranking = (
+                self.diamond_catalog, self.diamond_schema, self.diamond_ranking
+            )
+        elif source == "zillow":
+            catalog, schema, ranking = (
+                self.housing_catalog, self.housing_schema, self.housing_ranking
+            )
+        else:
+            raise ValueError(f"unknown source {source!r}")
+        return build_federation(
+            catalog=catalog,
+            schema=schema,
+            system_ranking=ranking,
+            shards=shards,
+            by=by,
+            name=source,
+            system_k=self.system_k,
+            latency_mean=self.latency_seconds,
+            latency_seed=self.seed,
+        )
+
+    def make_federated_reranker(
+        self,
+        source: str,
+        shards: int,
+        by: str = "rank",
+        config: Optional[RerankConfig] = None,
+    ) -> QueryReranker:
+        """A fresh reranker over a fresh federated facade of a source."""
+        federation = self.make_federation(source, shards, by=by)
+        return QueryReranker(federation, config=config or self.rerank_config)
 
 
 def _run_cell(
@@ -840,6 +884,241 @@ def run_feed_differential(
             }
         )
     return {"trials": trials_payload, "all_match": all_match}
+
+
+# --------------------------------------------------------------------------- #
+# SC-SHARD — federated sharding: scatter-gather cost and byte-identity
+# --------------------------------------------------------------------------- #
+def run_shard_scatter(
+    environment: Optional[ExperimentEnvironment] = None,
+    shard_counts: Sequence[int] = (2, 4),
+    depth: int = 10,
+) -> Dict[str, Dict[str, object]]:
+    """Measure the federated scatter-gather path against the unsharded
+    reference on a representative workload per source.
+
+    For each source the first 1D and first MD demonstration scenarios run
+    against the unsharded database, then against federations of
+    ``shard_counts`` shards under both partitioning schemes (hidden rank
+    round-robin and ``price`` attribute ranges) and both federation modes:
+
+    * **scatter** (default) — the unmodified algorithms query the facade, so
+      the session-level external query count is *identical* to unsharded
+      (ratio 1.0); the facade fans each query out below the interface.
+    * **merge** — one Get-Next stream per shard, lazily merged; per-shard
+      binary descents cost extra external queries, reported as a ratio.
+
+    Every run must produce byte-identical pages.  A pruning probe (attribute
+    sharding + a filter window inside one shard's partition) demonstrates the
+    facade skipping shards whose partition cannot intersect the query.
+    """
+    environment = environment or ExperimentEnvironment()
+    # Feed ablated: replay would hide the scatter/merge costs being compared.
+    config = environment.rerank_config.without_rerank_feed()
+    payload: Dict[str, Dict[str, object]] = {}
+    for source in ("bluenile", "zillow"):
+        schema = (
+            environment.diamond_schema if source == "bluenile" else environment.housing_schema
+        )
+        scenarios = {
+            "1d": (bluenile_scenarios_1d if source == "bluenile" else zillow_scenarios_1d)(
+                schema
+            )[0],
+            "md": (bluenile_scenarios_md if source == "bluenile" else zillow_scenarios_md)(
+                schema
+            )[0],
+        }
+        workloads: Dict[str, object] = {}
+        for label, scenario in scenarios.items():
+            algorithm = Algorithm.RERANK
+            reference = environment.make_reranker(source, config)
+            ref_stream = reference.rerank(scenario.query, scenario.ranking, algorithm=algorithm)
+            ref_rows = [dict(row) for row in ref_stream.top(depth)]
+            ref_queries = ref_stream.statistics.external_queries
+            runs: List[Dict[str, object]] = []
+            for count in shard_counts:
+                for by in ("rank", "price"):
+                    for mode in ("scatter", "merge"):
+                        reranker = environment.make_federated_reranker(
+                            source, count, by=by, config=config.with_federation_mode(mode)
+                        )
+                        stream = reranker.rerank(
+                            scenario.query, scenario.ranking, algorithm=algorithm
+                        )
+                        rows = [dict(row) for row in stream.top(depth)]
+                        queries = stream.statistics.external_queries
+                        stream.close()
+                        federation = reranker.federation
+                        assert federation is not None
+                        described = federation.describe()
+                        runs.append(
+                            {
+                                "shards": count,
+                                "by": by,
+                                "mode": mode,
+                                "pages_match": rows == ref_rows,
+                                "external_queries": queries,
+                                "query_ratio": queries / max(ref_queries, 1),
+                                "scatter_queries": described["scatter_queries"],
+                                "shard_queries": described["shard_queries"],
+                                "pruned_shard_queries": described["pruned_shard_queries"],
+                                "fan_out": described["fan_out"],
+                                "merge": described["merge"],
+                            }
+                        )
+            workloads[label] = {
+                "scenario": scenario.describe(),
+                "reference_queries": ref_queries,
+                "runs": runs,
+                "all_pages_match": all(run["pages_match"] for run in runs),
+                "max_scatter_ratio": max(
+                    run["query_ratio"] for run in runs if run["mode"] == "scatter"
+                ),
+                "max_merge_ratio": max(
+                    run["query_ratio"] for run in runs if run["mode"] == "merge"
+                ),
+            }
+
+        # Pruning probe: shard by price, then filter to the bottom decile of
+        # the *data* (not the domain, whose bounds sit far above the value
+        # mass) — only the shards whose partitions intersect the window may
+        # be queried.
+        catalog = (
+            environment.diamond_catalog
+            if source == "bluenile"
+            else environment.housing_catalog
+        )
+        prices = sorted(float(row["price"]) for row in catalog.to_rows())
+        probe_query = SearchQuery.build(
+            ranges={"price": (prices[0], prices[len(prices) // 10])}
+        )
+        probe_ranking = SingleAttributeRanking("price", ascending=True)
+        probe_reference = environment.make_reranker(source, config)
+        probe_ref_stream = probe_reference.rerank(
+            probe_query, probe_ranking, algorithm=Algorithm.RERANK
+        )
+        probe_ref_rows = [dict(row) for row in probe_ref_stream.top(depth)]
+        probe_reranker = environment.make_federated_reranker(
+            source, max(shard_counts), by="price", config=config
+        )
+        probe_stream = probe_reranker.rerank(
+            probe_query, probe_ranking, algorithm=Algorithm.RERANK
+        )
+        probe_rows = [dict(row) for row in probe_stream.top(depth)]
+        probe_federation = probe_reranker.federation
+        assert probe_federation is not None
+        probe_described = probe_federation.describe()
+        payload[source] = {
+            "workloads": workloads,
+            "pruning_probe": {
+                "query": probe_query.describe(),
+                "shards": max(shard_counts),
+                "pages_match": probe_rows == probe_ref_rows,
+                "pruned_shard_queries": probe_described["pruned_shard_queries"],
+                "shard_queries": probe_described["shard_queries"],
+                "fan_out": probe_described["fan_out"],
+            },
+        }
+    return payload
+
+
+def run_shard_differential(
+    environment: Optional[ExperimentEnvironment] = None,
+    trials: int = 6,
+    pages: int = 2,
+    page_size: int = 5,
+    seed: int = 20180612,
+) -> Dict[str, object]:
+    """Randomized differential: sharded federations must reproduce the
+    unsharded engine byte for byte.
+
+    Each trial draws a random source, shard count (2 or 4), partitioning
+    scheme, filter window, ranking function (1D or weighted MD), and
+    algorithm, then pages through the answer on the unsharded reference and
+    on the federation under *both* federation modes.  Every page of every
+    run must match exactly — same tuples, same emission order, same row
+    payloads.  Scatter mode must stay within the 1.5× external-query budget
+    (it is exactly 1.0×: the algorithms cannot see the shard layer); merge
+    mode's ratio is reported but not gated.
+    """
+    environment = environment or ExperimentEnvironment()
+    rng = random.Random(seed)
+    config = environment.rerank_config.without_rerank_feed()
+    trials_payload: List[Dict[str, object]] = []
+    all_match = True
+    within_budget = True
+    max_scatter_ratio = 0.0
+    max_merge_ratio = 0.0
+    for index in range(trials):
+        source = rng.choice(["bluenile", "zillow"])
+        schema = (
+            environment.diamond_schema if source == "bluenile" else environment.housing_schema
+        )
+        shards = rng.choice([2, 4])
+        by = rng.choice(["rank", "price"])
+        rankable = list(schema.rankable_names)
+        if rng.random() < 0.5:
+            ranking: UserRankingFunction = SingleAttributeRanking(
+                rng.choice(rankable), ascending=rng.random() < 0.5
+            )
+            algorithm = rng.choice([Algorithm.BINARY, Algorithm.RERANK])
+        else:
+            chosen = rng.sample(rankable, min(2, len(rankable)))
+            weights = {name: rng.choice([-1.0, -0.5, 0.5, 1.0]) for name in chosen}
+            ranking = LinearRankingFunction(
+                weights, normalizer=MinMaxNormalizer.from_schema(schema, chosen)
+            )
+            algorithm = rng.choice([Algorithm.RERANK, Algorithm.TA])
+        filter_attribute = rng.choice(rankable)
+        lower, upper = schema.domain_bounds(filter_attribute)
+        span = upper - lower
+        low = lower + rng.uniform(0.0, 0.3) * span
+        high = upper - rng.uniform(0.0, 0.3) * span
+        query = SearchQuery.build(ranges={filter_attribute: (low, high)})
+
+        reference = environment.make_reranker(source, config)
+        ref = _page_through(reference, query, ranking, algorithm, pages, page_size)
+        modes: Dict[str, Dict[str, object]] = {}
+        for mode in ("scatter", "merge"):
+            reranker = environment.make_federated_reranker(
+                source, shards, by=by, config=config.with_federation_mode(mode)
+            )
+            modes[mode] = _page_through(reranker, query, ranking, algorithm, pages, page_size)
+        pages_match = (
+            ref["pages"] == modes["scatter"]["pages"] == modes["merge"]["pages"]
+        )
+        reference_queries = max(int(ref["external_queries"]), 1)
+        scatter_ratio = int(modes["scatter"]["external_queries"]) / reference_queries
+        merge_ratio = int(modes["merge"]["external_queries"]) / reference_queries
+        all_match = all_match and pages_match
+        within_budget = within_budget and scatter_ratio <= 1.5
+        max_scatter_ratio = max(max_scatter_ratio, scatter_ratio)
+        max_merge_ratio = max(max_merge_ratio, merge_ratio)
+        trials_payload.append(
+            {
+                "trial": index,
+                "source": source,
+                "shards": shards,
+                "by": by,
+                "algorithm": algorithm.value,
+                "ranking": ranking.describe(),
+                "query": query.describe(),
+                "pages_match": pages_match,
+                "reference_queries": ref["external_queries"],
+                "scatter_queries": modes["scatter"]["external_queries"],
+                "merge_queries": modes["merge"]["external_queries"],
+                "scatter_ratio": scatter_ratio,
+                "merge_ratio": merge_ratio,
+            }
+        )
+    return {
+        "trials": trials_payload,
+        "all_match": all_match,
+        "scatter_within_budget": within_budget,
+        "max_scatter_ratio": max_scatter_ratio,
+        "max_merge_ratio": max_merge_ratio,
+        "budget": 1.5,
+    }
 
 
 # --------------------------------------------------------------------------- #

@@ -1,0 +1,222 @@
+"""Tests for merge-mode federated Get-Next and shard stream lifecycle."""
+
+import threading
+
+import pytest
+
+from repro.config import RerankConfig
+from repro.core.federated import FederatedGetNext, ShardStreamGroup
+from repro.core.functions import LinearRankingFunction, SingleAttributeRanking
+from repro.core.getnext import GetNextStream
+from repro.core.normalization import MinMaxNormalizer
+from repro.core.reranker import Algorithm, QueryReranker
+from repro.core.session import Session
+from repro.webdb.federation import build_federation
+from repro.webdb.query import SearchQuery
+from repro.webdb.ranking import FeaturedScoreRanking
+
+RANKING = FeaturedScoreRanking("price", boost_weight=2500.0)
+
+
+@pytest.fixture()
+def federated_reranker(diamond_catalog, diamond_schema_fixture):
+    """Merge-mode reranker over a 3-shard federation (feed ablated so tests
+    observe the merge itself, not a replay)."""
+    federation = build_federation(
+        catalog=diamond_catalog,
+        schema=diamond_schema_fixture,
+        system_ranking=RANKING,
+        shards=3,
+        name="fedgn",
+        system_k=10,
+    )
+    config = RerankConfig().with_federation_mode("merge").without_rerank_feed()
+    return QueryReranker(federation, config=config)
+
+
+@pytest.fixture()
+def reference_reranker(bluenile_db):
+    return QueryReranker(bluenile_db, config=RerankConfig().without_rerank_feed())
+
+
+class FakeEngine:
+    """Counts shutdown() calls; stands in for a per-shard query engine."""
+
+    def __init__(self) -> None:
+        self.shutdowns = 0
+        self._lock = threading.Lock()
+
+    def shutdown(self) -> None:
+        with self._lock:
+            self.shutdowns += 1
+
+
+class StaticAlgorithm:
+    """Emits a fixed row sequence through the GetNextAlgorithm protocol."""
+
+    variant = "static"
+
+    def __init__(self, rows):
+        self._rows = list(rows)
+        self._cursor = 0
+
+    def next(self):
+        if self._cursor >= len(self._rows):
+            return None
+        row = self._rows[self._cursor]
+        self._cursor += 1
+        return dict(row)
+
+
+def make_stream(rows, engine=None, session=None):
+    session = session or Session("fake")
+    return GetNextStream(StaticAlgorithm(rows), session, engine=engine)
+
+
+class TestShardStreamGroup:
+    def test_shutdown_closes_each_stream_exactly_once(self):
+        engines = [FakeEngine() for _ in range(3)]
+        streams = [make_stream([], engine=engine) for engine in engines]
+        group = ShardStreamGroup(streams)
+        group.shutdown()
+        group.shutdown()
+        assert group.closed
+        assert [engine.shutdowns for engine in engines] == [1, 1, 1]
+        assert all(stream.closed for stream in streams)
+
+    def test_racing_closers_close_exactly_once(self):
+        """Satellite regression: many threads racing into close() must shut
+        each per-shard producer stream down exactly once."""
+        engines = [FakeEngine() for _ in range(4)]
+        streams = [make_stream([], engine=engine) for engine in engines]
+        group = ShardStreamGroup(streams)
+        merged_stream = GetNextStream(
+            StaticAlgorithm([]), Session("racing"), engine=group
+        )
+        barrier = threading.Barrier(8)
+
+        def race():
+            barrier.wait()
+            merged_stream.close()
+
+        threads = [threading.Thread(target=race) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert [engine.shutdowns for engine in engines] == [1, 1, 1, 1]
+
+    def test_context_manager_shuts_down(self):
+        engine = FakeEngine()
+        with ShardStreamGroup([make_stream([], engine=engine)]) as group:
+            assert not group.closed
+        assert group.closed
+        assert engine.shutdowns == 1
+
+    def test_stream_close_is_idempotent(self):
+        engine = FakeEngine()
+        stream = make_stream([{"id": "a"}], engine=engine)
+        stream.close()
+        stream.close()
+        assert engine.shutdowns == 1
+
+
+class TestFederatedMerge:
+    def test_requires_streams(self):
+        with pytest.raises(ValueError):
+            FederatedGetNext(
+                [], SingleAttributeRanking("price", ascending=True), Session("x"), "id"
+            )
+
+    def test_merges_heads_in_score_order(self):
+        ranking = SingleAttributeRanking("price", ascending=True)
+        session = Session("merge")
+        shard_rows = [
+            [{"id": "a", "price": 1.0}, {"id": "d", "price": 7.0}],
+            [{"id": "b", "price": 2.0}, {"id": "c", "price": 5.0}],
+        ]
+        merge = FederatedGetNext(
+            [make_stream(rows) for rows in shard_rows], ranking, session, "id"
+        )
+        emitted = []
+        while (row := merge.next()) is not None:
+            emitted.append(row["id"])
+        assert emitted == ["a", "b", "c", "d"]
+        assert merge.emitted == 4
+        assert merge.next() is None
+
+    def test_skips_rows_already_emitted_to_session(self):
+        ranking = SingleAttributeRanking("price", ascending=True)
+        session = Session("dedup")
+        session.mark_emitted({"id": "a", "price": 1.0}, "id")
+        merge = FederatedGetNext(
+            [make_stream([{"id": "a", "price": 1.0}, {"id": "b", "price": 2.0}])],
+            ranking,
+            session,
+            "id",
+        )
+        assert merge.next()["id"] == "b"
+
+    @pytest.mark.parametrize("algorithm", [Algorithm.BINARY, Algorithm.RERANK])
+    def test_merge_mode_matches_unsharded_1d(
+        self, federated_reranker, reference_reranker, algorithm
+    ):
+        ranking = SingleAttributeRanking("carat", ascending=False)
+        query = SearchQuery.build(ranges={"carat": (0.5, 3.0)})
+        fed_stream = federated_reranker.rerank(query, ranking, algorithm=algorithm)
+        ref_stream = reference_reranker.rerank(query, ranking, algorithm=algorithm)
+        fed_rows = [dict(r) for r in fed_stream.next_page(12)]
+        ref_rows = [dict(r) for r in ref_stream.next_page(12)]
+        assert fed_rows == ref_rows
+        fed_stream.close()
+        ref_stream.close()
+
+    @pytest.mark.parametrize("algorithm", [Algorithm.RERANK, Algorithm.TA])
+    def test_merge_mode_matches_unsharded_md(
+        self, federated_reranker, reference_reranker, diamond_schema_fixture, algorithm
+    ):
+        ranking = LinearRankingFunction(
+            {"price": 1.0, "carat": -0.5},
+            normalizer=MinMaxNormalizer.from_schema(
+                diamond_schema_fixture, ["price", "carat"]
+            ),
+        )
+        fed_stream = federated_reranker.rerank(
+            SearchQuery.everything(), ranking, algorithm=algorithm
+        )
+        ref_stream = reference_reranker.rerank(
+            SearchQuery.everything(), ranking, algorithm=algorithm
+        )
+        fed_rows = [dict(r) for r in fed_stream.next_page(10)]
+        ref_rows = [dict(r) for r in ref_stream.next_page(10)]
+        assert fed_rows == ref_rows
+        fed_stream.close()
+        ref_stream.close()
+
+    def test_merge_mode_stream_closes_all_shard_streams(self, federated_reranker):
+        ranking = SingleAttributeRanking("carat", ascending=False)
+        stream = federated_reranker.rerank(
+            SearchQuery.everything(), ranking, algorithm=Algorithm.RERANK
+        )
+        stream.next_page(3)
+        group = stream.engine
+        assert isinstance(group, ShardStreamGroup)
+        assert len(group.streams) == federated_reranker.federation.shard_count
+        stream.close()
+        assert group.closed
+        assert all(shard_stream.closed for shard_stream in group.streams)
+        # Closing again must not re-close the per-shard streams.
+        stream.close()
+
+    def test_merge_mode_uses_private_shard_sessions(self, federated_reranker):
+        ranking = SingleAttributeRanking("carat", ascending=False)
+        session = Session("outer")
+        stream = federated_reranker.rerank(
+            SearchQuery.everything(), ranking, algorithm=Algorithm.RERANK, session=session
+        )
+        rows = stream.next_page(5)
+        assert len(rows) == 5
+        # The user's session saw exactly the merged emissions, while shard
+        # streams ran on private sessions (their ids derive from the outer).
+        assert session.emitted_count() == 5
+        stream.close()
