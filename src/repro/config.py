@@ -53,6 +53,12 @@ class DatabaseConfig:
         distribution), while any attribute name splits the catalog into
         contiguous quantile ranges of that attribute (enables shard pruning
         for range-filtered queries).
+    latency_sleep:
+        Whether the simulated latency actually blocks the calling thread
+        (``LatencyModel.realtime``) instead of merely being accounted for.
+        The serving-concurrency benchmarks enable this so that overlapping
+        external round trips across worker threads is observable in wall
+        clock, exactly like a remote web database.
     """
 
     system_k: int = 20
@@ -63,10 +69,14 @@ class DatabaseConfig:
     engine: str = "indexed"
     shards: int = 1
     shard_by: str = "rank"
+    latency_sleep: bool = False
 
-    def with_latency(self, seconds: float) -> "DatabaseConfig":
-        """Return a copy of this configuration with a different latency."""
-        return replace(self, latency_seconds=seconds)
+    def with_latency(self, seconds: float, sleep: Optional[bool] = None) -> "DatabaseConfig":
+        """Return a copy of this configuration with a different latency
+        (optionally switching between accounted and real-sleep modes)."""
+        if sleep is None:
+            return replace(self, latency_seconds=seconds)
+        return replace(self, latency_seconds=seconds, latency_sleep=sleep)
 
     def with_engine(self, engine: str) -> "DatabaseConfig":
         """Return a copy of this configuration with a different engine."""
@@ -239,6 +249,27 @@ class ServiceConfig:
     every source becomes a federated, sharded catalog behind a
     :class:`~repro.webdb.federation.FederatedInterface` while the service
     semantics (pages, statistics, caching) stay identical.
+
+    The ``serving_*`` knobs configure the concurrent serving tier
+    (:mod:`repro.service.concurrent`):
+
+    ``serving_workers``
+        Worker threads executing admitted requests (distinct sessions run in
+        parallel; requests for one session never interleave).
+    ``admission_queue_depth``
+        Maximum number of admitted-but-unfinished requests.  A submit beyond
+        this depth is rejected immediately with
+        :class:`~repro.exceptions.ServiceOverloadedError` (HTTP 429) instead
+        of queueing unboundedly.
+    ``slo_p99_seconds``
+        Latency SLO ceiling the load harness gates p99 against; ``None``
+        disables the gate.  Informational at serve time (reported, not
+        enforced per request).
+    ``reaper_interval_seconds``
+        Period of the background session reaper owned by the concurrent
+        tier (runs :meth:`~repro.service.app.QR2Service.expire_idle_sessions`
+        on a timer thread, started and stopped with the tier); ``None``
+        disables the reaper.
     """
 
     default_page_size: int = 10
@@ -249,6 +280,31 @@ class ServiceConfig:
     result_cache_path: Optional[str] = None
     database: DatabaseConfig = field(default_factory=DatabaseConfig)
     rerank: RerankConfig = field(default_factory=RerankConfig)
+    serving_workers: int = 8
+    admission_queue_depth: int = 64
+    slo_p99_seconds: Optional[float] = None
+    reaper_interval_seconds: Optional[float] = None
+
+    def with_serving(
+        self,
+        workers: int,
+        queue_depth: Optional[int] = None,
+        slo_p99_seconds: Optional[float] = None,
+        reaper_interval_seconds: Optional[float] = None,
+    ) -> "ServiceConfig":
+        """Copy of this configuration with concurrent-serving knobs set."""
+        if workers <= 0:
+            raise ValueError("serving_workers must be positive")
+        updated = replace(self, serving_workers=workers)
+        if queue_depth is not None:
+            if queue_depth <= 0:
+                raise ValueError("admission_queue_depth must be positive")
+            updated = replace(updated, admission_queue_depth=queue_depth)
+        if slo_p99_seconds is not None:
+            updated = replace(updated, slo_p99_seconds=slo_p99_seconds)
+        if reaper_interval_seconds is not None:
+            updated = replace(updated, reaper_interval_seconds=reaper_interval_seconds)
+        return updated
 
 
 DEFAULT_DATABASE_CONFIG = DatabaseConfig()

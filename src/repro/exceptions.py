@@ -63,6 +63,12 @@ class DataSourceError(QR2Error):
     """A service call referenced an unknown data source."""
 
 
+class ServiceOverloadedError(QR2Error):
+    """The concurrent serving tier's admission queue is full (or the tier is
+    draining): the request was rejected without being executed.  The HTTP
+    layer maps this to a ``429 Too Many Requests`` response."""
+
+
 class WireFormatError(QR2Error):
     """An HTTP request or response could not be encoded or decoded."""
 

@@ -1,12 +1,16 @@
 """The QR2 web-service layer: data sources, sessions, slider-based ranking
-specifications, popular-function suggestions, and a JSON HTTP API."""
+specifications, popular-function suggestions, a JSON HTTP API, and the
+concurrent serving tier (worker pool + bounded admission) that fronts it."""
 
 from repro.service.app import QR2Service
+from repro.service.concurrent import ConcurrentQR2Application, ConcurrentServingTier
 from repro.service.sources import DataSource, DataSourceRegistry, build_default_registry
 from repro.service.sliders import ranking_from_sliders, sliders_from_ranking
 
 __all__ = [
     "QR2Service",
+    "ConcurrentQR2Application",
+    "ConcurrentServingTier",
     "DataSource",
     "DataSourceRegistry",
     "build_default_registry",

@@ -100,6 +100,17 @@ class QR2Service:
         self._sessions: Dict[str, Session] = {}
         self._requests: Dict[str, _ActiveRequest] = {}
         self._lock = threading.Lock()
+        # One reentrant lock per session serializes that session's request
+        # processing (submit/get-next/statistics): concurrent callers on
+        # *distinct* sessions proceed in parallel, while two requests for the
+        # same session can never interleave — Get-Next semantics depend on the
+        # emission history advancing one page at a time.
+        self._session_locks: Dict[str, threading.RLock] = {}
+
+    @property
+    def config(self) -> ServiceConfig:
+        """The service configuration (serving knobs, page sizes, TTLs)."""
+        return self._config
 
     # ------------------------------------------------------------------ #
     # Source discovery
@@ -144,6 +155,8 @@ class QR2Service:
         with self._lock:
             requests = list(self._requests.values())
             self._requests.clear()
+            self._sessions.clear()
+            self._session_locks.clear()
         for request in requests:
             request.stream.close()
         for name in self._registry.names():
@@ -170,6 +183,7 @@ class QR2Service:
         session_id = uuid.uuid4().hex
         with self._lock:
             self._sessions[session_id] = Session(session_id=session_id)
+            self._session_locks[session_id] = threading.RLock()
         return session_id
 
     def _session(self, session_id: str) -> Session:
@@ -178,6 +192,14 @@ class QR2Service:
                 raise SessionError(f"unknown session {session_id!r}")
             return self._sessions[session_id]
 
+    def _session_lock(self, session_id: str) -> threading.RLock:
+        """The per-session serialization lock (raises for unknown sessions)."""
+        with self._lock:
+            lock = self._session_locks.get(session_id)
+            if lock is None:
+                raise SessionError(f"unknown session {session_id!r}")
+            return lock
+
     def session_info(self, session_id: str) -> Dict[str, object]:
         """Summary of a session's cache and history."""
         return self._session(session_id).describe()
@@ -185,17 +207,30 @@ class QR2Service:
     def expire_idle_sessions(self) -> int:
         """Drop sessions idle for longer than the configured TTL; returns the
         number removed.  Each dropped session's active stream is closed so
-        its query engine (and thread pool) is released, not leaked."""
+        its query engine (and thread pool) is released, not leaked.
+
+        A session whose serialization lock is currently held (a request is
+        mid-flight on another thread) is never expired — it is by definition
+        not idle, and reaping it would close the stream under the worker."""
         removed = 0
         dropped: List[_ActiveRequest] = []
         with self._lock:
             for session_id in list(self._sessions):
-                if self._sessions[session_id].idle_seconds() > self._config.session_ttl_seconds:
+                if self._sessions[session_id].idle_seconds() <= self._config.session_ttl_seconds:
+                    continue
+                lock = self._session_locks.get(session_id)
+                if lock is not None and not lock.acquire(blocking=False):
+                    continue  # request in flight on this session
+                try:
                     self._sessions.pop(session_id)
+                    self._session_locks.pop(session_id, None)
                     request = self._requests.pop(session_id, None)
                     if request is not None:
                         dropped.append(request)
                     removed += 1
+                finally:
+                    if lock is not None:
+                        lock.release()
         for request in dropped:
             request.stream.close()
         return removed
@@ -221,41 +256,44 @@ class QR2Service:
         (an explicit 1D/weights specification).  The first result page is
         returned along with the statistics panel.
         """
-        session = self._session(session_id)
-        session.touch()
-        # A new query keeps the session's seen-tuple cache but starts a fresh
-        # emission history and statistics panel.
-        session.reset_for_new_request()
-        source = self._registry.get(source_name)
-        query = self._build_query(filters, source)
-        ranking_function = self._build_ranking(sliders, ranking, source)
-        chosen_algorithm = Algorithm.parse(algorithm)
-        size = self._effective_page_size(page_size)
+        with self._session_lock(session_id):
+            session = self._session(session_id)
+            session.touch()
+            # A new query keeps the session's seen-tuple cache but starts a
+            # fresh emission history and statistics panel.
+            session.reset_for_new_request()
+            source = self._registry.get(source_name)
+            query = self._build_query(filters, source)
+            ranking_function = self._build_ranking(sliders, ranking, source)
+            chosen_algorithm = Algorithm.parse(algorithm)
+            size = self._effective_page_size(page_size)
 
-        stream = source.reranker.rerank(
-            query, ranking_function, algorithm=chosen_algorithm, session=session
-        )
-        with self._lock:
-            replaced = self._requests.get(session_id)
-            self._requests[session_id] = _ActiveRequest(
-                source=source, stream=stream, page_size=size
+            stream = source.reranker.rerank(
+                query, ranking_function, algorithm=chosen_algorithm, session=session
             )
-        if replaced is not None:
-            # The old stream's query engine (and its lazily created thread
-            # pool) would otherwise live as long as the process.
-            replaced.stream.close()
-        return self._serve_page(session_id)
+            with self._lock:
+                replaced = self._requests.get(session_id)
+                self._requests[session_id] = _ActiveRequest(
+                    source=source, stream=stream, page_size=size
+                )
+            if replaced is not None:
+                # The old stream's query engine (and its lazily created thread
+                # pool) would otherwise live as long as the process.
+                replaced.stream.close()
+            return self._serve_page(session_id)
 
     def get_next_page(self, session_id: str) -> Dict[str, object]:
         """Serve the next page of the session's active request (the "get-next"
         button of the UI)."""
-        self._session(session_id).touch()
-        return self._serve_page(session_id)
+        with self._session_lock(session_id):
+            self._session(session_id).touch()
+            return self._serve_page(session_id)
 
     def statistics(self, session_id: str) -> Dict[str, object]:
         """The statistics panel for the session's active request."""
-        request = self._active_request(session_id)
-        return self._statistics_panel(request)
+        with self._session_lock(session_id):
+            request = self._active_request(session_id)
+            return self._statistics_panel(request)
 
     # ------------------------------------------------------------------ #
     # Internals

@@ -1,0 +1,351 @@
+"""Concurrent serving tier for the QR2 service.
+
+The synchronous front end (:class:`~repro.service.httpapp.QR2HttpApplication`)
+processes one request per calling thread with no admission control: under a
+million-user workload a burst either piles onto the GIL unboundedly or — worse
+— interleaves two requests of the *same* session, breaking Get-Next semantics
+(the emission history must advance one page at a time).  This module adds the
+missing execution layer between the HTTP boundary and :class:`QR2Service`:
+
+:class:`ConcurrentServingTier`
+    A fixed worker pool with a **bounded admission queue**.  Requests beyond
+    the configured depth are rejected immediately with
+    :class:`~repro.exceptions.ServiceOverloadedError` (the HTTP layer maps
+    this to ``429``), following standard load-shedding practice: a full queue
+    means the client should back off, not wait unboundedly.  Admitted work is
+    **serialized per session** — two requests carrying the same serialization
+    key never run concurrently or out of submission order, while requests for
+    distinct sessions spread across all workers.  ``drain()`` stops admission
+    and waits for in-flight work; ``close()`` drains, stops the workers, and
+    stops the background **session reaper** (a timer thread running
+    :meth:`QR2Service.expire_idle_sessions` so idle sessions are retired
+    without manual call sites).
+
+:class:`ConcurrentQR2Application`
+    A drop-in front end with the same ``handle(request) -> response`` shape as
+    :class:`QR2HttpApplication`, so it threads straight through
+    :func:`~repro.service.httpapp.serve_qr2_over_socket`.  It extracts the
+    session identifier from each request to use as the serialization key
+    (session-less requests get a unique key and run fully parallel) and maps
+    admission rejections to structured ``429`` JSON responses.
+
+The open-loop load harness in :mod:`repro.workloads.loadgen` drives this tier
+with a Zipf-distributed query mix — the access pattern the shared rerank feed
+was designed for — and ``benchmarks/bench_serving_concurrency.py`` gates the
+throughput, byte-identity, and latency-SLO claims in CI.
+"""
+
+from __future__ import annotations
+
+import threading
+import uuid
+from collections import deque
+from concurrent.futures import Future
+from time import monotonic
+from typing import Callable, Deque, Dict, List, Optional
+
+from repro.config import ServiceConfig
+from repro.exceptions import ServiceOverloadedError
+from repro.httpsim.messages import HttpRequest, HttpResponse
+from repro.service.app import QR2Service
+from repro.service.httpapp import QR2HttpApplication
+
+
+class _Job:
+    """One admitted unit of work: a thunk plus the future its caller waits on."""
+
+    __slots__ = ("fn", "future")
+
+    def __init__(self, fn: Callable[[], object]) -> None:
+        self.fn = fn
+        self.future: "Future[object]" = Future()
+
+
+class ConcurrentServingTier:
+    """Worker pool with bounded admission and per-key serialization.
+
+    Scheduling invariant: a key appears in the ready queue exactly when it has
+    pending jobs and no worker is currently executing one of its jobs.  A
+    worker takes one job per dispatch; on completion it re-enqueues the key if
+    more jobs arrived meanwhile.  That gives FIFO execution per key (never two
+    jobs of one key in flight) while distinct keys fan out across the pool.
+    """
+
+    def __init__(
+        self,
+        service: QR2Service,
+        workers: Optional[int] = None,
+        queue_depth: Optional[int] = None,
+        reaper_interval_seconds: Optional[float] = None,
+    ) -> None:
+        config = service.config
+        self._service = service
+        self._worker_count = workers if workers is not None else config.serving_workers
+        self._depth = (
+            queue_depth if queue_depth is not None else config.admission_queue_depth
+        )
+        if self._worker_count <= 0:
+            raise ValueError("workers must be positive")
+        if self._depth <= 0:
+            raise ValueError("queue_depth must be positive")
+        interval = (
+            reaper_interval_seconds
+            if reaper_interval_seconds is not None
+            else config.reaper_interval_seconds
+        )
+
+        self._cond = threading.Condition()
+        self._queues: Dict[str, Deque[_Job]] = {}
+        self._ready: Deque[str] = deque()
+        self._admitted = 0
+        self._draining = False
+        self._stopped = False
+        self._closed = False
+        self._rejected = 0
+        self._completed = 0
+        self._max_in_flight = 0
+        self._reaped_sessions = 0
+
+        self._threads: List[threading.Thread] = [
+            threading.Thread(target=self._worker_loop, name=f"qr2-worker-{i}", daemon=True)
+            for i in range(self._worker_count)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+        self._reaper_stop = threading.Event()
+        self._reaper_thread: Optional[threading.Thread] = None
+        if interval is not None and interval > 0:
+            self._reaper_thread = threading.Thread(
+                target=self._reaper_loop, args=(float(interval),),
+                name="qr2-session-reaper", daemon=True,
+            )
+            self._reaper_thread.start()
+
+    # ------------------------------------------------------------------ #
+    # Admission
+    # ------------------------------------------------------------------ #
+    def submit(self, fn: Callable[[], object], key: Optional[str] = None) -> "Future[object]":
+        """Admit one unit of work, serialized against other work of ``key``.
+
+        ``key=None`` assigns a unique key (no serialization constraint).
+        Raises :class:`ServiceOverloadedError` when the admission queue is at
+        depth or the tier is draining/closed — the work is *not* executed.
+        """
+        if key is None:
+            key = f"anon:{uuid.uuid4().hex}"
+        job = _Job(fn)
+        with self._cond:
+            if self._draining or self._stopped:
+                self._rejected += 1
+                raise ServiceOverloadedError("serving tier is shutting down")
+            if self._admitted >= self._depth:
+                self._rejected += 1
+                raise ServiceOverloadedError(
+                    f"admission queue full ({self._admitted} of {self._depth} in flight)"
+                )
+            self._admitted += 1
+            self._max_in_flight = max(self._max_in_flight, self._admitted)
+            queue = self._queues.get(key)
+            if queue is None:
+                # No pending or running job for this key: schedule it.
+                self._queues[key] = deque([job])
+                self._ready.append(key)
+            else:
+                # A job of this key is pending or running; the worker that
+                # finishes it will re-enqueue the key.
+                queue.append(job)
+            self._cond.notify()
+        return job.future
+
+    def execute(self, fn: Callable[[], object], key: Optional[str] = None) -> object:
+        """``submit`` and wait for the result (re-raising the job's error)."""
+        return self.submit(fn, key=key).result()
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Stop admitting new work and wait until in-flight work finishes.
+
+        Returns ``True`` when the tier is empty, ``False`` on timeout (the
+        tier stays in draining mode either way; new submits are rejected)."""
+        deadline = None if timeout is None else monotonic() + timeout
+        with self._cond:
+            self._draining = True
+            while self._admitted > 0:
+                remaining = None if deadline is None else deadline - monotonic()
+                if remaining is not None and remaining <= 0:
+                    return False
+                self._cond.wait(remaining)
+        return True
+
+    def close(self, timeout: Optional[float] = None) -> bool:
+        """Graceful shutdown: drain, stop the workers and the reaper.
+
+        Idempotent; returns ``True`` when everything stopped within
+        ``timeout`` (``None`` waits indefinitely for in-flight work)."""
+        with self._cond:
+            if self._closed:
+                return True
+            self._closed = True
+        self._reaper_stop.set()
+        drained = self.drain(timeout=timeout)
+        with self._cond:
+            self._stopped = True
+            self._cond.notify_all()
+        join_timeout = None if timeout is None else 5.0
+        for thread in self._threads:
+            thread.join(timeout=join_timeout)
+        if self._reaper_thread is not None:
+            self._reaper_thread.join(timeout=join_timeout)
+        return drained
+
+    @property
+    def draining(self) -> bool:
+        """True once ``drain``/``close`` stopped admission."""
+        with self._cond:
+            return self._draining
+
+    def snapshot(self) -> Dict[str, object]:
+        """Counters for the statistics panel and the load harness."""
+        with self._cond:
+            return {
+                "workers": self._worker_count,
+                "queue_depth": self._depth,
+                "in_flight": self._admitted,
+                "max_in_flight": self._max_in_flight,
+                "completed": self._completed,
+                "rejected": self._rejected,
+                "reaped_sessions": self._reaped_sessions,
+                "draining": self._draining,
+            }
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _worker_loop(self) -> None:
+        while True:
+            with self._cond:
+                while not self._ready and not self._stopped:
+                    self._cond.wait()
+                if self._stopped and not self._ready:
+                    return
+                key = self._ready.popleft()
+                job = self._queues[key].popleft()
+                # The (possibly now empty) queue entry stays in the map while
+                # the job runs: its presence is what routes later same-key
+                # submits away from the ready queue.
+            try:
+                result = job.fn()
+            except BaseException as exc:  # noqa: BLE001 - forwarded to caller
+                job.future.set_exception(exc)
+            else:
+                job.future.set_result(result)
+            with self._cond:
+                self._admitted -= 1
+                self._completed += 1
+                if self._queues[key]:
+                    self._ready.append(key)
+                else:
+                    del self._queues[key]
+                self._cond.notify_all()
+
+    def _reaper_loop(self, interval: float) -> None:
+        while not self._reaper_stop.wait(interval):
+            try:
+                self._reaped_sessions += self._service.expire_idle_sessions()
+            except Exception:  # noqa: BLE001 - the timer must survive
+                continue
+
+
+class ConcurrentQR2Application:
+    """Concurrent drop-in for :class:`QR2HttpApplication`.
+
+    Exposes the same ``handle`` signature, so it serves over a socket through
+    :func:`~repro.service.httpapp.serve_qr2_over_socket` unchanged —
+    ``ThreadingHTTPServer`` gives one thread per connection, and this object
+    funnels those threads through the bounded worker pool."""
+
+    def __init__(
+        self,
+        service: Optional[QR2Service] = None,
+        config: Optional[ServiceConfig] = None,
+    ) -> None:
+        if service is None:
+            service = QR2Service(config=config)
+        self._service = service
+        self._inner = QR2HttpApplication(service)
+        self._tier = ConcurrentServingTier(service)
+
+    @property
+    def service(self) -> QR2Service:
+        """The underlying application service."""
+        return self._service
+
+    @property
+    def tier(self) -> ConcurrentServingTier:
+        """The worker pool executing admitted requests."""
+        return self._tier
+
+    # ------------------------------------------------------------------ #
+    def handle(self, request: HttpRequest) -> HttpResponse:
+        """Admit, schedule, and execute one request on the worker pool."""
+        key = self._serialization_key(request)
+        try:
+            future = self._tier.submit(lambda: self._inner.handle(request), key=key)
+        except ServiceOverloadedError as exc:
+            return HttpResponse.json_response(
+                {"error": str(exc), "retry": True}, status=429
+            )
+        try:
+            return future.result()  # type: ignore[return-value]
+        except Exception as exc:  # noqa: BLE001 - the serving boundary
+            return HttpResponse.json_response(
+                {
+                    "error": "internal server error",
+                    "exception": type(exc).__name__,
+                    "detail": str(exc),
+                },
+                status=500,
+            )
+
+    @staticmethod
+    def _serialization_key(request: HttpRequest) -> Optional[str]:
+        """Session identifier carried by the request, or ``None``.
+
+        Malformed bodies return ``None``: the request still goes through the
+        pool (unserialized) and the inner application produces the 400."""
+        if request.method == "POST" and request.path in ("/qr2/query", "/qr2/next"):
+            try:
+                payload = request.json()
+            except Exception:  # noqa: BLE001 - inner handler reports the 400
+                return None
+            if isinstance(payload, dict):
+                session_id = payload.get("session_id")
+                if isinstance(session_id, str) and session_id:
+                    return f"session:{session_id}"
+            return None
+        if request.method == "GET" and request.path == "/qr2/statistics":
+            session_id = request.query_params.get("session", "")
+            if session_id:
+                return f"session:{session_id}"
+        return None
+
+    # ------------------------------------------------------------------ #
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Stop admitting requests and wait for in-flight ones."""
+        return self._tier.drain(timeout=timeout)
+
+    def close(self, timeout: Optional[float] = None, close_service: bool = True) -> None:
+        """Drain the tier, stop its workers/reaper, and (by default) close the
+        service — persisting caches and releasing engines.  Idempotent."""
+        self._tier.close(timeout=timeout)
+        if close_service:
+            self._service.close()
+
+    def __enter__(self) -> "ConcurrentQR2Application":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -43,11 +43,25 @@ class QR2HttpApplication:
 
     # ------------------------------------------------------------------ #
     def handle(self, request: HttpRequest) -> HttpResponse:
-        """Dispatch one request."""
+        """Dispatch one request.
+
+        Expected application errors (:class:`QR2Error`) map to 400; anything
+        else is a bug in the service, reported as a structured 500 JSON body
+        instead of propagating and killing the calling handler/worker thread.
+        """
         try:
             return self._route(request)
         except QR2Error as exc:
             return HttpResponse.error(400, str(exc))
+        except Exception as exc:  # noqa: BLE001 - the serving boundary
+            return HttpResponse.json_response(
+                {
+                    "error": "internal server error",
+                    "exception": type(exc).__name__,
+                    "detail": str(exc),
+                },
+                status=500,
+            )
 
     def _route(self, request: HttpRequest) -> HttpResponse:
         if request.method == "GET" and request.path == "/qr2/sources":
@@ -100,12 +114,21 @@ class _QR2SocketHandler(BaseHTTPRequestHandler):
         self.wfile.write(body)
 
     def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
-        self._respond(self.application.handle(HttpRequest.from_url("GET", self.path)))
+        try:
+            request = HttpRequest.from_url("GET", self.path)
+        except Exception as exc:  # noqa: BLE001 - malformed request line
+            self._respond(HttpResponse.error(400, f"malformed request: {exc}"))
+            return
+        self._respond(self.application.handle(request))
 
     def do_POST(self) -> None:  # noqa: N802 (stdlib naming)
-        length = int(self.headers.get("content-length", "0"))
-        body = self.rfile.read(length).decode("utf-8") if length else "{}"
-        request = HttpRequest(method="POST", path=self.path.split("?")[0], body=body)
+        try:
+            length = int(self.headers.get("content-length", "0"))
+            body = self.rfile.read(length).decode("utf-8") if length else "{}"
+            request = HttpRequest(method="POST", path=self.path.split("?")[0], body=body)
+        except Exception as exc:  # noqa: BLE001 - malformed request/body
+            self._respond(HttpResponse.error(400, f"malformed request: {exc}"))
+            return
         self._respond(self.application.handle(request))
 
     def log_message(self, format: str, *args: object) -> None:  # noqa: A002

@@ -205,12 +205,14 @@ def _make_source(
             latency_mean=database_config.latency_seconds,
             latency_jitter=database_config.latency_jitter,
             latency_seed=database_config.seed,
+            latency_sleep=database_config.latency_sleep,
             engine=database_config.engine,
         )
     else:
-        latency = LatencyModel.accounted(
-            database_config.latency_seconds,
+        latency = LatencyModel(
+            mean_seconds=database_config.latency_seconds,
             jitter=database_config.latency_jitter,
+            sleep=database_config.latency_sleep,
             seed=database_config.seed,
         )
         database = HiddenWebDatabase(

@@ -207,6 +207,7 @@ class ShardedCatalog:
         latency_mean: float = 0.0,
         latency_jitter: float = 0.25,
         latency_seed: int = 11,
+        latency_sleep: bool = False,
         engine: str = "indexed",
         specs: Optional[Sequence[Optional[ShardSpec]]] = None,
     ) -> List[HiddenWebDatabase]:
@@ -233,8 +234,11 @@ class ShardedCatalog:
             if spec and spec.latency is not None:
                 latency = spec.latency
             else:
-                latency = LatencyModel.accounted(
-                    latency_mean, jitter=latency_jitter, seed=latency_seed + index
+                latency = LatencyModel(
+                    mean_seconds=latency_mean,
+                    jitter=latency_jitter,
+                    sleep=latency_sleep,
+                    seed=latency_seed + index,
                 )
             databases.append(
                 HiddenWebDatabase(
@@ -564,6 +568,7 @@ def build_federation(
     latency_mean: float = 0.0,
     latency_jitter: float = 0.25,
     latency_seed: int = 11,
+    latency_sleep: bool = False,
     engine: str = "indexed",
     specs: Optional[Sequence[Optional[ShardSpec]]] = None,
     result_cache: Optional[QueryResultCache] = None,
@@ -583,6 +588,7 @@ def build_federation(
         latency_mean=latency_mean,
         latency_jitter=latency_jitter,
         latency_seed=latency_seed,
+        latency_sleep=latency_sleep,
         engine=engine,
         specs=specs,
     )

@@ -1,0 +1,372 @@
+"""Tests for the concurrent serving tier (worker pool, admission control,
+per-session serialization, drain, reaper) and the 500-hardened HTTP layer."""
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.config import DatabaseConfig, RerankConfig, ServiceConfig
+from repro.dataset.diamonds import DiamondCatalogConfig
+from repro.dataset.housing import HousingCatalogConfig
+from repro.exceptions import ServiceOverloadedError
+from repro.httpsim.messages import HttpRequest
+from repro.service.app import QR2Service
+from repro.service.concurrent import ConcurrentQR2Application, ConcurrentServingTier
+from repro.service.httpapp import QR2HttpApplication, serve_qr2_over_socket
+from repro.service.sources import build_default_registry
+
+
+def make_registry(**kwargs):
+    return build_default_registry(
+        diamond_config=DiamondCatalogConfig(size=250, seed=31),
+        housing_config=HousingCatalogConfig(size=250, seed=32),
+        database_config=DatabaseConfig(system_k=10),
+        rerank_config=kwargs.pop("rerank_config", RerankConfig()),
+        **kwargs,
+    )
+
+
+@pytest.fixture(scope="module")
+def registry():
+    return make_registry()
+
+
+def make_service(registry, **config_kwargs) -> QR2Service:
+    config_kwargs.setdefault("default_page_size", 5)
+    return QR2Service(registry=registry, config=ServiceConfig(**config_kwargs))
+
+
+class TestTierScheduling:
+    def test_distinct_keys_run_in_parallel(self, registry):
+        tier = ConcurrentServingTier(make_service(registry), workers=4, queue_depth=16)
+        barrier = threading.Barrier(3, timeout=5.0)
+
+        def job():
+            barrier.wait()  # passes only if >= 2 jobs overlap (plus this thread)
+            return "done"
+
+        try:
+            futures = [tier.submit(job, key=f"k{i}") for i in range(2)]
+            barrier.wait()
+            assert [f.result(timeout=5.0) for f in futures] == ["done", "done"]
+        finally:
+            tier.close()
+
+    def test_same_key_jobs_never_interleave_and_keep_order(self, registry):
+        tier = ConcurrentServingTier(make_service(registry), workers=8, queue_depth=64)
+        events = []
+        lock = threading.Lock()
+        active = {"count": 0, "max": 0}
+
+        def job(index):
+            with lock:
+                active["count"] += 1
+                active["max"] = max(active["max"], active["count"])
+            time.sleep(0.005)
+            with lock:
+                events.append(index)
+                active["count"] -= 1
+
+        try:
+            futures = [tier.submit(lambda i=i: job(i), key="session:a") for i in range(12)]
+            for future in futures:
+                future.result(timeout=10.0)
+        finally:
+            tier.close()
+        assert events == list(range(12))  # FIFO per key
+        assert active["max"] == 1  # never two in flight for one key
+
+    def test_job_error_propagates_to_future_not_worker(self, registry):
+        tier = ConcurrentServingTier(make_service(registry), workers=2, queue_depth=8)
+
+        def boom():
+            raise RuntimeError("kaboom")
+
+        try:
+            future = tier.submit(boom, key="x")
+            with pytest.raises(RuntimeError):
+                future.result(timeout=5.0)
+            # The worker survived and keeps serving.
+            assert tier.execute(lambda: 41 + 1, key="x") == 42
+        finally:
+            tier.close()
+
+
+class TestAdmissionControl:
+    def test_full_queue_rejects_without_executing(self, registry):
+        tier = ConcurrentServingTier(make_service(registry), workers=1, queue_depth=2)
+        release = threading.Event()
+        started = threading.Event()
+
+        def blocker():
+            started.set()
+            release.wait(timeout=10.0)
+            return "ok"
+
+        try:
+            first = tier.submit(blocker, key="a")
+            assert started.wait(timeout=5.0)
+            second = tier.submit(lambda: "queued", key="b")  # fills the queue
+            with pytest.raises(ServiceOverloadedError):
+                tier.submit(lambda: "rejected", key="c")
+            assert tier.snapshot()["rejected"] == 1
+            release.set()
+            assert first.result(timeout=5.0) == "ok"
+            assert second.result(timeout=5.0) == "queued"
+        finally:
+            release.set()
+            tier.close()
+
+    def test_application_maps_overload_to_429(self, registry):
+        service = make_service(registry, serving_workers=1, admission_queue_depth=1)
+        app = ConcurrentQR2Application(service)
+        release = threading.Event()
+        started = threading.Event()
+
+        def blocker():
+            started.set()
+            release.wait(timeout=10.0)
+            return "ok"
+
+        try:
+            app.tier.submit(blocker, key="hold")
+            assert started.wait(timeout=5.0)
+            response = app.handle(HttpRequest.get("/qr2/sources"))
+            assert response.status == 429
+            payload = response.json()
+            assert payload["retry"] is True
+            assert "full" in payload["error"]
+        finally:
+            release.set()
+            app.close(close_service=False)
+
+
+class TestDrainAndShutdown:
+    def test_drain_waits_for_inflight_and_rejects_new_work(self, registry):
+        tier = ConcurrentServingTier(make_service(registry), workers=2, queue_depth=8)
+        results = []
+
+        def slow(index):
+            time.sleep(0.05)
+            results.append(index)
+            return index
+
+        futures = [tier.submit(lambda i=i: slow(i), key=f"k{i}") for i in range(4)]
+        assert tier.drain(timeout=10.0)
+        assert sorted(results) == [0, 1, 2, 3]
+        assert all(future.done() for future in futures)
+        with pytest.raises(ServiceOverloadedError):
+            tier.submit(lambda: "late")
+        assert tier.close(timeout=5.0)
+
+    def test_close_is_idempotent(self, registry):
+        tier = ConcurrentServingTier(make_service(registry), workers=2, queue_depth=8)
+        assert tier.close(timeout=5.0)
+        assert tier.close(timeout=5.0)
+
+    def test_application_close_drains_and_closes_service(self):
+        registry = make_registry()
+        service = make_service(registry)
+        app = ConcurrentQR2Application(service)
+        created = app.handle(HttpRequest.post_json("/qr2/sessions", {}))
+        session_id = created.json()["session_id"]
+        response = app.handle(
+            HttpRequest.post_json(
+                "/qr2/query",
+                {"session_id": session_id, "source": "bluenile", "sliders": {"price": 1.0}},
+            )
+        )
+        assert response.ok
+        stream = service._requests[session_id].stream
+        app.close()
+        assert stream.closed
+        assert app.handle(HttpRequest.get("/qr2/sources")).status == 429
+
+
+class TestSessionReaper:
+    def test_reaper_expires_idle_sessions_without_manual_calls(self, registry):
+        service = make_service(registry, session_ttl_seconds=0.0)
+        tier = ConcurrentServingTier(
+            service, workers=1, queue_depth=4, reaper_interval_seconds=0.02
+        )
+        try:
+            service.create_session()
+            deadline = time.time() + 5.0
+            while time.time() < deadline:
+                if tier.snapshot()["reaped_sessions"] >= 1:
+                    break
+                time.sleep(0.01)
+            assert tier.snapshot()["reaped_sessions"] >= 1
+            with service._lock:
+                assert not service._sessions
+        finally:
+            tier.close()
+
+    def test_reaper_stops_with_the_tier(self, registry):
+        service = make_service(registry, session_ttl_seconds=0.0)
+        tier = ConcurrentServingTier(
+            service, workers=1, queue_depth=4, reaper_interval_seconds=0.01
+        )
+        tier.close()
+        service.create_session()
+        time.sleep(0.05)
+        with service._lock:
+            assert len(service._sessions) == 1  # nothing reaps after close
+
+    def test_busy_session_is_not_reaped_mid_request(self, registry):
+        service = make_service(registry, session_ttl_seconds=0.0)
+        session_id = service.create_session()
+        lock = service._session_lock(session_id)
+        holding = threading.Event()
+        release = threading.Event()
+
+        def hold():  # simulates a request in flight on a worker thread
+            with lock:
+                holding.set()
+                release.wait(timeout=10.0)
+
+        holder = threading.Thread(target=hold)
+        holder.start()
+        try:
+            assert holding.wait(timeout=5.0)
+            assert service.expire_idle_sessions() == 0
+        finally:
+            release.set()
+            holder.join(timeout=5.0)
+        assert service.expire_idle_sessions() == 1
+
+
+class TestConcurrentServiceSafety:
+    def test_racing_submit_and_get_next_across_threads(self):
+        registry = make_registry()
+        service = make_service(registry)
+        errors = []
+
+        def user(index):
+            try:
+                session_id = service.create_session()
+                first = service.submit_query(
+                    session_id,
+                    "bluenile" if index % 2 == 0 else "zillow",
+                    sliders={"price": 1.0, ("carat" if index % 2 == 0 else "squarefeet"): -0.5},
+                    page_size=4,
+                )
+                second = service.get_next_page(session_id)
+                keys = [row["id"] for row in first["rows"] + second["rows"]]
+                assert len(keys) == len(set(keys)), "duplicate emission"
+                assert second["page"] == 2
+            except Exception as exc:  # noqa: BLE001 - assert below
+                errors.append(exc)
+
+        threads = [threading.Thread(target=user, args=(i,)) for i in range(12)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60.0)
+        assert not errors
+
+    def test_same_session_requests_serialize_through_the_application(self):
+        registry = make_registry()
+        service = make_service(registry)
+        app = ConcurrentQR2Application(service)
+        try:
+            session_id = app.handle(
+                HttpRequest.post_json("/qr2/sessions", {})
+            ).json()["session_id"]
+            submit = app.handle(
+                HttpRequest.post_json(
+                    "/qr2/query",
+                    {
+                        "session_id": session_id,
+                        "source": "bluenile",
+                        "sliders": {"price": 1.0},
+                        "page_size": 3,
+                    },
+                )
+            )
+            assert submit.ok
+            # Fire 6 concurrent get-next requests for one session: serialized
+            # execution must produce pages 2..7 with no duplicate rows.
+            responses = [None] * 6
+            def next_page(i):
+                responses[i] = app.handle(
+                    HttpRequest.post_json("/qr2/next", {"session_id": session_id})
+                )
+            threads = [threading.Thread(target=next_page, args=(i,)) for i in range(6)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=60.0)
+            payloads = [r.json() for r in responses]
+            assert sorted(p["page"] for p in payloads) == [2, 3, 4, 5, 6, 7]
+            all_ids = [row["id"] for p in payloads for row in p["rows"]]
+            assert len(all_ids) == len(set(all_ids))
+        finally:
+            app.close(close_service=False)
+
+    def test_concurrent_application_over_a_real_socket(self):
+        registry = make_registry()
+        app = ConcurrentQR2Application(make_service(registry))
+        handle = serve_qr2_over_socket(app)
+        try:
+            import urllib.request
+
+            def fetch(path, payload=None):
+                data = json.dumps(payload).encode() if payload is not None else None
+                request = urllib.request.Request(
+                    handle.base_url + path,
+                    data=data,
+                    method="POST" if data is not None else "GET",
+                )
+                with urllib.request.urlopen(request, timeout=30) as raw:
+                    return json.loads(raw.read())
+
+            session_id = fetch("/qr2/sessions", {})["session_id"]
+            payload = fetch(
+                "/qr2/query",
+                {
+                    "session_id": session_id,
+                    "source": "zillow",
+                    "sliders": {"price": 1.0},
+                    "page_size": 3,
+                },
+            )
+            assert len(payload["rows"]) == 3
+        finally:
+            handle.shutdown()
+            app.close(close_service=False)
+
+
+class TestStructured500:
+    def test_unexpected_exception_becomes_structured_500(self, registry):
+        app = QR2HttpApplication(make_service(registry))
+
+        def explode():
+            raise RuntimeError("wired to fail")
+
+        app._service.list_sources = explode  # type: ignore[assignment]
+        response = app.handle(HttpRequest.get("/qr2/sources"))
+        assert response.status == 500
+        payload = response.json()
+        assert payload["error"] == "internal server error"
+        assert payload["exception"] == "RuntimeError"
+        assert payload["detail"] == "wired to fail"
+
+    def test_concurrent_application_survives_inner_crash(self, registry):
+        service = make_service(registry)
+        app = ConcurrentQR2Application(service)
+        try:
+            def explode():
+                raise ValueError("boom")
+
+            service.list_sources = explode  # type: ignore[assignment]
+            response = app.handle(HttpRequest.get("/qr2/sources"))
+            assert response.status == 500
+            assert response.json()["exception"] == "ValueError"
+            # Tier still healthy afterwards.
+            sessions = app.handle(HttpRequest.post_json("/qr2/sessions", {}))
+            assert sessions.ok
+        finally:
+            app.close(close_service=False)

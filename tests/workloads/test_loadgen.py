@@ -1,0 +1,154 @@
+"""Tests for the Zipf open-loop load generator."""
+
+import collections
+
+import pytest
+
+from repro.config import DatabaseConfig, RerankConfig, ServiceConfig
+from repro.dataset.diamonds import DiamondCatalogConfig
+from repro.dataset.housing import HousingCatalogConfig
+from repro.service.app import QR2Service
+from repro.service.concurrent import ConcurrentQR2Application
+from repro.service.httpapp import QR2HttpApplication
+from repro.service.sources import build_default_registry
+from repro.workloads.loadgen import (
+    LoadTrace,
+    ZipfSampler,
+    ZipfWorkloadConfig,
+    build_query_templates,
+    build_zipf_trace,
+    percentile,
+    replay_sequential,
+    run_open_loop,
+    zipf_weights,
+)
+
+
+def make_application(concurrent=False, **service_kwargs):
+    registry = build_default_registry(
+        diamond_config=DiamondCatalogConfig(size=250, seed=41),
+        housing_config=HousingCatalogConfig(size=250, seed=42),
+        database_config=DatabaseConfig(system_k=10),
+        rerank_config=RerankConfig(),
+    )
+    service_kwargs.setdefault("default_page_size", 5)
+    service = QR2Service(registry=registry, config=ServiceConfig(**service_kwargs))
+    if concurrent:
+        return ConcurrentQR2Application(service)
+    return QR2HttpApplication(service)
+
+
+class TestZipfDistribution:
+    def test_weights_normalized_and_monotone(self):
+        weights = zipf_weights(50, 1.1)
+        assert abs(sum(weights) - 1.0) < 1e-9
+        assert weights == sorted(weights, reverse=True)
+        assert weights[0] > 10 * weights[-1]
+
+    def test_sampler_is_seeded_and_head_heavy(self):
+        first = [ZipfSampler(20, 1.1, seed=7).draw() for _ in range(1)]
+        second = [ZipfSampler(20, 1.1, seed=7).draw() for _ in range(1)]
+        assert first == second
+        sampler = ZipfSampler(20, 1.1, seed=7)
+        counts = collections.Counter(sampler.draw() for _ in range(2000))
+        assert counts[0] > counts.get(10, 0)
+        assert counts[0] > 2000 / 20  # head gets more than the uniform share
+
+    def test_invalid_count_rejected(self):
+        with pytest.raises(ValueError):
+            zipf_weights(0, 1.0)
+
+    def test_percentile_interpolation(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert percentile(values, 0.0) == 1.0
+        assert percentile(values, 100.0) == 4.0
+        assert percentile(values, 50.0) == 2.5
+
+
+class TestTraceGeneration:
+    def test_trace_is_deterministic(self):
+        config = ZipfWorkloadConfig(distinct_queries=8, sessions=20, seed=5)
+        assert build_zipf_trace(config) == build_zipf_trace(config)
+
+    def test_templates_cover_both_sources(self):
+        templates = build_query_templates(
+            ZipfWorkloadConfig(distinct_queries=10, seed=3)
+        )
+        assert {template.source for template in templates} == {"bluenile", "zillow"}
+        for template in templates:
+            assert template.sliders  # at least one non-zero slider
+
+    def test_trace_shape_and_request_count(self):
+        config = ZipfWorkloadConfig(distinct_queries=6, sessions=9, pages_per_session=3)
+        trace = build_zipf_trace(config)
+        assert len(trace.scripts) == 9
+        assert trace.total_requests == 9 * (2 + 3)
+        assert all(script.arrival_offset == 0.0 for script in trace.scripts)
+
+    def test_arrival_window_rescaling(self):
+        config = ZipfWorkloadConfig(
+            distinct_queries=6, sessions=16, arrival_window_seconds=10.0
+        )
+        trace = build_zipf_trace(config)
+        assert max(s.arrival_offset for s in trace.scripts) <= 10.0
+        rescaled = trace.with_arrival_window(1.0)
+        assert isinstance(rescaled, LoadTrace)
+        assert max(s.arrival_offset for s in rescaled.scripts) <= 1.0
+        offsets = [s.arrival_offset for s in rescaled.scripts]
+        assert offsets == sorted(offsets)
+
+
+class TestExecution:
+    def test_sequential_replay_records_pages_and_latencies(self):
+        app = make_application()
+        try:
+            trace = build_zipf_trace(
+                ZipfWorkloadConfig(distinct_queries=4, sessions=6, pages_per_session=1)
+            )
+            result = replay_sequential(app, trace)
+            assert result.completed_requests == trace.total_requests
+            assert result.rejections == 0
+            assert len(result.pages) == 6 * 2  # submit page + one next page
+            assert result.throughput_rps > 0
+            report = result.report()
+            assert {"p50", "p95", "p99", "throughput_rps", "rejection_rate"} <= set(report)
+        finally:
+            app.service.close()
+
+    def test_open_loop_matches_sequential_pages(self):
+        trace = build_zipf_trace(
+            ZipfWorkloadConfig(distinct_queries=4, sessions=8, pages_per_session=1)
+        )
+        seq_app = make_application()
+        try:
+            sequential = replay_sequential(seq_app, trace)
+        finally:
+            seq_app.service.close()
+        conc_app = make_application(concurrent=True, serving_workers=8)
+        try:
+            concurrent = run_open_loop(conc_app, trace)
+            assert concurrent.completed_requests == trace.total_requests
+            assert concurrent.pages_signature() == sequential.pages_signature()
+        finally:
+            conc_app.close()
+
+    def test_open_loop_counts_rejections_and_aborts_sessions(self):
+        conc_app = make_application(
+            concurrent=True, serving_workers=1, admission_queue_depth=1
+        )
+        try:
+            trace = build_zipf_trace(
+                ZipfWorkloadConfig(distinct_queries=4, sessions=16, pages_per_session=2)
+            )
+            result = run_open_loop(conc_app, trace)
+            assert result.rejections > 0
+            assert result.rejection_rate > 0
+            # A rejected request aborts its session's remaining requests.
+            assert result.aborted_requests > 0
+            issued = len(result.latencies)
+            assert issued + result.aborted_requests == trace.total_requests
+            # Whatever completed is still well-formed and page-consistent.
+            for (session_key, page), _payload in result.pages.items():
+                assert page >= 1
+        finally:
+            conc_app.close()
