@@ -270,6 +270,23 @@ class ServiceConfig:
         tier (runs :meth:`~repro.service.app.QR2Service.expire_idle_sessions`
         on a timer thread, started and stopped with the tier); ``None``
         disables the reaper.
+
+    The ``warming_*`` knobs configure the background feed warmer
+    (:mod:`repro.service.warming`), which re-leads retired feeds and
+    re-fills the result cache for the head of the popularity distribution
+    after a catalog delta:
+
+    ``warming_interval_seconds``
+        Period of the warmer timer thread owned by the concurrent tier;
+        ``None`` disables background warming (explicit
+        :meth:`~repro.service.warming.FeedWarmer.warm_once` calls still
+        work).
+    ``warming_top_requests``
+        How many of the most popular observed request specs each warming
+        pass replays (on top of the source's curated popular sliders).
+    ``warming_pages``
+        Pages fetched per warmed request — how deep each re-led feed's
+        verified prefix extends.
     """
 
     default_page_size: int = 10
@@ -284,6 +301,27 @@ class ServiceConfig:
     admission_queue_depth: int = 64
     slo_p99_seconds: Optional[float] = None
     reaper_interval_seconds: Optional[float] = None
+    warming_interval_seconds: Optional[float] = None
+    warming_top_requests: int = 8
+    warming_pages: int = 2
+
+    def with_warming(
+        self,
+        interval_seconds: Optional[float],
+        top_requests: Optional[int] = None,
+        pages: Optional[int] = None,
+    ) -> "ServiceConfig":
+        """Copy of this configuration with feed-warming knobs set."""
+        updated = replace(self, warming_interval_seconds=interval_seconds)
+        if top_requests is not None:
+            if top_requests < 0:
+                raise ValueError("warming_top_requests must be non-negative")
+            updated = replace(updated, warming_top_requests=top_requests)
+        if pages is not None:
+            if pages <= 0:
+                raise ValueError("warming_pages must be positive")
+            updated = replace(updated, warming_pages=pages)
+        return updated
 
     def with_serving(
         self,

@@ -52,6 +52,7 @@ from repro.core.regions import HyperRectangle
 from repro.dataset.schema import Schema
 from repro.exceptions import DenseRegionError
 from repro.sqlstore.dense_cache import DenseRegionCache
+from repro.webdb.delta import CatalogDelta
 from repro.webdb.indexes import is_numeric
 from repro.webdb.query import RangePredicate, SearchQuery
 
@@ -357,6 +358,7 @@ class DenseRegionIndex:
         self._coalesced = 0
         self._lookups = 0
         self._hits = 0
+        self._delta_retired = 0
         if cache is not None:
             self._load_from_cache()
 
@@ -435,6 +437,61 @@ class DenseRegionIndex:
             self._coalesced = 0
             self._lookups = 0
             self._hits = 0
+
+    def invalidate_delta(self, delta: CatalogDelta) -> int:
+        """Retire only the regions whose box a catalog delta can intersect;
+        returns the number retired.
+
+        A region's crawled row set is stale iff a touched tuple version lies
+        inside its box (a new/changed tuple the region is missing, or a
+        deleted/moved tuple it still holds).  Regions whose box provably
+        excludes every touched version keep answering lookups.  Persisted
+        copies of retired regions are dropped from the
+        :class:`~repro.sqlstore.dense_cache.DenseRegionCache` as well, so a
+        warm restart does not resurrect them.
+        """
+        if delta.is_empty:
+            return 0
+        retired = 0
+        with self._lock:
+            if self._impl == "naive":
+                for signature in list(self._regions):
+                    kept: List[IndexedRegion] = []
+                    for region in self._regions[signature]:
+                        if delta.may_intersect_sides(region.box.sides):
+                            retired += 1
+                            self._region_count -= 1
+                            self._tuple_count -= len(region.rows)
+                        else:
+                            kept.append(region)
+                    if kept:
+                        self._regions[signature] = kept
+                    else:
+                        del self._regions[signature]
+            else:
+                for signature in list(self._indexes):
+                    index = self._indexes[signature]
+                    surviving: List[_SortedRegion] = []
+                    dropped = 0
+                    for region in index.regions:
+                        if delta.may_intersect_sides(region.box.sides):
+                            dropped += 1
+                            self._tuple_count -= len(region.rows)
+                        else:
+                            surviving.append(region)
+                    if dropped:
+                        retired += dropped
+                        self._region_count -= dropped
+                        index.regions = surviving
+                        index._rebuild_arrays()
+                    if not index.regions:
+                        del self._indexes[signature]
+            self._delta_retired += retired
+        if self._cache is not None:
+            for stored in self._cache.regions():
+                if delta.may_intersect_bounds(stored.bounds):
+                    self._cache.drop_region(stored.region_id)
+        return retired
 
     # ------------------------------------------------------------------ #
     # Lookups
@@ -594,6 +651,7 @@ class DenseRegionIndex:
                 "coalesced": self._coalesced,
                 "lookups": self._lookups,
                 "hits": self._hits,
+                "delta_retired": self._delta_retired,
                 "per_signature": per_signature,
                 "persistent": self._cache is not None,
             }

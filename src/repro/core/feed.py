@@ -50,6 +50,7 @@ from typing import Callable, Dict, List, Mapping, Optional, Tuple
 from repro.core.session import Session
 from repro.core.stats import RerankStatistics
 from repro.webdb.cache import QueryResultCache
+from repro.webdb.delta import CatalogDelta
 from repro.webdb.query import SearchQuery
 
 Row = Mapping[str, object]
@@ -109,10 +110,14 @@ class RerankFeed:
         generation: GenerationToken,
         generation_probe: Callable[[], GenerationToken],
         clock: Callable[[], float] = time.monotonic,
+        query: Optional[SearchQuery] = None,
     ) -> None:
         self.key = key
         self.key_column = key_column
         self.generation = generation
+        #: The feed's filter query, kept for delta invalidation: the emission
+        #: order can only change when a touched tuple version matches it.
+        self.query = query
         self.created_at = clock()
         self._factory = factory
         self._generation_probe = generation_probe
@@ -189,12 +194,18 @@ class RerankFeed:
             self.close()
 
     def close(self) -> None:
-        """Shut the producer engine down (idempotent)."""
+        """Shut the producer engine down (idempotent and re-entrant).
+
+        Re-entrant matters: a stream that raced :meth:`retire` can still
+        reach the leader section and lazily create a producer *after* the
+        feed was closed.  The producer slot is therefore swapped out and
+        closed on every call — combined with the leader reaping its own
+        post-close producer in :meth:`row_at`, no engine is ever left for
+        the garbage collector."""
         with self._condition:
-            if self._closed:
-                return
             self._closed = True
             producer = self._producer
+            self._producer = None
         if producer is not None:
             producer.close()
 
@@ -253,6 +264,7 @@ class RerankFeed:
             if statistics is not None and mark is not None:
                 statistics.absorb_since(producer.statistics, mark)
             fresh = self._generation_probe() == self.generation
+            stray: Optional[FeedProducer] = None
             with self._condition:
                 self._advancing = False
                 if completed:
@@ -267,7 +279,16 @@ class RerankFeed:
                             # feed to a new session again.
                             self._stale = True
                         self._rows.append(MappingProxyType(dict(row)))
+                if self._closed:
+                    # The feed was closed while (or before) this advance ran:
+                    # reap the producer now — close() already swapped out
+                    # whatever it saw, so without this a producer created by
+                    # a post-close leader would leak its engine.
+                    stray = self._producer
+                    self._producer = None
                 self._condition.notify_all()
+            if stray is not None:
+                stray.close()
         if row is None:
             return None, False
         with self._condition:
@@ -333,6 +354,7 @@ class RerankFeedStore:
         self._created = 0
         self._followers = 0
         self._invalidated = 0
+        self._delta_invalidated = 0
         self._evictions = 0
         self._expirations = 0
         self._retired_counters: Dict[str, int] = {
@@ -420,6 +442,7 @@ class RerankFeedStore:
                     generation,
                     generation_probe=lambda ns=namespace: self.generation(ns),
                     clock=self._clock,
+                    query=query,
                 )
                 self._feeds[key] = feed
                 self._created += 1
@@ -455,6 +478,33 @@ class RerankFeedStore:
                 removed += 1
         return removed
 
+    def invalidate_delta(self, namespace: str, delta: CatalogDelta) -> int:
+        """Retire only the feeds of ``namespace`` whose filter query ``delta``
+        can match; returns the number retired.
+
+        No generation counter is bumped: surviving feeds stay attachable and
+        keep their verified prefixes.  That is sound because a feed's
+        emission order is a pure function of the tuples matching its filter
+        query — when no touched version matches it, neither the match set
+        nor any matched tuple's attribute values changed, so the prefix is
+        still exactly what a fresh session would be served.  A feed created
+        without a query (defensive ``None``) is always retired.
+        """
+        if delta.is_empty:
+            return 0
+        removed = 0
+        with self._lock:
+            doomed = [
+                key
+                for key, feed in self._feeds.items()
+                if key[0] == namespace
+                and (feed.query is None or delta.may_match_query(feed.query))
+            ]
+            for key in doomed:
+                self._retire_locked(key, "delta_invalidations")
+                removed += 1
+        return removed
+
     def close(self) -> None:
         """Retire every feed and release the producer engines (idempotent).
         Feeds still attached to live streams close when those streams do."""
@@ -472,6 +522,7 @@ class RerankFeedStore:
                 "created": self._created,
                 "followers": self._followers,
                 "invalidations": self._invalidated,
+                "delta_invalidations": self._delta_invalidated,
                 "evictions": self._evictions,
                 "expirations": self._expirations,
             }
@@ -505,6 +556,8 @@ class RerankFeedStore:
             self._evictions += 1
         elif reason == "expirations":
             self._expirations += 1
+        elif reason == "delta_invalidations":
+            self._delta_invalidated += 1
         else:
             self._invalidated += 1
         feed.retire()

@@ -16,7 +16,7 @@ import enum
 import itertools
 import threading
 from dataclasses import dataclass, field
-from typing import Dict, Mapping, Optional
+from typing import Dict, List, Mapping, Optional, Sequence
 
 from repro.config import RerankConfig
 from repro.core.dense_index import DenseRegionIndex
@@ -35,7 +35,8 @@ from repro.core.session import Session
 from repro.core.ta import ThresholdAlgorithmGetNext
 from repro.exceptions import RankingFunctionError
 from repro.sqlstore.dense_cache import DenseRegionCache
-from repro.webdb.cache import QueryResultCache, default_namespace
+from repro.webdb.cache import CacheKey, QueryResultCache, default_namespace
+from repro.webdb.delta import CatalogDelta
 from repro.webdb.counters import QueryBudget
 from repro.webdb.federation import FederatedInterface
 from repro.webdb.interface import TopKInterface
@@ -247,6 +248,82 @@ class QueryReranker:
         if self._feed_store is not None:
             feeds_retired = self._feed_store.invalidate(self._cache_namespace)
         return {"cache_entries": cache_entries, "feeds_retired": feeds_retired}
+
+    def apply_delta(
+        self,
+        upserts: Sequence[Mapping[str, object]] = (),
+        deletes: Sequence[object] = (),
+    ) -> Dict[str, object]:
+        """Mutate the backing source and retire *exactly* the derived state
+        the change could have perturbed.
+
+        The mutation is delegated to the interface's ``apply_delta`` (plain
+        database or federation — the federation routes rows to owning
+        shards), and the returned :class:`~repro.webdb.delta.CatalogDelta`
+        is threaded through every caching layer:
+
+        * result-cache entries whose query could match a touched tuple
+          version are flushed (facade namespace *and*, for federated
+          sources, each touched shard's namespace — sibling shards'
+          entries survive untouched);
+        * dense regions whose box intersects the delta's bounds are
+          dropped (facade index, touched shards' indexes, and any
+          persistent dense-region cache rows behind them);
+        * rerank feeds whose filter query could surface a touched tuple
+          are retired — surviving feeds keep replaying their verified
+          prefixes, which stay valid because feed order is a pure
+          function of the tuples matching the filter.
+
+        :meth:`invalidate` remains the full-flush fallback (and the
+        correctness oracle the differential tests compare against).
+        Returns a summary including ``retired_cache_keys`` so callers
+        owning a spill (:class:`~repro.sqlstore.result_store.ResultCacheStore`)
+        can prune the same entries from disk.
+        """
+        mutate = getattr(self._interface, "apply_delta", None)
+        if mutate is None:
+            raise TypeError(
+                "interface does not support apply_delta; "
+                "wrap a HiddenWebDatabase or FederatedInterface"
+            )
+        delta: CatalogDelta = mutate(upserts=upserts, deletes=deletes)
+        retired_keys: List[CacheKey] = []
+        summary: Dict[str, object] = {
+            "upserts": delta.upserts,
+            "deletes": delta.deletes,
+            "cache_entries_retired": 0,
+            "regions_retired": 0,
+            "feeds_retired": 0,
+            "retired_cache_keys": retired_keys,
+            "delta": delta,
+        }
+        if delta.is_empty:
+            return summary
+        facade_delta = delta.with_namespace(self._cache_namespace)
+        if self._result_cache is not None:
+            retired_keys.extend(
+                self._result_cache.invalidate_delta(
+                    self._cache_namespace, facade_delta
+                )
+            )
+            for _, shard_delta in delta.shard_deltas:
+                retired_keys.extend(
+                    self._result_cache.invalidate_delta(
+                        shard_delta.namespace, shard_delta
+                    )
+                )
+        summary["cache_entries_retired"] = len(retired_keys)
+        regions = self._dense_index.invalidate_delta(facade_delta)
+        for index, shard_delta in delta.shard_deltas:
+            shard_index = self._shard_dense_indexes.get(index)
+            if shard_index is not None:
+                regions += shard_index.invalidate_delta(shard_delta)
+        summary["regions_retired"] = regions
+        if self._feed_store is not None:
+            summary["feeds_retired"] = self._feed_store.invalidate_delta(
+                self._cache_namespace, facade_delta
+            )
+        return summary
 
     def _new_session(self, label: str) -> Session:
         with self._lock:

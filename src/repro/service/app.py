@@ -21,7 +21,7 @@ import threading
 import time
 import uuid
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional
+from typing import Dict, List, Mapping, Optional, Sequence
 
 from repro.config import ServiceConfig
 from repro.core.functions import UserRankingFunction, from_specification
@@ -33,6 +33,7 @@ from repro.exceptions import QueryError, SessionError
 from repro.service.popular import popular_functions
 from repro.service.sliders import ranking_from_sliders
 from repro.service.sources import DataSource, DataSourceRegistry, build_default_registry
+from repro.service.warming import FeedWarmer, PopularityTracker
 from repro.sqlstore.result_store import ResultCacheStore
 from repro.webdb.cache import QueryResultCache
 from repro.webdb.query import SearchQuery
@@ -106,6 +107,25 @@ class QR2Service:
         # same session can never interleave — Get-Next semantics depend on the
         # emission history advancing one page at a time.
         self._session_locks: Dict[str, threading.RLock] = {}
+        # Delta-invalidation accumulators (every apply_delta adds here) and
+        # the popularity-driven warmer; the concurrent tier owns the timer
+        # that runs the warmer in the background.
+        self._invalidation = {
+            "deltas": 0,
+            "upserts": 0,
+            "deletes": 0,
+            "cache_entries_retired": 0,
+            "regions_retired": 0,
+            "feeds_retired": 0,
+            "spill_entries_pruned": 0,
+        }
+        self._popularity = PopularityTracker()
+        self._warmer = FeedWarmer(
+            self,
+            tracker=self._popularity,
+            top_requests=self._config.warming_top_requests,
+            pages=self._config.warming_pages,
+        )
 
     @property
     def config(self) -> ServiceConfig:
@@ -204,6 +224,20 @@ class QR2Service:
         """Summary of a session's cache and history."""
         return self._session(session_id).describe()
 
+    def close_session(self, session_id: str) -> bool:
+        """Drop a session immediately (its active stream is closed so the
+        query engine is released).  Returns False for unknown sessions; used
+        by the feed warmer's throwaway sessions and callers that know a
+        session is done rather than waiting out the idle TTL."""
+        with self._lock:
+            if self._sessions.pop(session_id, None) is None:
+                return False
+            self._session_locks.pop(session_id, None)
+            request = self._requests.pop(session_id, None)
+        if request is not None:
+            request.stream.close()
+        return True
+
     def expire_idle_sessions(self) -> int:
         """Drop sessions idle for longer than the configured TTL; returns the
         number removed.  Each dropped session's active stream is closed so
@@ -234,6 +268,55 @@ class QR2Service:
         for request in dropped:
             request.stream.close()
         return removed
+
+    # ------------------------------------------------------------------ #
+    # Catalog deltas and warming
+    # ------------------------------------------------------------------ #
+    @property
+    def warmer(self) -> FeedWarmer:
+        """The popularity-driven feed warmer (the concurrent tier runs it on
+        a timer when ``warming_interval_seconds`` is configured; callers can
+        invoke :meth:`~repro.service.warming.FeedWarmer.warm_once` directly)."""
+        return self._warmer
+
+    def apply_delta(
+        self,
+        source_name: str,
+        upserts: Sequence[Mapping[str, object]] = (),
+        deletes: Sequence[object] = (),
+    ) -> Dict[str, object]:
+        """Apply a catalog change-set to ``source_name`` and retire exactly
+        the derived state it could have perturbed.
+
+        Delegates to :meth:`~repro.core.reranker.QueryReranker.apply_delta`
+        (cache entries, dense regions, and feeds whose queries could match a
+        touched tuple version are flushed; everything else keeps serving)
+        and additionally prunes the retired entries from the SQLite spill
+        when persistence is configured — a warm restart after the delta
+        replays precisely the surviving entries.  Returns the retirement
+        summary; cumulative counters appear in the statistics panel's
+        ``invalidation`` block.
+        """
+        source = self._registry.get(source_name)
+        summary = source.reranker.apply_delta(upserts=upserts, deletes=deletes)
+        pruned = 0
+        if self._result_cache_store is not None:
+            pruned = self._result_cache_store.prune(
+                summary["retired_cache_keys"]  # type: ignore[arg-type]
+            )
+        summary["spill_entries_pruned"] = pruned
+        with self._lock:
+            self._invalidation["deltas"] += 1
+            for counter in (
+                "upserts",
+                "deletes",
+                "cache_entries_retired",
+                "regions_retired",
+                "feeds_retired",
+            ):
+                self._invalidation[counter] += int(summary[counter])  # type: ignore[call-overload]
+            self._invalidation["spill_entries_pruned"] += pruned
+        return summary
 
     # ------------------------------------------------------------------ #
     # Query submission and paging
@@ -270,6 +353,11 @@ class QR2Service:
 
             stream = source.reranker.rerank(
                 query, ranking_function, algorithm=chosen_algorithm, session=session
+            )
+            # Only specifications that validated and produced a stream are
+            # recorded — the warmer replays tracker entries verbatim.
+            self._popularity.record(
+                source_name, filters, sliders, ranking, algorithm
             )
             with self._lock:
                 replaced = self._requests.get(session_id)
@@ -406,4 +494,13 @@ class QR2Service:
                 if self._result_cache_store is not None
                 else None
             ),
+            # Cumulative delta-invalidation and warming activity (service
+            # scope, not per-request: deltas and warming passes are not tied
+            # to any one session).
+            "invalidation": self._invalidation_snapshot(),
+            "warming": self._warmer.snapshot(),
         }
+
+    def _invalidation_snapshot(self) -> Dict[str, int]:
+        with self._lock:
+            return dict(self._invalidation)

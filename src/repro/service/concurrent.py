@@ -19,7 +19,10 @@ missing execution layer between the HTTP boundary and :class:`QR2Service`:
     and waits for in-flight work; ``close()`` drains, stops the workers, and
     stops the background **session reaper** (a timer thread running
     :meth:`QR2Service.expire_idle_sessions` so idle sessions are retired
-    without manual call sites).
+    without manual call sites) and the background **feed warmer** (a timer
+    thread running :meth:`~repro.service.warming.FeedWarmer.warm_once` so
+    feeds retired by catalog deltas are re-led before user traffic needs
+    them; enabled via ``ServiceConfig.warming_interval_seconds``).
 
 :class:`ConcurrentQR2Application`
     A drop-in front end with the same ``handle(request) -> response`` shape as
@@ -77,6 +80,7 @@ class ConcurrentServingTier:
         workers: Optional[int] = None,
         queue_depth: Optional[int] = None,
         reaper_interval_seconds: Optional[float] = None,
+        warming_interval_seconds: Optional[float] = None,
     ) -> None:
         config = service.config
         self._service = service
@@ -93,6 +97,11 @@ class ConcurrentServingTier:
             if reaper_interval_seconds is not None
             else config.reaper_interval_seconds
         )
+        warming_interval = (
+            warming_interval_seconds
+            if warming_interval_seconds is not None
+            else config.warming_interval_seconds
+        )
 
         self._cond = threading.Condition()
         self._queues: Dict[str, Deque[_Job]] = {}
@@ -105,6 +114,7 @@ class ConcurrentServingTier:
         self._completed = 0
         self._max_in_flight = 0
         self._reaped_sessions = 0
+        self._warming_runs = 0
 
         self._threads: List[threading.Thread] = [
             threading.Thread(target=self._worker_loop, name=f"qr2-worker-{i}", daemon=True)
@@ -121,6 +131,17 @@ class ConcurrentServingTier:
                 name="qr2-session-reaper", daemon=True,
             )
             self._reaper_thread.start()
+        # The background feed warmer shares the reaper's stop event (one
+        # shutdown signal stops every maintenance timer) but runs on its own
+        # cadence: warming passes replay whole popular requests and should
+        # not delay session reaping.
+        self._warmer_thread: Optional[threading.Thread] = None
+        if warming_interval is not None and warming_interval > 0:
+            self._warmer_thread = threading.Thread(
+                target=self._warmer_loop, args=(float(warming_interval),),
+                name="qr2-feed-warmer", daemon=True,
+            )
+            self._warmer_thread.start()
 
     # ------------------------------------------------------------------ #
     # Admission
@@ -199,6 +220,8 @@ class ConcurrentServingTier:
             thread.join(timeout=join_timeout)
         if self._reaper_thread is not None:
             self._reaper_thread.join(timeout=join_timeout)
+        if self._warmer_thread is not None:
+            self._warmer_thread.join(timeout=join_timeout)
         return drained
 
     @property
@@ -218,6 +241,7 @@ class ConcurrentServingTier:
                 "completed": self._completed,
                 "rejected": self._rejected,
                 "reaped_sessions": self._reaped_sessions,
+                "warming_runs": self._warming_runs,
                 "draining": self._draining,
             }
 
@@ -255,6 +279,15 @@ class ConcurrentServingTier:
         while not self._reaper_stop.wait(interval):
             try:
                 self._reaped_sessions += self._service.expire_idle_sessions()
+            except Exception:  # noqa: BLE001 - the timer must survive
+                continue
+
+    def _warmer_loop(self, interval: float) -> None:
+        while not self._reaper_stop.wait(interval):
+            try:
+                self._service.warmer.warm_once()
+                with self._cond:
+                    self._warming_runs += 1
             except Exception:  # noqa: BLE001 - the timer must survive
                 continue
 

@@ -18,7 +18,18 @@ different interface contract:
   under, and :meth:`ResultCacheStore.load` skips entries whose ``system_k``
   differs from the caller's expectation for that namespace.  The
   overflow/valid/underflow trichotomy is only meaningful relative to ``k``,
-  so an entry from a re-configured interface must never be replayed.
+  so an entry from a re-configured interface must never be replayed;
+* **generation stamps** — every entry records the namespace's live-cache
+  generation token at snapshot time.  :meth:`ResultCacheStore.save` re-reads
+  the token after writing and drops any namespace whose generation moved
+  mid-save (an ``invalidate`` racing the snapshot would otherwise persist
+  entries the live cache had already flushed), and
+  :meth:`ResultCacheStore.load` skips rows whose stamp disagrees with the
+  namespace stamp recorded in the meta table.
+
+:meth:`ResultCacheStore.prune` deletes an exact set of entries (by cache
+key) from the spill — the delta-invalidation pathway uses it so a warm
+restart after a catalog delta replays precisely the surviving entries.
 
 Entries are stored as JSON payloads (query, rank-ordered rows, outcome) and
 re-enter the cache through the normal ``store`` path, so warm-loaded covering
@@ -30,15 +41,16 @@ from __future__ import annotations
 import json
 import sqlite3
 import threading
-from typing import Dict, List, Mapping, Optional, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
-from repro.webdb.cache import QueryResultCache
+from repro.webdb.cache import CacheKey, QueryResultCache
 from repro.webdb.interface import Outcome, SearchResult
 from repro.webdb.query import SearchQuery
 
 #: Bumped whenever the table layout or the JSON payload shape changes; a
 #: spill recorded under any other version is ignored and recreated.
-SCHEMA_VERSION = 1
+#: v2: entries carry the namespace's cache-generation stamp.
+SCHEMA_VERSION = 2
 
 
 class ResultCacheStore:
@@ -90,18 +102,10 @@ class ResultCacheStore:
                 )
                 """
             )
-            connection.execute(
-                """
-                CREATE TABLE IF NOT EXISTS result_cache_entries (
-                    namespace TEXT NOT NULL,
-                    system_k INTEGER NOT NULL,
-                    query_key TEXT NOT NULL,
-                    payload TEXT NOT NULL,
-                    position INTEGER NOT NULL,
-                    PRIMARY KEY (namespace, system_k, query_key)
-                )
-                """
-            )
+            # The version check runs before the entries table is created:
+            # a version bump may change the column set (v1 → v2 added the
+            # generation stamp), so an incompatible spill's table must be
+            # dropped outright, not merely emptied.
             row = connection.execute(
                 "SELECT value FROM result_cache_meta WHERE key = 'schema_version'"
             ).fetchone()
@@ -111,13 +115,27 @@ class ResultCacheStore:
                     ("schema_version", str(SCHEMA_VERSION)),
                 )
             elif int(row[0]) != SCHEMA_VERSION:
-                # A spill from an incompatible adapter: drop it rather than
-                # risk replaying entries whose payload shape changed.
-                connection.execute("DELETE FROM result_cache_entries")
+                connection.execute("DROP TABLE IF EXISTS result_cache_entries")
+                connection.execute(
+                    "DELETE FROM result_cache_meta WHERE key LIKE 'generation:%'"
+                )
                 connection.execute(
                     "UPDATE result_cache_meta SET value = ? WHERE key = 'schema_version'",
                     (str(SCHEMA_VERSION),),
                 )
+            connection.execute(
+                """
+                CREATE TABLE IF NOT EXISTS result_cache_entries (
+                    namespace TEXT NOT NULL,
+                    system_k INTEGER NOT NULL,
+                    query_key TEXT NOT NULL,
+                    payload TEXT NOT NULL,
+                    position INTEGER NOT NULL,
+                    generation TEXT NOT NULL,
+                    PRIMARY KEY (namespace, system_k, query_key)
+                )
+                """
+            )
             connection.commit()
 
     # ------------------------------------------------------------------ #
@@ -152,32 +170,69 @@ class ResultCacheStore:
     def save(self, cache: QueryResultCache) -> int:
         """Replace the spill with a snapshot of ``cache``'s live entries.
 
-        Returns the number of entries written.  The snapshot preserves LRU
-        order so a future load re-stores entries oldest-first."""
-        entries = cache.export_entries()
-        rows = [
-            (
-                namespace,
-                system_k,
-                repr(result.query.canonical_key()),
-                self._serialize(result),
-                position,
+        Returns the number of entries persisted.  The snapshot preserves LRU
+        order so a future load re-stores entries oldest-first.  Every entry
+        is stamped with its namespace's generation token; after the write the
+        live token is read again, and a namespace whose generation moved
+        mid-save is deleted from the spill — the racing ``invalidate`` has
+        already flushed those entries from the live cache, and persisting
+        them would resurrect them at the next warm load."""
+        entries, tokens = cache.export_snapshot()
+        generations: Dict[str, str] = {
+            namespace: json.dumps(token) for namespace, token in tokens.items()
+        }
+        rows = []
+        for position, (namespace, system_k, result) in enumerate(entries):
+            stamp = generations[namespace]
+            rows.append(
+                (
+                    namespace,
+                    system_k,
+                    repr(result.query.canonical_key()),
+                    self._serialize(result),
+                    position,
+                    stamp,
+                )
             )
-            for position, (namespace, system_k, result) in enumerate(entries)
-        ]
+        persisted = len(rows)
         with self._lock:
             connection = self._connection()
             connection.execute("DELETE FROM result_cache_entries")
+            connection.execute(
+                "DELETE FROM result_cache_meta WHERE key LIKE 'generation:%'"
+            )
             connection.executemany(
                 """
                 INSERT OR REPLACE INTO result_cache_entries
-                    (namespace, system_k, query_key, payload, position)
-                VALUES (?, ?, ?, ?, ?)
+                    (namespace, system_k, query_key, payload, position, generation)
+                VALUES (?, ?, ?, ?, ?, ?)
                 """,
                 rows,
             )
+            connection.executemany(
+                "INSERT OR REPLACE INTO result_cache_meta (key, value) VALUES (?, ?)",
+                [
+                    (f"generation:{namespace}", stamp)
+                    for namespace, stamp in generations.items()
+                ],
+            )
+            for namespace, stamp in generations.items():
+                if json.dumps(cache.generation(namespace)) != stamp:
+                    dropped = connection.execute(
+                        "SELECT COUNT(*) FROM result_cache_entries WHERE namespace = ?",
+                        (namespace,),
+                    ).fetchone()[0]
+                    connection.execute(
+                        "DELETE FROM result_cache_entries WHERE namespace = ?",
+                        (namespace,),
+                    )
+                    connection.execute(
+                        "DELETE FROM result_cache_meta WHERE key = ?",
+                        (f"generation:{namespace}",),
+                    )
+                    persisted -= int(dropped)
             connection.commit()
-        return len(rows)
+        return persisted
 
     def load(
         self,
@@ -193,22 +248,61 @@ class ResultCacheStore:
         every entry loads (the cache key still isolates ``system_k``).
         """
         with self._lock:
-            cursor = self._connection().execute(
-                "SELECT namespace, system_k, payload FROM result_cache_entries "
-                "ORDER BY position"
+            connection = self._connection()
+            stamps = {
+                key[len("generation:"):]: value
+                for key, value in connection.execute(
+                    "SELECT key, value FROM result_cache_meta "
+                    "WHERE key LIKE 'generation:%'"
+                ).fetchall()
+            }
+            cursor = connection.execute(
+                "SELECT namespace, system_k, payload, generation "
+                "FROM result_cache_entries ORDER BY position"
             )
-            stored: List[Tuple[str, int, str]] = cursor.fetchall()
+            stored: List[Tuple[str, int, str, str]] = cursor.fetchall()
         loaded = 0
-        for namespace, system_k, payload in stored:
+        for namespace, system_k, payload, generation in stored:
             system_k = int(system_k)
             if expected_system_k is not None and (
                 expected_system_k.get(namespace) != system_k
             ):
                 continue
+            if stamps.get(namespace) != generation:
+                # Stamped under a different generation than the namespace's
+                # recorded one: a partial or raced save left it behind.
+                continue
             result = self._deserialize(payload)
             cache.store(namespace, result.query, system_k, result)
             loaded += 1
         return loaded
+
+    def prune(self, keys: Iterable[CacheKey]) -> int:
+        """Delete an exact set of entries (by cache key) from the spill.
+
+        ``keys`` are the ``(namespace, system_k, canonical query key)``
+        triples the live cache retired — typically the return value of
+        :meth:`~repro.webdb.cache.QueryResultCache.invalidate_delta` — so a
+        warm restart after a catalog delta replays only surviving entries.
+        Returns the number of rows removed."""
+        parameters = [
+            (namespace, system_k, repr(canonical))
+            for namespace, system_k, canonical in keys
+        ]
+        if not parameters:
+            return 0
+        with self._lock:
+            connection = self._connection()
+            removed = 0
+            for namespace, system_k, query_key in parameters:
+                cursor = connection.execute(
+                    "DELETE FROM result_cache_entries "
+                    "WHERE namespace = ? AND system_k = ? AND query_key = ?",
+                    (namespace, system_k, query_key),
+                )
+                removed += cursor.rowcount
+            connection.commit()
+        return removed
 
     # ------------------------------------------------------------------ #
     # Introspection / maintenance

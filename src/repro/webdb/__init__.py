@@ -1,6 +1,7 @@
 """Simulated hidden web databases exposing only a top-k search interface."""
 
 from repro.webdb.query import InPredicate, RangePredicate, SearchQuery
+from repro.webdb.delta import CatalogDelta, merge_shard_deltas
 from repro.webdb.interface import Outcome, SearchResult, TopKInterface
 from repro.webdb.database import HiddenWebDatabase
 from repro.webdb.ranking import (
@@ -30,6 +31,8 @@ from repro.webdb.latency import LatencyModel
 
 __all__ = [
     "CachingInterface",
+    "CatalogDelta",
+    "merge_shard_deltas",
     "ColumnarCatalog",
     "ExecutionEngine",
     "FetchStatus",

@@ -31,7 +31,13 @@ re-issuing queries the service has already paid for.
   its result (the classic "thundering herd" guard);
 * **generation-checked stores** — :meth:`QueryResultCache.invalidate` bumps a
   generation counter, and in-flight queries that began *before* the
-  invalidation do not re-store their (possibly stale) results after it.
+  invalidation do not re-store their (possibly stale) results after it;
+* **delta invalidation** — :meth:`QueryResultCache.invalidate_delta` retires
+  only the entries whose query a :class:`~repro.webdb.delta.CatalogDelta`
+  can match, leaving unrelated entries (and the namespace generation) alone.
+  A bounded per-namespace delta log extends the in-flight store guard: a
+  query claimed before a delta only re-stores if no intervening delta could
+  have changed its answer.
 
 Because a valid/underflow result proves the caller has observed *every* tuple
 matching the query, replaying a cached result preserves the paper's
@@ -48,11 +54,12 @@ from __future__ import annotations
 import enum
 import threading
 import time
-from collections import OrderedDict
+from collections import OrderedDict, deque
 from dataclasses import dataclass, replace
-from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Tuple
+from typing import Callable, Deque, Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from repro.dataset.schema import Schema
+from repro.webdb.delta import CatalogDelta
 from repro.webdb.interface import Outcome, SearchResult, TopKInterface
 from repro.webdb.query import SearchQuery
 
@@ -80,6 +87,10 @@ class CacheStatistics:
     evictions: int = 0
     expirations: int = 0
     invalidations: int = 0
+    delta_invalidations: int = 0
+    delta_retired: int = 0
+    delta_survivors: int = 0
+    delta_blocked_stores: int = 0
 
     def __post_init__(self) -> None:
         self._lock = threading.Lock()
@@ -129,6 +140,10 @@ class CacheStatistics:
                 "evictions": self.evictions,
                 "expirations": self.expirations,
                 "invalidations": self.invalidations,
+                "delta_invalidations": self.delta_invalidations,
+                "delta_retired": self.delta_retired,
+                "delta_survivors": self.delta_survivors,
+                "delta_blocked_stores": self.delta_blocked_stores,
                 "hit_rate": round(self._hit_rate_locked(), 4),
             }
 
@@ -200,7 +215,16 @@ class QueryResultCache:
         #: queries claimed under an older generation are dropped.
         self._global_generation = 0
         self._namespace_generations: Dict[str, int] = {}
+        #: Per-namespace delta sequence + bounded log of recent deltas: a
+        #: store claimed at sequence ``s`` is accepted only when every delta
+        #: logged after ``s`` provably cannot match the stored query.  A
+        #: sequence older than the log's tail is conservatively dropped.
+        self._delta_seqs: Dict[str, int] = {}
+        self._delta_logs: Dict[str, Deque[Tuple[int, CatalogDelta]]] = {}
         self.statistics = CacheStatistics()
+
+    #: How many recent deltas per namespace the in-flight store guard keeps.
+    DELTA_LOG_LIMIT = 32
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -341,8 +365,9 @@ class QueryResultCache:
                     self._inflight[key] = flight
                     # An invalidation between now and the store means the
                     # result we are about to compute may be stale: remember
-                    # the generation the query began under.
+                    # the generation and delta sequence the query began under.
                     generation = self._generation_locked(namespace)
+                    delta_seq = self._delta_seqs.get(namespace, 0)
                     break
             # Another caller owns the remote query for this key: wait for it.
             flight.done.wait()
@@ -361,7 +386,7 @@ class QueryResultCache:
             raise
         flight.result = result
         with self._lock:
-            if self._generation_locked(namespace) == generation:
+            if self._store_allowed_locked(namespace, query, generation, delta_seq):
                 self._store_locked(key, query, result)
             self._inflight.pop(key, None)
         flight.done.set()
@@ -409,6 +434,7 @@ class QueryResultCache:
         contained = 0
         with self._lock:
             generation = self._generation_locked(namespace)
+            delta_seq = self._delta_seqs.get(namespace, 0)
             for position, key in enumerate(keys):
                 entry = self._live_entry(key)
                 if entry is not None:
@@ -463,12 +489,12 @@ class QueryResultCache:
             for flight, result in zip(owned.values(), results):
                 flight.result = result
             with self._lock:
-                store_allowed = self._generation_locked(namespace) == generation
                 for key, result in zip(owned, results):
-                    if store_allowed:
-                        self._store_locked(
-                            key, materialized[owner_position[key]], result
-                        )
+                    query = materialized[owner_position[key]]
+                    if self._store_allowed_locked(
+                        namespace, query, generation, delta_seq
+                    ):
+                        self._store_locked(key, query, result)
                     self._inflight.pop(key, None)
             for flight in owned.values():
                 flight.done.set()
@@ -527,6 +553,29 @@ class QueryResultCache:
                 if self._ttl is None or now - entry.stored_at < self._ttl
             ]
 
+    def export_snapshot(
+        self,
+    ) -> Tuple[List[Tuple[str, int, SearchResult]], Dict[str, Tuple[int, int]]]:
+        """:meth:`export_entries` plus each exported namespace's generation
+        token, captured under one lock acquisition.
+
+        Persistence adapters need the pairing to be atomic: a generation
+        read *after* a racing ``invalidate`` would stamp already-flushed
+        entries with the post-flush token, re-legitimizing them at the next
+        warm load."""
+        now = self._clock()
+        with self._lock:
+            entries = [
+                (key[0], key[1], entry.result)
+                for key, entry in self._entries.items()
+                if self._ttl is None or now - entry.stored_at < self._ttl
+            ]
+            generations = {
+                namespace: self._generation_locked(namespace)
+                for namespace in {namespace for namespace, _, _ in entries}
+            }
+        return entries, generations
+
     # ------------------------------------------------------------------ #
     # Invalidation
     # ------------------------------------------------------------------ #
@@ -568,6 +617,44 @@ class QueryResultCache:
             self.statistics.record("invalidations", removed)
         return removed
 
+    def invalidate_delta(
+        self, namespace: str, delta: CatalogDelta
+    ) -> List[CacheKey]:
+        """Retire only the entries of ``namespace`` whose query ``delta`` can
+        match; returns the retired keys (for spill pruning).
+
+        The namespace generation is **not** bumped — surviving entries stay
+        servable and derived caches keyed on the generation stay warm.
+        In-flight queries claimed before this call are covered by the delta
+        log: their store is dropped iff the delta could match their query.
+        """
+        if delta.is_empty:
+            return []
+        retired: List[CacheKey] = []
+        survivors = 0
+        with self._lock:
+            sequence = self._delta_seqs.get(namespace, 0) + 1
+            self._delta_seqs[namespace] = sequence
+            log = self._delta_logs.get(namespace)
+            if log is None:
+                log = deque(maxlen=self.DELTA_LOG_LIMIT)
+                self._delta_logs[namespace] = log
+            log.append((sequence, delta))
+            for key in [k for k in self._entries if k[0] == namespace]:
+                entry = self._entries[key]
+                if delta.may_match_query(entry.result.query):
+                    del self._entries[key]
+                    self._forget_covering_locked(key)
+                    retired.append(key)
+                else:
+                    survivors += 1
+        self.statistics.record("delta_invalidations")
+        if retired:
+            self.statistics.record("delta_retired", len(retired))
+        if survivors:
+            self.statistics.record("delta_survivors", survivors)
+        return retired
+
     # ------------------------------------------------------------------ #
     # Internals (call with the lock held)
     # ------------------------------------------------------------------ #
@@ -578,6 +665,34 @@ class QueryResultCache:
             self._global_generation,
             self._namespace_generations.get(namespace, 0),
         )
+
+    def _store_allowed_locked(
+        self,
+        namespace: str,
+        query: SearchQuery,
+        generation: Tuple[int, int],
+        delta_seq: int,
+    ) -> bool:
+        """May a result claimed under ``(generation, delta_seq)`` be stored?
+
+        A full invalidation (generation mismatch) always drops the store.  A
+        delta logged after the claim drops it only when the delta could match
+        the stored query; a claim older than the log's tail is dropped
+        conservatively (the trimmed deltas can no longer be checked)."""
+        if self._generation_locked(namespace) != generation:
+            return False
+        current = self._delta_seqs.get(namespace, 0)
+        if current == delta_seq:
+            return True
+        log = self._delta_logs.get(namespace)
+        if log is None or not log or log[0][0] > delta_seq + 1:
+            self.statistics.record("delta_blocked_stores")
+            return False
+        for sequence, delta in log:
+            if sequence > delta_seq and delta.may_match_query(query):
+                self.statistics.record("delta_blocked_stores")
+                return False
+        return True
 
     def _live_entry(self, key: CacheKey) -> Optional[_Entry]:
         entry = self._entries.get(key)

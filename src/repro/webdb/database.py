@@ -28,6 +28,7 @@ from repro.dataset.schema import Schema
 from repro.dataset.table import ColumnTable
 from repro.exceptions import QueryError
 from repro.webdb.counters import QueryCounter
+from repro.webdb.delta import CatalogDelta
 from repro.webdb.engine import QueryPlan, create_engine
 from repro.webdb.indexes import ColumnarCatalog
 from repro.webdb.interface import Outcome, SearchResult, TopKInterface
@@ -96,6 +97,8 @@ class HiddenWebDatabase(TopKInterface):
         self._by_key: Dict[object, Row] = {row[schema.key]: row for row in self._ranked_rows}
         if len(self._by_key) != len(self._ranked_rows):
             raise QueryError("catalog contains duplicate tuple keys")
+        self._columns: List[str] = list(catalog.columns)
+        self._engine_name_setting = engine
         self._columnar = ColumnarCatalog(self._ranked_rows, catalog.columns, schema.key)
         self._engine = create_engine(engine, self._ranked_rows, self._columnar)
 
@@ -169,6 +172,66 @@ class HiddenWebDatabase(TopKInterface):
             system_k=self._system_k,
             elapsed_seconds=elapsed,
         )
+
+    # ------------------------------------------------------------------ #
+    # Mutation
+    # ------------------------------------------------------------------ #
+    def has_key(self, key: object) -> bool:
+        """True when the catalog currently holds a tuple with this key."""
+        return key in self._by_key
+
+    def apply_delta(
+        self,
+        upserts: Sequence[Row] = (),
+        deletes: Sequence[object] = (),
+    ) -> CatalogDelta:
+        """Apply a catalog mutation and return its :class:`CatalogDelta`.
+
+        ``deletes`` (keys) are applied before ``upserts`` (full rows), so an
+        upsert of a deleted key re-inserts it.  The returned delta summarizes
+        every touched tuple *version* — the old row of each update or delete
+        and the new row of each upsert — which is exactly what the caching
+        layers need to decide what a change can affect.  Raises
+        :class:`QueryError` on an unknown delete key or an invalid row; the
+        catalog is not modified on error.
+        """
+        upsert_rows = [dict(row) for row in upserts]
+        for row in upsert_rows:
+            self._schema.validate_row(row)
+        key_column = self._schema.key
+        with self._lock:
+            by_key = dict(self._by_key)
+            touched: List[Row] = []
+            for key in deletes:
+                if key not in by_key:
+                    raise QueryError(f"cannot delete unknown tuple key {key!r}")
+                touched.append(by_key.pop(key))
+            for row in upsert_rows:
+                key = row[key_column]
+                old = by_key.get(key)
+                if old is not None:
+                    touched.append(old)
+                touched.append(row)
+                by_key[key] = row
+            if not touched:
+                return CatalogDelta(namespace=self.name)
+            sort_key = self._system_ranking.sort_key(key_column)
+            ranked = sorted(by_key.values(), key=sort_key)
+            columnar = ColumnarCatalog(ranked, self._columns, key_column)
+            engine = create_engine(self._engine_name_setting, ranked, columnar)
+            # Publish the rebuilt structures together only after every piece
+            # succeeded: a failed rebuild must leave the old catalog serving.
+            self._ranked_rows = ranked
+            self._by_key = {row[key_column]: row for row in ranked}
+            self._columnar = columnar
+            self._engine = engine
+            return CatalogDelta.from_rows(
+                self.name,
+                key_column,
+                touched,
+                upserts=len(upsert_rows),
+                deletes=len(tuple(deletes)),
+            )
 
     def queries_issued(self) -> int:
         """Number of search queries served so far."""

@@ -1,0 +1,263 @@
+"""Structured catalog change-sets for scoped invalidation.
+
+A catalog mutation (``HiddenWebDatabase.apply_delta``) produces a
+:class:`CatalogDelta`: the keys of every touched tuple plus a conservative
+per-attribute summary of the *values* those tuples carried before and after
+the change.  Each caching layer can then answer one question locally —
+"could this cached object have surfaced a touched tuple?" — and retire only
+what the change can actually affect, instead of cold-starting on a global
+generation bump:
+
+* a :class:`~repro.webdb.query.SearchQuery` cache entry changes only if some
+  touched tuple version *matches* the query (:meth:`CatalogDelta.may_match_query`);
+* a dense region changes only if some touched version lies inside its box
+  (:meth:`CatalogDelta.may_intersect_sides` / :meth:`may_intersect_bounds`);
+* a rerank feed changes only if its filter query can match a touched version
+  (the hidden ranking is a per-row score, so untouched tuples never reorder).
+
+The summary is *conservative*: it may flag an object whose exact answer is
+unchanged (the per-attribute bounds form a bounding box over all touched
+versions), but it never clears an object that a touched version matches —
+that direction is what correctness rests on, and the randomized differential
+suite checks it against the full-flush oracle.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.webdb.query import RangePredicate, SearchQuery
+
+Row = Mapping[str, object]
+
+
+def _is_numeric(value: object) -> bool:
+    """Genuinely numeric: bool is an ``int`` subclass but never a slider value."""
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+@dataclass(frozen=True)
+class CatalogDelta:
+    """Summary of one catalog mutation.
+
+    ``keys`` are the primary keys of every tuple touched (inserted, updated,
+    or deleted).  ``numeric_bounds`` maps each attribute to the closed
+    ``(lower, upper)`` hull of the numeric values any touched *version* (old
+    or new) carried on it; ``categorical_values`` collects the exact value
+    sets for membership predicates.  An attribute absent from both maps means
+    no touched version carried a usable value on it — a predicate on that
+    attribute can therefore never match a touched tuple.
+
+    ``shard_deltas`` carries the per-shard sub-deltas of a federated
+    mutation as ``(shard_index, delta)`` pairs; each sub-delta's
+    ``namespace`` is the shard's cache namespace.
+    """
+
+    namespace: str
+    keys: FrozenSet[object] = frozenset()
+    numeric_bounds: Mapping[str, Tuple[float, float]] = field(default_factory=dict)
+    categorical_values: Mapping[str, FrozenSet[object]] = field(default_factory=dict)
+    upserts: int = 0
+    deletes: int = 0
+    shard_deltas: Tuple[Tuple[int, "CatalogDelta"], ...] = ()
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def from_rows(
+        namespace: str,
+        key_column: str,
+        touched_rows: Iterable[Row],
+        upserts: int = 0,
+        deletes: int = 0,
+    ) -> "CatalogDelta":
+        """Build a delta from every touched tuple *version*.
+
+        ``touched_rows`` must include the old version of each updated tuple,
+        the new version of each upserted tuple, and each deleted tuple —
+        a cached answer is stale when any of those versions matched it.
+        """
+        keys: List[object] = []
+        bounds: Dict[str, List[float]] = {}
+        values: Dict[str, set] = {}
+        for row in touched_rows:
+            keys.append(row[key_column])
+            for attribute, value in row.items():
+                if _is_numeric(value):
+                    numeric = float(value)
+                    if not math.isnan(numeric):
+                        hull = bounds.get(attribute)
+                        if hull is None:
+                            bounds[attribute] = [numeric, numeric]
+                        else:
+                            hull[0] = min(hull[0], numeric)
+                            hull[1] = max(hull[1], numeric)
+                values.setdefault(attribute, set()).add(value)
+        return CatalogDelta(
+            namespace=namespace,
+            keys=frozenset(keys),
+            numeric_bounds={name: (lo, hi) for name, (lo, hi) in bounds.items()},
+            categorical_values={
+                name: frozenset(collected) for name, collected in values.items()
+            },
+            upserts=upserts,
+            deletes=deletes,
+        )
+
+    @staticmethod
+    def merge(
+        namespace: str, deltas: Sequence["CatalogDelta"]
+    ) -> "CatalogDelta":
+        """Union several deltas into one under a new namespace."""
+        keys: set = set()
+        bounds: Dict[str, Tuple[float, float]] = {}
+        values: Dict[str, set] = {}
+        upserts = 0
+        deletes = 0
+        for delta in deltas:
+            keys.update(delta.keys)
+            upserts += delta.upserts
+            deletes += delta.deletes
+            for attribute, (lo, hi) in delta.numeric_bounds.items():
+                existing = bounds.get(attribute)
+                if existing is None:
+                    bounds[attribute] = (lo, hi)
+                else:
+                    bounds[attribute] = (min(existing[0], lo), max(existing[1], hi))
+            for attribute, collected in delta.categorical_values.items():
+                values.setdefault(attribute, set()).update(collected)
+        return CatalogDelta(
+            namespace=namespace,
+            keys=frozenset(keys),
+            numeric_bounds=bounds,
+            categorical_values={
+                name: frozenset(collected) for name, collected in values.items()
+            },
+            upserts=upserts,
+            deletes=deletes,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def is_empty(self) -> bool:
+        """True when the mutation touched no tuples."""
+        return not self.keys
+
+    def contains_key(self, key: object) -> bool:
+        """True when ``key`` belongs to a touched tuple."""
+        return key in self.keys
+
+    # ------------------------------------------------------------------ #
+    # Matching (the invalidation predicate of every layer)
+    # ------------------------------------------------------------------ #
+    def may_match_query(self, query: SearchQuery) -> bool:
+        """Could any touched tuple version match ``query``?
+
+        Conservative per-attribute test: every predicate of the query must
+        admit at least one touched value on its attribute.  ``False`` is a
+        proof that no touched version matches the query (each predicate is
+        necessary for a row match), so the cached object survives.
+        """
+        if self.is_empty:
+            return False
+        for predicate in query.ranges:
+            hull = self.numeric_bounds.get(predicate.attribute)
+            if hull is None:
+                return False
+            if predicate.intersect(
+                RangePredicate(predicate.attribute, hull[0], hull[1])
+            ) is None:
+                return False
+        for predicate in query.memberships:
+            touched = self.categorical_values.get(predicate.attribute)
+            if touched is None or not (predicate.values & touched):
+                return False
+        return True
+
+    def may_intersect_sides(self, sides: Iterable[RangePredicate]) -> bool:
+        """Could any touched version lie inside the box with these sides?
+
+        Used by the dense-region index: a region's crawled row set is stale
+        only if a touched tuple version falls inside its bounding box.
+        """
+        if self.is_empty:
+            return False
+        for side in sides:
+            hull = self.numeric_bounds.get(side.attribute)
+            if hull is None:
+                return False
+            if side.intersect(RangePredicate(side.attribute, hull[0], hull[1])) is None:
+                return False
+        return True
+
+    def may_intersect_bounds(
+        self, bounds: Mapping[str, Tuple[float, float]]
+    ) -> bool:
+        """Box-intersection test over plain ``{attr: (lo, hi)}`` bounds
+        (the persisted :class:`~repro.sqlstore.dense_cache.StoredRegion` form)."""
+        if self.is_empty:
+            return False
+        for attribute, (lo, hi) in bounds.items():
+            hull = self.numeric_bounds.get(attribute)
+            if hull is None:
+                return False
+            if hull[1] < lo or hull[0] > hi:
+                return False
+        return True
+
+    # ------------------------------------------------------------------ #
+    def with_namespace(self, namespace: str) -> "CatalogDelta":
+        """The same change-set attributed to a different cache namespace."""
+        return CatalogDelta(
+            namespace=namespace,
+            keys=self.keys,
+            numeric_bounds=self.numeric_bounds,
+            categorical_values=self.categorical_values,
+            upserts=self.upserts,
+            deletes=self.deletes,
+            shard_deltas=self.shard_deltas,
+        )
+
+    def describe(self) -> Dict[str, object]:
+        """JSON-friendly summary for logs and the statistics panel."""
+        return {
+            "namespace": self.namespace,
+            "touched_keys": len(self.keys),
+            "upserts": self.upserts,
+            "deletes": self.deletes,
+            "attributes": sorted(
+                set(self.numeric_bounds) | set(self.categorical_values)
+            ),
+            "shards": len(self.shard_deltas),
+        }
+
+
+def merge_shard_deltas(
+    namespace: str, shard_deltas: Sequence[Tuple[int, CatalogDelta]]
+) -> CatalogDelta:
+    """Merge per-shard deltas into a federation-level delta that keeps the
+    shard breakdown attached (for shard-namespace cache invalidation)."""
+    merged = CatalogDelta.merge(namespace, [delta for _, delta in shard_deltas])
+    return CatalogDelta(
+        namespace=merged.namespace,
+        keys=merged.keys,
+        numeric_bounds=merged.numeric_bounds,
+        categorical_values=merged.categorical_values,
+        upserts=merged.upserts,
+        deletes=merged.deletes,
+        shard_deltas=tuple(shard_deltas),
+    )

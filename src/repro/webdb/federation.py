@@ -45,6 +45,7 @@ from repro.dataset.table import ColumnTable
 from repro.exceptions import QueryError
 from repro.webdb.cache import FetchStatus, QueryResultCache, default_namespace
 from repro.webdb.database import HiddenWebDatabase
+from repro.webdb.delta import CatalogDelta, merge_shard_deltas
 from repro.webdb.interface import (
     InstrumentedInterface,
     Outcome,
@@ -465,6 +466,76 @@ class FederatedInterface(TopKInterface):
         if self._cache is None:
             return 0
         return self._cache.invalidate(self._namespaces[index])
+
+    # ------------------------------------------------------------------ #
+    # Mutation
+    # ------------------------------------------------------------------ #
+    def has_key(self, key: object) -> bool:
+        """True when any shard currently holds a tuple with this key."""
+        return self._owner_of(key) is not None
+
+    def apply_delta(
+        self,
+        upserts: Sequence[Row] = (),
+        deletes: Sequence[object] = (),
+    ) -> CatalogDelta:
+        """Route a catalog mutation to the owning shards and return the
+        merged :class:`CatalogDelta` (with the per-shard breakdown attached
+        as ``shard_deltas``).
+
+        Deletes go to the shard currently holding the key.  Upserts of an
+        attribute-partitioned federation are routed by the *new* value of the
+        partition attribute; when an update moves a tuple across partitions
+        it becomes a delete on the old owner plus an insert on the new one —
+        anything else would break the shard-pruning invariant that a shard
+        only holds tuples inside its owned range.  Rank-partitioned upserts
+        stay on their current owner (new keys go to the smallest shard).
+        """
+        shard_upserts: List[List[Row]] = [[] for _ in self._shards]
+        shard_deletes: List[List[object]] = [[] for _ in self._shards]
+        for key in deletes:
+            owner = self._owner_of(key)
+            if owner is None:
+                raise QueryError(f"cannot delete unknown tuple key {key!r}")
+            shard_deletes[owner].append(key)
+        key_column = self._schema.key
+        for row in upserts:
+            materialized = dict(row)
+            key = materialized.get(key_column)
+            current = self._owner_of(key)
+            target = self._target_shard_for(materialized, current)
+            if current is not None and current != target:
+                shard_deletes[current].append(key)
+            shard_upserts[target].append(materialized)
+        shard_deltas: List[Tuple[int, CatalogDelta]] = []
+        for index, shard in enumerate(self._shards):
+            if not shard_upserts[index] and not shard_deletes[index]:
+                continue
+            delta = shard.apply_delta(
+                upserts=shard_upserts[index],
+                deletes=list(dict.fromkeys(shard_deletes[index])),
+            )
+            if not delta.is_empty:
+                shard_deltas.append((index, delta))
+        return merge_shard_deltas(self.name, shard_deltas)
+
+    def _owner_of(self, key: object) -> Optional[int]:
+        for index, shard in enumerate(self._shards):
+            if shard.has_key(key):
+                return index
+        return None
+
+    def _target_shard_for(self, row: Row, current: Optional[int]) -> int:
+        if self._partitions is not None:
+            value = row.get(self._shard_by)
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                for index, partition in enumerate(self._partitions):
+                    if partition is not None and partition.matches(float(value)):
+                        return index
+        if current is not None:
+            return current
+        sizes = [shard.size for shard in self._shards]
+        return sizes.index(min(sizes))
 
     def reset_query_count(self) -> None:
         """Reset the scatter counter and every shard's query counter

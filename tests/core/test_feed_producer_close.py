@@ -1,0 +1,152 @@
+"""Regression tests: retired feeds must release producer engines eagerly.
+
+Before the fix, :meth:`RerankFeedStore.invalidate` (and its delta variant)
+merely marked retired feeds stale: a retired feed with no attached streams
+kept its producer engine — and the engine's thread pool — alive until the
+garbage collector happened to run.  These tests pin the eager-close
+behaviour, including the race where a leader creates the producer *after*
+the feed was closed.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.config import RerankConfig
+from repro.core.feed import FeedProducer, RerankFeed, RerankFeedStore
+from repro.core.functions import LinearRankingFunction, SingleAttributeRanking
+from repro.core.normalization import MinMaxNormalizer
+from repro.core.reranker import Algorithm, QueryReranker
+from repro.core.session import Session
+from repro.core.stats import RerankStatistics
+from repro.webdb.delta import CatalogDelta
+from repro.webdb.query import SearchQuery
+
+QUERY = SearchQuery.build(ranges={"price": (500.0, 9000.0)})
+RANKING = SingleAttributeRanking("carat", ascending=False)
+
+
+def _matching_delta(namespace: str) -> CatalogDelta:
+    """A delta whose price hull lies inside ``QUERY``'s filter range."""
+    return CatalogDelta.from_rows(
+        namespace, "id", [{"id": "touched", "price": 1000.0}], upserts=1
+    )
+
+
+def _query_pool_threads() -> int:
+    return sum(
+        1
+        for thread in threading.enumerate()
+        if thread.name.startswith("qr2-query") and thread.is_alive()
+    )
+
+
+def test_delta_invalidation_closes_unreferenced_producer_engine(bluenile_db):
+    reranker = QueryReranker(bluenile_db, config=RerankConfig())
+    stream = reranker.rerank(QUERY, RANKING, algorithm=Algorithm.RERANK)
+    stream.next_page(3)
+    feed = stream.feed
+    producer = feed._producer
+    assert producer is not None and not producer.engine.closed
+    stream.close()
+    # Released but not yet retired: the feed may serve future sessions, so
+    # the engine must stay open.
+    assert not producer.engine.closed
+
+    store = reranker.feed_store
+    retired = store.invalidate_delta(
+        reranker._cache_namespace, _matching_delta(reranker._cache_namespace)
+    )
+    assert retired == 1
+    assert producer.engine.closed, (
+        "a retired feed with no attached streams must close its producer "
+        "engine eagerly, not wait for the garbage collector"
+    )
+
+
+def test_delta_invalidation_defers_close_until_last_release(bluenile_db):
+    reranker = QueryReranker(bluenile_db, config=RerankConfig())
+    stream = reranker.rerank(QUERY, RANKING, algorithm=Algorithm.RERANK)
+    stream.next_page(3)
+    producer = stream.feed._producer
+    store = reranker.feed_store
+    assert store.invalidate_delta(
+        reranker._cache_namespace, _matching_delta(reranker._cache_namespace)
+    ) == 1
+    # Still attached: the stream keeps replaying/advancing the retired feed.
+    assert not producer.engine.closed
+    stream.close()
+    assert producer.engine.closed
+
+
+def test_retired_md_feed_leaves_no_pool_threads(bluenile_db):
+    """Thread-count regression: an MD request's parallel fan-out spawns real
+    pool threads; retiring its (unreferenced) feed must join them all."""
+    baseline = _query_pool_threads()
+    reranker = QueryReranker(bluenile_db, config=RerankConfig())
+    ranking = LinearRankingFunction(
+        {"price": 1.0, "carat": -0.5},
+        normalizer=MinMaxNormalizer.from_schema(
+            bluenile_db.schema, ["price", "carat"]
+        ),
+    )
+    stream = reranker.rerank(QUERY, ranking, algorithm=Algorithm.RERANK)
+    stream.next_page(5)
+    stream.close()
+    store = reranker.feed_store
+    assert store.invalidate_delta(
+        reranker._cache_namespace, _matching_delta(reranker._cache_namespace)
+    ) == 1
+    assert _query_pool_threads() == baseline, (
+        "engine pool threads survived feed retirement"
+    )
+
+
+def test_store_close_reaps_producer_created_by_post_close_leader():
+    """The race the refcount path missed: ``close()`` runs while a leader is
+    (or is about to be) lazily creating the producer — the leader must reap
+    its own engine once the advance completes."""
+    created = []
+
+    class _Factory:
+        def __init__(self):
+            self.closed = 0
+
+        def __call__(self) -> FeedProducer:
+            rows = iter([{"id": 1, "carat": 1.0}])
+
+            class _Algorithm:
+                def next(self_inner):
+                    return next(rows, None)
+
+            factory = self
+
+            class _Engine:
+                def shutdown(self_inner):
+                    factory.closed += 1
+
+            producer = FeedProducer(
+                _Algorithm(), Session(session_id="fake"), _Engine()
+            )
+            created.append(producer)
+            return producer
+
+    factory = _Factory()
+    feed = RerankFeed(
+        key=("ns", 10, "q", (), ()),
+        key_column="id",
+        factory=factory,
+        generation=(0, 0, (0, 0)),
+        generation_probe=lambda: (0, 0, (0, 0)),
+        query=QUERY,
+    )
+    feed.close()  # closed before any advance ran
+    row, replayed = feed.row_at(0, statistics=RerankStatistics())
+    assert row is not None and not replayed
+    assert created, "the post-close leader created a producer"
+    assert factory.closed == 1, (
+        "the producer created after close() must be reaped by the leader"
+    )
+    # close() stays idempotent and re-entrant.
+    feed.close()
+    assert factory.closed == 1

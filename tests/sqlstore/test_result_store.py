@@ -180,3 +180,132 @@ class TestResultCacheStore:
         assert store.save(cache) == 3
         assert ResultCacheStore(":memory:").entry_count() == 0
         store.close()
+
+
+class TestGenerationStamps:
+    """The spill must never replay entries recorded under an older generation
+    than the live cache's (an ``invalidate`` racing ``save`` would otherwise
+    resurrect flushed answers at the next warm load)."""
+
+    def test_save_racing_invalidation_drops_the_flushed_namespace(
+        self, bluenile_db
+    ):
+        class _RacingCache(QueryResultCache):
+            """Invalidates right after the snapshot is captured — the window
+            between export and write where the old spill format lost."""
+
+            def export_snapshot(self):
+                snapshot = super().export_snapshot()
+                self.invalidate("bluenile-test")
+                return snapshot
+
+        cache = _RacingCache()
+        _populate(cache, bluenile_db)
+        store = ResultCacheStore(":memory:")
+        assert store.save(cache) == 0
+        assert store.entry_count() == 0
+        warmed = QueryResultCache()
+        assert store.load(warmed) == 0
+        store.close()
+
+    def test_unraced_namespaces_survive_a_raced_save(self, bluenile_db):
+        class _RacingCache(QueryResultCache):
+            def export_snapshot(self):
+                snapshot = super().export_snapshot()
+                self.invalidate("raced")
+                return snapshot
+
+        cache = _RacingCache()
+        _populate(cache, bluenile_db)  # bluenile-test, untouched by the race
+        query = SearchQuery.everything()
+        cache.fetch(
+            "raced", query, bluenile_db.system_k, lambda: bluenile_db.search(query)
+        )
+        store = ResultCacheStore(":memory:")
+        assert store.save(cache) == 3
+        assert store.namespaces() == {"bluenile-test": 3}
+        store.close()
+
+    def test_rows_with_stale_generation_stamps_are_skipped(
+        self, bluenile_db, tmp_path
+    ):
+        path = os.fspath(tmp_path / "results.sqlite")
+        cache = QueryResultCache()
+        _populate(cache, bluenile_db)
+        store = ResultCacheStore(path)
+        assert store.save(cache) == 3
+        store.close()
+        # One row left behind by a partial save under an older generation.
+        connection = sqlite3.connect(path)
+        connection.execute(
+            "UPDATE result_cache_entries SET generation = '[9, 9]' "
+            "WHERE rowid = (SELECT MIN(rowid) FROM result_cache_entries)"
+        )
+        connection.commit()
+        connection.close()
+        reopened = ResultCacheStore(path)
+        warmed = QueryResultCache()
+        assert reopened.load(warmed) == 2
+        reopened.close()
+
+    def test_v1_spill_layout_is_dropped_wholesale(self, tmp_path):
+        """A v1 spill has no ``generation`` column: the version bump must
+        DROP the table (a DELETE would leave the old column set behind)."""
+        path = os.fspath(tmp_path / "results.sqlite")
+        connection = sqlite3.connect(path)
+        connection.execute(
+            "CREATE TABLE result_cache_meta (key TEXT PRIMARY KEY, value TEXT NOT NULL)"
+        )
+        connection.execute(
+            "INSERT INTO result_cache_meta VALUES ('schema_version', '1')"
+        )
+        connection.execute(
+            """
+            CREATE TABLE result_cache_entries (
+                namespace TEXT NOT NULL,
+                system_k INTEGER NOT NULL,
+                query_key TEXT NOT NULL,
+                payload TEXT NOT NULL,
+                position INTEGER NOT NULL,
+                PRIMARY KEY (namespace, system_k, query_key)
+            )
+            """
+        )
+        connection.execute(
+            "INSERT INTO result_cache_entries VALUES ('ns', 10, 'q', '{}', 0)"
+        )
+        connection.commit()
+        connection.close()
+        store = ResultCacheStore(path)
+        assert store.entry_count() == 0
+        warmed = QueryResultCache()
+        assert store.load(warmed) == 0
+        # The recreated table carries the v2 column set.
+        columns = {
+            row[1]
+            for row in store._connection().execute(
+                "PRAGMA table_info(result_cache_entries)"
+            )
+        }
+        assert "generation" in columns
+        store.close()
+
+    def test_prune_removes_exactly_the_given_keys(self, bluenile_db):
+        cache = QueryResultCache()
+        queries = _populate(cache, bluenile_db)
+        store = ResultCacheStore(":memory:")
+        assert store.save(cache) == 3
+        retired = [
+            cache.key_for("bluenile-test", queries[0], bluenile_db.system_k)
+        ]
+        assert store.prune(retired) == 1
+        assert store.prune(retired) == 0  # idempotent
+        assert store.prune([]) == 0
+        warmed = QueryResultCache()
+        assert store.load(warmed) == 2
+        assert warmed.probe("bluenile-test", queries[0], bluenile_db.system_k) is None
+        assert (
+            warmed.probe("bluenile-test", queries[1], bluenile_db.system_k)
+            is not None
+        )
+        store.close()
