@@ -1,8 +1,11 @@
-"""Small rendering helpers shared by the benchmark modules."""
+"""Small rendering and metadata helpers shared by the benchmark modules."""
 
 from __future__ import annotations
 
-from typing import Iterable
+import platform
+from typing import Dict, Iterable
+
+from repro.webdb import arrays
 
 
 def print_table(title: str, header: str, rows: Iterable[str]) -> None:
@@ -12,3 +15,18 @@ def print_table(title: str, header: str, rows: Iterable[str]) -> None:
     print(header)
     for row in rows:
         print(row)
+
+
+def backend_metadata() -> Dict[str, object]:
+    """Environment metadata every bench record should carry.
+
+    History records are compared across machines; whether numpy was
+    importable (and therefore which concrete backend the default
+    ``"buffer"`` knob resolved to) changes the columnar engine's absolute
+    numbers, so it must be visible in ``extra_info``.
+    """
+    return {
+        "columnar_backend": arrays.resolve_backend("buffer"),
+        "numpy_available": arrays.numpy_available(),
+        "python": platform.python_version(),
+    }

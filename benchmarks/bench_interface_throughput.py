@@ -27,7 +27,7 @@ from typing import List
 
 import pytest
 
-from benchmarks._tables import print_table
+from benchmarks._tables import backend_metadata, print_table
 from repro.dataset.schema import Attribute, Schema
 from repro.dataset.table import ColumnTable
 from repro.webdb.database import HiddenWebDatabase
@@ -200,6 +200,7 @@ def test_indexed_engine_speedup_over_naive_scan(benchmark, bench_quick):
             "median_speedup": round(median_speedup, 2),
             "total_speedup": round(total_speedup, 2),
             "quick_mode": bench_quick,
+            **backend_metadata(),
         }
     )
     print_table(
@@ -242,3 +243,4 @@ def test_batched_search_many_matches_sequential(benchmark, bench_quick):
 
     sequential, batched = benchmark.pedantic(run, rounds=1, iterations=1)
     _assert_identical(sequential, batched)
+    benchmark.extra_info.update(backend_metadata())

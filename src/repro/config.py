@@ -59,6 +59,14 @@ class DatabaseConfig:
         The serving-concurrency benchmarks enable this so that overlapping
         external round trips across worker threads is observable in wall
         clock, exactly like a remote web database.
+    columnar_backend:
+        Storage backend for the columnar catalog's numeric columns and rank
+        arrays (see :mod:`repro.webdb.arrays`): ``"buffer"`` (default) packs
+        them into compact buffers — numpy views when numpy is importable,
+        stdlib ``array('d')``/``array('q')`` otherwise; ``"array"`` and
+        ``"numpy"`` force those layouts explicitly; ``"list"`` keeps the
+        seed's pure-Python object lists, used as the differential-testing
+        reference.
     """
 
     system_k: int = 20
@@ -70,6 +78,7 @@ class DatabaseConfig:
     shards: int = 1
     shard_by: str = "rank"
     latency_sleep: bool = False
+    columnar_backend: str = "buffer"
 
     def with_latency(self, seconds: float, sleep: Optional[bool] = None) -> "DatabaseConfig":
         """Return a copy of this configuration with a different latency
@@ -85,6 +94,11 @@ class DatabaseConfig:
     def with_shards(self, shards: int, by: str = "rank") -> "DatabaseConfig":
         """Return a copy of this configuration with a sharded catalog."""
         return replace(self, shards=shards, shard_by=by)
+
+    def with_columnar_backend(self, backend: str) -> "DatabaseConfig":
+        """Return a copy of this configuration with a different columnar
+        storage backend (``"buffer"``, ``"list"``, ``"array"``, ``"numpy"``)."""
+        return replace(self, columnar_backend=backend)
 
 
 @dataclass(frozen=True)

@@ -21,7 +21,12 @@ from __future__ import annotations
 
 import math
 import random
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+
+from repro.dataset.schema import Attribute, Schema
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.sqlstore.store import SQLiteTupleStore
 
 
 def make_rng(seed: int) -> random.Random:
@@ -235,3 +240,90 @@ def split_domain(
         raise ValueError("inverted domain")
     width = (upper - lower) / parts
     return [(lower + i * width, lower + (i + 1) * width) for i in range(parts)]
+
+
+# --------------------------------------------------------------------- #
+# Data-scale synthetic catalog (the 10⁶-tuple benchmark tier)
+# --------------------------------------------------------------------- #
+
+#: Categorical domain of the scale catalog, weighted to mimic popularity skew.
+SCALE_CATEGORIES: Tuple[str, ...] = (
+    "alpha", "beta", "gamma", "delta", "epsilon", "zeta",
+    "eta", "theta", "iota", "kappa", "lambda", "mu",
+)
+
+_SCALE_CATEGORY_WEIGHTS: Tuple[float, ...] = (
+    24.0, 18.0, 14.0, 11.0, 8.0, 6.0, 5.0, 4.0, 3.5, 2.5, 2.0, 2.0,
+)
+
+
+def scale_catalog_schema() -> Schema:
+    """Schema of the deterministic data-scale catalog.
+
+    Shaped like the diamond/housing catalogs — one skewed price-like
+    attribute, uniform and correlated numerics, a weighted categorical — but
+    generator-cheap, so million-row catalogs build in seconds for the
+    ``bench_catalog_scale`` tier.
+    """
+    return Schema(
+        key="id",
+        attributes=(
+            Attribute.numeric("price", 10.0, 5000.0),
+            Attribute.numeric("rating", 0.0, 10.0),
+            Attribute.numeric("weight", 0.0, 200.0),
+            Attribute.categorical("category", SCALE_CATEGORIES),
+        ),
+    )
+
+
+def generate_scale_catalog(
+    store: "SQLiteTupleStore",
+    rows: int,
+    seed: int = 13,
+    batch_size: int = 10_000,
+) -> int:
+    """Write ``rows`` deterministic synthetic tuples straight into ``store``.
+
+    This is the feeding half of the data-scale tier: tuples are generated
+    and upserted batch by batch, so at no point does the catalog exist in
+    Python memory — it is streamed back out with
+    :meth:`~repro.sqlstore.store.SQLiteTupleStore.iter_rows` at load time.
+    The value stream depends only on ``seed`` and the running row index
+    (never on ``batch_size``), so any two invocations produce identical
+    stores.  Returns the number of rows written.
+    """
+    if rows < 0:
+        raise ValueError("rows must be non-negative")
+    if batch_size <= 0:
+        raise ValueError("batch_size must be positive")
+    rng = make_rng(seed)
+    mu = math.log(320.0)
+    cum_weights = list(_SCALE_CATEGORY_WEIGHTS)
+    for index in range(1, len(cum_weights)):
+        cum_weights[index] += cum_weights[index - 1]
+    written = 0
+    # Draws happen in strict row order (price, rating, weight, category per
+    # row), so the value stream depends only on ``seed`` and the row index.
+    for start in range(0, rows, batch_size):
+        count = min(batch_size, rows - start)
+        batch: List[Dict[str, object]] = []
+        for offset in range(count):
+            price = round(min(max(math.exp(rng.gauss(mu, 0.6)), 10.0), 5000.0), 2)
+            rating = round(rng.uniform(0.0, 10.0), 1)
+            weight = round(
+                min(max(0.02 * price + 1.0 + rng.gauss(0.0, 4.0), 0.0), 200.0), 2
+            )
+            category = rng.choices(
+                SCALE_CATEGORIES, cum_weights=cum_weights, k=1
+            )[0]
+            batch.append(
+                {
+                    "id": f"SC-{start + offset:08d}",
+                    "price": price,
+                    "rating": rating,
+                    "weight": weight,
+                    "category": category,
+                }
+            )
+        written += store.upsert(batch)
+    return written

@@ -207,6 +207,7 @@ def _make_source(
             latency_seed=database_config.seed,
             latency_sleep=database_config.latency_sleep,
             engine=database_config.engine,
+            columnar_backend=database_config.columnar_backend,
         )
     else:
         latency = LatencyModel(
@@ -223,6 +224,7 @@ def _make_source(
             latency=latency,
             name=name,
             engine=database_config.engine,
+            columnar_backend=database_config.columnar_backend,
         )
     dense_cache = (
         DenseRegionCache(schema, path=dense_cache_path) if dense_cache_path else None

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import sqlite3
 import threading
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.dataset.schema import Schema
 from repro.exceptions import SchemaError
@@ -197,6 +197,28 @@ class SQLiteTupleStore:
             f"SELECT {column_sql} FROM {_quote_identifier(self._table)}"
         )
         return [self._record_to_row(columns, record) for record in cursor.fetchall()]
+
+    def iter_rows(self, batch_size: int = 10_000) -> Iterator[List[Row]]:
+        """Stream every stored tuple in batches of at most ``batch_size``.
+
+        This is the streaming catalog-load path: at no point does the full
+        table live in Python memory as row dictionaries, so million-tuple
+        catalogs can be transposed into columns batch by batch
+        (:func:`repro.webdb.database.stream_sorted_columns`).
+        """
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        columns = self._schema.columns()
+        column_sql = ", ".join(_quote_identifier(name) for name in columns)
+        cursor = self._connection().execute(
+            f"SELECT {column_sql} FROM {_quote_identifier(self._table)}"
+        )
+        cursor.arraysize = batch_size
+        while True:
+            records = cursor.fetchmany(batch_size)
+            if not records:
+                break
+            yield [self._record_to_row(columns, record) for record in records]
 
     def _record_to_row(self, columns: Sequence[str], record: Tuple) -> Row:
         row: Row = {}

@@ -3,7 +3,7 @@
 from repro.webdb.query import InPredicate, RangePredicate, SearchQuery
 from repro.webdb.delta import CatalogDelta, merge_shard_deltas
 from repro.webdb.interface import Outcome, SearchResult, TopKInterface
-from repro.webdb.database import HiddenWebDatabase
+from repro.webdb.database import HiddenWebDatabase, stream_sorted_columns
 from repro.webdb.ranking import (
     AttributeOrderRanking,
     FeaturedScoreRanking,
@@ -18,6 +18,7 @@ from repro.webdb.federation import (
     ShardSpec,
     ShardedCatalog,
     build_federation,
+    build_federation_from_store,
 )
 from repro.webdb.engine import (
     ExecutionEngine,
@@ -61,4 +62,6 @@ __all__ = [
     "ShardSpec",
     "ShardedCatalog",
     "build_federation",
+    "build_federation_from_store",
+    "stream_sorted_columns",
 ]

@@ -22,7 +22,7 @@ hidden-rank ordering, per-query latency and query counting.
 from __future__ import annotations
 
 import threading
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.dataset.schema import Schema
 from repro.dataset.table import ColumnTable
@@ -36,7 +36,42 @@ from repro.webdb.latency import LatencyModel
 from repro.webdb.query import SearchQuery
 from repro.webdb.ranking import SystemRankingFunction
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (sqlstore ↔ webdb)
+    from repro.sqlstore.store import SQLiteTupleStore
+
 Row = Dict[str, object]
+
+
+def stream_sorted_columns(
+    store: "SQLiteTupleStore",
+    schema: Schema,
+    system_ranking: SystemRankingFunction,
+    batch_size: int = 10_000,
+) -> Dict[str, List[object]]:
+    """Read a tuple store batch by batch into hidden-rank-ordered columns.
+
+    This is the streaming catalog-load path for large sources: row
+    dictionaries exist only transiently, one batch at a time, instead of the
+    whole catalog being materialized twice (once as ``ranked_rows``, once as
+    the key index) the way the eager :class:`HiddenWebDatabase` constructor
+    does.  Per row only its hidden sort key is retained; the catalog is then
+    rank-ordered by permuting the accumulated columns.
+    """
+    column_order = schema.columns()
+    columns: Dict[str, List[object]] = {name: [] for name in column_order}
+    sort_keys: List[object] = []
+    key_of = system_ranking.sort_key(schema.key)
+    for batch in store.iter_rows(batch_size=batch_size):
+        for row in batch:
+            sort_keys.append(key_of(row))
+            for name in column_order:
+                columns[name].append(row[name])
+    order = sorted(range(len(sort_keys)), key=sort_keys.__getitem__)
+    del sort_keys
+    for name in column_order:
+        column = columns[name]
+        columns[name] = [column[i] for i in order]
+    return columns
 
 
 class HiddenWebDatabase(TopKInterface):
@@ -63,6 +98,12 @@ class HiddenWebDatabase(TopKInterface):
     engine:
         Execution engine answering the queries: ``"indexed"`` (default, the
         vectorized columnar engine) or ``"naive"`` (the seed reference scan).
+    columnar_backend:
+        Storage backend for the columnar catalog
+        (:mod:`repro.webdb.arrays`): ``"buffer"`` (default — numpy when
+        importable, stdlib ``array`` otherwise), ``"array"``, ``"numpy"``,
+        or ``"list"`` (the seed reference layout, kept for differential
+        testing).
     """
 
     def __init__(
@@ -75,6 +116,120 @@ class HiddenWebDatabase(TopKInterface):
         validate_queries: bool = True,
         name: str = "webdb",
         engine: str = "indexed",
+        columnar_backend: str = "buffer",
+    ) -> None:
+        # Materialize rows once, sort into hidden-rank order, transpose into
+        # the columnar catalog — and drop the row dictionaries.  The catalog
+        # (plus its key→rank map) is the only copy of the data; everything
+        # row-shaped is materialized lazily from it.
+        rows = catalog.to_rows()
+        for row in rows:
+            schema.validate_row(row)
+        rows.sort(key=system_ranking.sort_key(schema.key))
+        columnar = ColumnarCatalog(
+            rows, catalog.columns, schema.key, backend=columnar_backend
+        )
+        del rows
+        self._init_from_columnar(
+            columnar,
+            schema,
+            system_ranking,
+            system_k,
+            latency,
+            validate_queries,
+            name,
+            engine,
+            columnar_backend,
+        )
+
+    @classmethod
+    def from_columnar(
+        cls,
+        columnar: ColumnarCatalog,
+        schema: Schema,
+        system_ranking: SystemRankingFunction,
+        *,
+        system_k: int = 20,
+        latency: Optional[LatencyModel] = None,
+        validate_queries: bool = True,
+        name: str = "webdb",
+        engine: str = "indexed",
+    ) -> "HiddenWebDatabase":
+        """Wrap an already rank-ordered :class:`ColumnarCatalog` directly.
+
+        The streaming loaders (:meth:`from_tuple_store`,
+        :func:`~repro.webdb.federation.build_federation_from_store`) use
+        this to construct sources without ever materializing the catalog as
+        row dictionaries.  The caller vouches that the catalog's columns are
+        in hidden-rank order under ``system_ranking``.
+        """
+        database = cls.__new__(cls)
+        database._init_from_columnar(
+            columnar,
+            schema,
+            system_ranking,
+            system_k,
+            latency,
+            validate_queries,
+            name,
+            engine,
+            columnar.backend,
+        )
+        return database
+
+    @classmethod
+    def from_tuple_store(
+        cls,
+        store: "SQLiteTupleStore",
+        schema: Schema,
+        system_ranking: SystemRankingFunction,
+        *,
+        system_k: int = 20,
+        latency: Optional[LatencyModel] = None,
+        validate_queries: bool = True,
+        name: str = "webdb",
+        engine: str = "indexed",
+        columnar_backend: str = "buffer",
+        batch_size: int = 10_000,
+    ) -> "HiddenWebDatabase":
+        """Build a database by streaming a catalog out of a SQLite store.
+
+        Rows are read with a batched cursor
+        (:meth:`~repro.sqlstore.store.SQLiteTupleStore.iter_rows`) and
+        transposed incrementally: at no point does the whole catalog exist
+        as Python row dictionaries, which is what makes 10⁶-tuple sources
+        constructible within a sane memory ceiling.  Rows were validated on
+        upsert, so the streamed values are trusted.
+        """
+        columns = stream_sorted_columns(
+            store, schema, system_ranking, batch_size=batch_size
+        )
+        columnar = ColumnarCatalog.from_columns(
+            columns, schema.columns(), schema.key, backend=columnar_backend
+        )
+        del columns
+        return cls.from_columnar(
+            columnar,
+            schema,
+            system_ranking,
+            system_k=system_k,
+            latency=latency,
+            validate_queries=validate_queries,
+            name=name,
+            engine=engine,
+        )
+
+    def _init_from_columnar(
+        self,
+        columnar: ColumnarCatalog,
+        schema: Schema,
+        system_ranking: SystemRankingFunction,
+        system_k: int,
+        latency: Optional[LatencyModel],
+        validate_queries: bool,
+        name: str,
+        engine: str,
+        columnar_backend: str,
     ) -> None:
         if system_k <= 0:
             raise ValueError("system_k must be positive")
@@ -85,22 +240,20 @@ class HiddenWebDatabase(TopKInterface):
         self._counter = QueryCounter()
         self._lock = threading.Lock()
         self.name = name
-
-        # Materialize rows once, in hidden-rank order: both engines answer a
-        # query with its first k+1 matches in this order.
-        rows = catalog.to_rows()
-        for row in rows:
-            schema.validate_row(row)
-        key = system_ranking.sort_key(schema.key)
-        self._ranked_rows: List[Row] = sorted(rows, key=key)
         self._system_ranking = system_ranking
-        self._by_key: Dict[object, Row] = {row[schema.key]: row for row in self._ranked_rows}
-        if len(self._by_key) != len(self._ranked_rows):
+        if len(columnar.rank_of) != columnar.size:
             raise QueryError("catalog contains duplicate tuple keys")
-        self._columns: List[str] = list(catalog.columns)
+        self._columns: List[str] = columnar.column_order
         self._engine_name_setting = engine
-        self._columnar = ColumnarCatalog(self._ranked_rows, catalog.columns, schema.key)
+        self._backend_setting = columnar_backend
+        self._columnar = columnar
+        #: Lazy row facade standing in for the seed's ``List[Row]`` copy.
+        self._ranked_rows: Sequence[Row] = columnar.rows()
         self._engine = create_engine(engine, self._ranked_rows, self._columnar)
+        # Per-attribute ground-truth memos (values / multiplicity histogram),
+        # invalidated by apply_delta.
+        self._attribute_values_memo: Dict[str, List[float]] = {}
+        self._multiplicity_memo: Dict[str, Dict[float, int]] = {}
 
     # ------------------------------------------------------------------ #
     # TopKInterface
@@ -178,7 +331,7 @@ class HiddenWebDatabase(TopKInterface):
     # ------------------------------------------------------------------ #
     def has_key(self, key: object) -> bool:
         """True when the catalog currently holds a tuple with this key."""
-        return key in self._by_key
+        return key in self._columnar.rank_of
 
     def apply_delta(
         self,
@@ -200,7 +353,12 @@ class HiddenWebDatabase(TopKInterface):
             self._schema.validate_row(row)
         key_column = self._schema.key
         with self._lock:
-            by_key = dict(self._by_key)
+            # Materialize the current catalog once for the rebuild; the dicts
+            # die as soon as the new columnar snapshot is constructed.
+            by_key: Dict[object, Row] = {
+                row[key_column]: row
+                for row in self._columnar.materialize_many(range(self._columnar.size))
+            }
             touched: List[Row] = []
             for key in deletes:
                 if key not in by_key:
@@ -217,14 +375,18 @@ class HiddenWebDatabase(TopKInterface):
                 return CatalogDelta(namespace=self.name)
             sort_key = self._system_ranking.sort_key(key_column)
             ranked = sorted(by_key.values(), key=sort_key)
-            columnar = ColumnarCatalog(ranked, self._columns, key_column)
-            engine = create_engine(self._engine_name_setting, ranked, columnar)
+            columnar = ColumnarCatalog(
+                ranked, self._columns, key_column, backend=self._backend_setting
+            )
+            rows_view = columnar.rows()
+            engine = create_engine(self._engine_name_setting, rows_view, columnar)
             # Publish the rebuilt structures together only after every piece
             # succeeded: a failed rebuild must leave the old catalog serving.
-            self._ranked_rows = ranked
-            self._by_key = {row[key_column]: row for row in ranked}
+            self._ranked_rows = rows_view
             self._columnar = columnar
             self._engine = engine
+            self._attribute_values_memo = {}
+            self._multiplicity_memo = {}
             return CatalogDelta.from_rows(
                 self.name,
                 key_column,
@@ -247,7 +409,7 @@ class HiddenWebDatabase(TopKInterface):
     @property
     def size(self) -> int:
         """Number of tuples in the catalog."""
-        return len(self._ranked_rows)
+        return self._columnar.size
 
     def all_matches(self, query: SearchQuery) -> List[Row]:
         """Every tuple matching ``query`` (bypasses the top-k truncation)."""
@@ -273,23 +435,40 @@ class HiddenWebDatabase(TopKInterface):
 
     def tuple_by_key(self, key: object) -> Row:
         """Fetch one tuple by its key (simulates opening its detail page)."""
-        if key not in self._by_key:
+        rank = self._columnar.rank_of.get(key)
+        if rank is None:
             raise QueryError(f"unknown tuple key {key!r}")
-        return dict(self._by_key[key])
+        return self._columnar.materialize(rank)
 
     def attribute_values(self, attribute: str) -> List[float]:
-        """All values of a numeric attribute (ground truth for tests)."""
+        """All values of a numeric attribute (ground truth for tests).
+
+        Memoized per attribute (the seed re-scanned every row on every
+        call); :meth:`apply_delta` invalidates the memo.  A fresh list is
+        returned so callers can sort or mutate their copy.
+        """
         self._schema.require_numeric(attribute)
-        return [float(row[attribute]) for row in self._ranked_rows]  # type: ignore[arg-type]
+        cached = self._attribute_values_memo.get(attribute)
+        if cached is None:
+            column = self._columnar.raw_column(attribute)
+            assert column is not None  # require_numeric guarantees the column
+            cached = [float(value) for value in column]  # type: ignore[arg-type]
+            self._attribute_values_memo[attribute] = cached
+        return list(cached)
 
     def value_multiplicity(self, attribute: str) -> Dict[float, int]:
         """Histogram of value multiplicities for ``attribute`` — used to find
         general-positioning violations (values shared by more than ``k``
-        tuples)."""
-        counts: Dict[float, int] = {}
-        for value in self.attribute_values(attribute):
-            counts[value] = counts.get(value, 0) + 1
-        return counts
+        tuples).  Memoized per attribute alongside :meth:`attribute_values`.
+        """
+        cached = self._multiplicity_memo.get(attribute)
+        if cached is None:
+            counts: Dict[float, int] = {}
+            for value in self.attribute_values(attribute):
+                counts[value] = counts.get(value, 0) + 1
+            self._multiplicity_memo[attribute] = counts
+            cached = counts
+        return dict(cached)
 
     def system_rank_of(self, key: object) -> int:
         """Position of a tuple in the hidden global ranking (diagnostics).
@@ -305,6 +484,11 @@ class HiddenWebDatabase(TopKInterface):
         """Name of the active execution engine (``"indexed"`` / ``"naive"``)."""
         return self._engine.name
 
+    @property
+    def columnar_backend(self) -> str:
+        """Resolved columnar storage backend (``"list"``/``"array"``/``"numpy"``)."""
+        return self._columnar.backend
+
     def explain(self, query: SearchQuery) -> Optional[QueryPlan]:
         """The plan the indexed engine would pick for ``query``; ``None``
         under the naive reference engine (diagnostics / tests only)."""
@@ -317,7 +501,8 @@ class HiddenWebDatabase(TopKInterface):
         """One-line description for logs and the source registry."""
         return (
             f"{self.name}: {self.size} tuples, k={self._system_k}, "
-            f"ranking={self._system_ranking.describe()}, engine={self._engine.name}"
+            f"ranking={self._system_ranking.describe()}, engine={self._engine.name}, "
+            f"backend={self._columnar.backend}"
         )
 
 

@@ -39,12 +39,13 @@ from itertools import chain
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.exceptions import QueryError
+from repro.webdb import arrays
 from repro.webdb.indexes import ColumnarCatalog, is_numeric
 from repro.webdb.query import InPredicate, RangePredicate, SearchQuery
 
 Row = Dict[str, object]
 #: A block filter: rank positions in → surviving rank positions out.
-BlockFilter = Callable[[Sequence[int]], List[int]]
+BlockFilter = Callable[[Sequence[int]], Sequence[int]]
 
 #: Engine names accepted by :func:`create_engine` / the ``engine`` knobs.
 ENGINE_NAMES: Tuple[str, ...] = ("indexed", "naive")
@@ -135,7 +136,7 @@ class _CompiledQuery:
         self,
         plan: QueryPlan,
         filters: List[BlockFilter],
-        candidates: Optional[List[int]],
+        candidates: Optional[Sequence[int]],
     ) -> None:
         self.plan = plan
         self.filters = filters
@@ -321,14 +322,14 @@ class IndexedColumnarEngine(ExecutionEngine):
 
         def candidate_thunk(
             attribute: str = attribute, start: int = start, stop: int = stop
-        ) -> List[int]:
+        ) -> Sequence[int]:
             key = ("range-candidates", attribute, start, stop)
             cached = memo.get(key)
             if cached is None:
                 index = catalog.sorted_index(attribute)
                 assert index is not None
                 _, ranks_by_value = index
-                cached = sorted(ranks_by_value[start:stop])
+                cached = arrays.sorted_positions(ranks_by_value, start, stop)
                 memo[key] = cached
             return cached  # type: ignore[return-value]
 
@@ -336,24 +337,17 @@ class IndexedColumnarEngine(ExecutionEngine):
 
     @staticmethod
     def _float_range_filter(
-        column: List[float], predicate: RangePredicate
+        column: Sequence[float], predicate: RangePredicate
     ) -> BlockFilter:
-        lower, upper = predicate.lower, predicate.upper
-        if predicate.include_lower and predicate.include_upper:
-            return lambda ranks, c=column, lo=lower, hi=upper: [
-                i for i in ranks if lo <= c[i] <= hi
-            ]
-        if predicate.include_lower:
-            return lambda ranks, c=column, lo=lower, hi=upper: [
-                i for i in ranks if lo <= c[i] < hi
-            ]
-        if predicate.include_upper:
-            return lambda ranks, c=column, lo=lower, hi=upper: [
-                i for i in ranks if lo < c[i] <= hi
-            ]
-        return lambda ranks, c=column, lo=lower, hi=upper: [
-            i for i in ranks if lo < c[i] < hi
-        ]
+        # Dispatches on the column's buffer type: one vectorized comparison
+        # per block under numpy, the reference list comprehension otherwise.
+        return arrays.make_range_filter(
+            column,
+            predicate.lower,
+            predicate.upper,
+            predicate.include_lower,
+            predicate.include_upper,
+        )
 
     # -- membership predicates ----------------------------------------- #
     def _compile_membership(
@@ -406,7 +400,7 @@ class IndexedColumnarEngine(ExecutionEngine):
         if compiled.candidates is not None:
             hits = self._collect(compiled.candidates, compiled.filters, k + 1)
         else:
-            hits = self._collect(range(self._catalog.size), compiled.filters, k + 1)
+            hits = self._collect(self._catalog.scan_positions(), compiled.filters, k + 1)
         overflow = len(hits) > k
         return self._catalog.materialize_many(hits[:k]), overflow
 
@@ -417,7 +411,12 @@ class IndexedColumnarEngine(ExecutionEngine):
         limit: int,
     ) -> List[int]:
         """Apply ``filters`` to ``positions`` block by block, in rank order,
-        stopping as soon as ``limit`` matches are known."""
+        stopping as soon as ``limit`` matches are known.
+
+        ``positions`` and intermediate blocks may be any backend layout
+        (``range`` slices, lists, or ndarray views) — hence the ``len``
+        checks instead of truthiness, which is ambiguous for arrays.
+        """
         hits: List[int] = []
         block_size = self._block
         total = len(positions)
@@ -425,9 +424,9 @@ class IndexedColumnarEngine(ExecutionEngine):
             block: Sequence[int] = positions[start : start + block_size]
             for block_filter in filters:
                 block = block_filter(block)
-                if not block:
+                if len(block) == 0:
                     break
-            if block:
+            if len(block) > 0:
                 hits.extend(block)
                 if len(hits) >= limit:
                     del hits[limit:]

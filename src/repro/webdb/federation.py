@@ -38,14 +38,18 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
+    from repro.sqlstore.store import SQLiteTupleStore
 
 from repro.dataset.schema import Schema
 from repro.dataset.table import ColumnTable
 from repro.exceptions import QueryError
 from repro.webdb.cache import FetchStatus, QueryResultCache, default_namespace
-from repro.webdb.database import HiddenWebDatabase
+from repro.webdb.database import HiddenWebDatabase, stream_sorted_columns
 from repro.webdb.delta import CatalogDelta, merge_shard_deltas
+from repro.webdb.indexes import ColumnarCatalog
 from repro.webdb.interface import (
     InstrumentedInterface,
     Outcome,
@@ -72,6 +76,38 @@ class ShardSpec:
     system_k: Optional[int] = None
     engine: Optional[str] = None
     latency: Optional[LatencyModel] = None
+
+
+def _resolve_shard_spec(
+    spec: Optional[ShardSpec],
+    index: int,
+    *,
+    system_k: int,
+    engine: str,
+    latency_mean: float,
+    latency_jitter: float,
+    latency_seed: int,
+    latency_sleep: bool,
+) -> Tuple[int, str, LatencyModel]:
+    """Resolve one shard's effective ``(k, engine, latency)`` from its
+    optional :class:`ShardSpec` and the federation-wide defaults."""
+    shard_k = spec.system_k if spec and spec.system_k is not None else system_k
+    if shard_k < system_k:
+        raise QueryError(
+            f"shard {index} has system_k={shard_k} below the federated "
+            f"k={system_k}; the merged top-k would be incomplete"
+        )
+    shard_engine = spec.engine if spec and spec.engine is not None else engine
+    if spec and spec.latency is not None:
+        latency = spec.latency
+    else:
+        latency = LatencyModel(
+            mean_seconds=latency_mean,
+            jitter=latency_jitter,
+            sleep=latency_sleep,
+            seed=latency_seed + index,
+        )
+    return shard_k, shard_engine, latency
 
 
 class ShardedCatalog:
@@ -211,6 +247,7 @@ class ShardedCatalog:
         latency_sleep: bool = False,
         engine: str = "indexed",
         specs: Optional[Sequence[Optional[ShardSpec]]] = None,
+        columnar_backend: str = "buffer",
     ) -> List[HiddenWebDatabase]:
         """Materialize one :class:`HiddenWebDatabase` per shard.
 
@@ -225,22 +262,16 @@ class ShardedCatalog:
         databases: List[HiddenWebDatabase] = []
         for index, table in enumerate(self.tables):
             spec = specs[index] if specs is not None else None
-            shard_k = spec.system_k if spec and spec.system_k is not None else system_k
-            if shard_k < system_k:
-                raise QueryError(
-                    f"shard {index} has system_k={shard_k} below the federated "
-                    f"k={system_k}; the merged top-k would be incomplete"
-                )
-            shard_engine = spec.engine if spec and spec.engine is not None else engine
-            if spec and spec.latency is not None:
-                latency = spec.latency
-            else:
-                latency = LatencyModel(
-                    mean_seconds=latency_mean,
-                    jitter=latency_jitter,
-                    sleep=latency_sleep,
-                    seed=latency_seed + index,
-                )
+            shard_k, shard_engine, latency = _resolve_shard_spec(
+                spec,
+                index,
+                system_k=system_k,
+                engine=engine,
+                latency_mean=latency_mean,
+                latency_jitter=latency_jitter,
+                latency_seed=latency_seed,
+                latency_sleep=latency_sleep,
+            )
             databases.append(
                 HiddenWebDatabase(
                     catalog=table,
@@ -250,6 +281,7 @@ class ShardedCatalog:
                     latency=latency,
                     name=f"{name}#{index}",
                     engine=shard_engine,
+                    columnar_backend=columnar_backend,
                 )
             )
         return databases
@@ -643,6 +675,7 @@ def build_federation(
     engine: str = "indexed",
     specs: Optional[Sequence[Optional[ShardSpec]]] = None,
     result_cache: Optional[QueryResultCache] = None,
+    columnar_backend: str = "buffer",
 ) -> FederatedInterface:
     """Partition ``catalog`` and wrap the shards in a federated interface.
 
@@ -662,6 +695,7 @@ def build_federation(
         latency_sleep=latency_sleep,
         engine=engine,
         specs=specs,
+        columnar_backend=columnar_backend,
     )
     return FederatedInterface(
         databases,
@@ -670,5 +704,134 @@ def build_federation(
         system_k=system_k,
         partitions=sharded.partitions,
         shard_by=sharded.shard_by,
+        result_cache=result_cache,
+    )
+
+
+def build_federation_from_store(
+    store: "SQLiteTupleStore",
+    schema: Schema,
+    system_ranking: SystemRankingFunction,
+    shards: int = 2,
+    by: str = "rank",
+    name: str = "federation",
+    system_k: int = 20,
+    latency_mean: float = 0.0,
+    latency_jitter: float = 0.25,
+    latency_seed: int = 11,
+    latency_sleep: bool = False,
+    engine: str = "indexed",
+    specs: Optional[Sequence[Optional[ShardSpec]]] = None,
+    result_cache: Optional[QueryResultCache] = None,
+    columnar_backend: str = "buffer",
+    batch_size: int = 10_000,
+) -> FederatedInterface:
+    """Stream a catalog out of a SQLite store into a federated interface.
+
+    Equivalent to loading the store's rows into a :class:`ColumnTable` and
+    calling :func:`build_federation` — same partitioning semantics (rank
+    round-robin / attribute quantile cuts), same shard naming, byte-identical
+    pages — but the catalog is transposed into rank-ordered columns batch by
+    batch (:func:`~repro.webdb.database.stream_sorted_columns`) and each
+    shard's catalog is a positional slice of those columns: at no point do
+    per-row dictionaries of the whole catalog exist, which is what makes
+    million-tuple federations constructible within a sane memory ceiling.
+    """
+    if shards <= 0:
+        raise QueryError("shard count must be positive")
+    column_order = schema.columns()
+    columns = stream_sorted_columns(store, schema, system_ranking, batch_size=batch_size)
+    size = len(columns[schema.key])
+    # Partition rank *positions* (the columns are already in hidden-rank
+    # order, so increasing-position subsets stay rank-ordered per shard).
+    partitions: Optional[List[Optional[RangePredicate]]] = None
+    if by == "rank":
+        shard_by = "rank"
+        buckets: List[List[int]] = [
+            list(range(start, size, shards)) for start in range(shards)
+        ]
+        buckets = [bucket for bucket in buckets if bucket]
+    else:
+        schema.require_numeric(by)
+        if size == 0:
+            raise QueryError("cannot partition an empty catalog")
+        shard_by = by
+        attribute_column = columns[by]
+        values = sorted(float(value) for value in attribute_column)  # type: ignore[arg-type]
+        # Quantile boundaries, deduplicated — mirrors ShardedCatalog._by_attribute.
+        cuts: List[float] = []
+        for index in range(1, shards):
+            cut = values[(index * len(values)) // shards]
+            if not cuts or cut > cuts[-1]:
+                cuts.append(cut)
+        bounds: List[Tuple[float, float]] = []
+        lower = float("-inf")
+        for cut in cuts:
+            bounds.append((lower, cut))
+            lower = cut
+        bounds.append((lower, float("inf")))
+        raw_buckets: List[List[int]] = [[] for _ in bounds]
+        for position in range(size):
+            value = float(attribute_column[position])  # type: ignore[arg-type]
+            for index, (low, high) in enumerate(bounds):
+                if low <= value < high or (index == len(bounds) - 1 and value >= low):
+                    raw_buckets[index].append(position)
+                    break
+        buckets = []
+        partitions = []
+        for bucket, (low, high) in zip(raw_buckets, bounds):
+            if not bucket:
+                continue
+            buckets.append(bucket)
+            partitions.append(
+                RangePredicate(
+                    by,
+                    lower=low,
+                    upper=high,
+                    include_lower=True,
+                    include_upper=high == float("inf"),
+                )
+            )
+    if specs is not None and len(specs) != len(buckets):
+        raise QueryError("specs must align with shard tables")
+    databases: List[HiddenWebDatabase] = []
+    for index, bucket in enumerate(buckets):
+        shard_columns = {
+            column: [columns[column][position] for position in bucket]
+            for column in column_order
+        }
+        columnar = ColumnarCatalog.from_columns(
+            shard_columns, column_order, schema.key, backend=columnar_backend
+        )
+        spec = specs[index] if specs is not None else None
+        shard_k, shard_engine, latency = _resolve_shard_spec(
+            spec,
+            index,
+            system_k=system_k,
+            engine=engine,
+            latency_mean=latency_mean,
+            latency_jitter=latency_jitter,
+            latency_seed=latency_seed,
+            latency_sleep=latency_sleep,
+        )
+        databases.append(
+            HiddenWebDatabase.from_columnar(
+                columnar,
+                schema,
+                system_ranking,
+                system_k=shard_k,
+                latency=latency,
+                name=f"{name}#{index}",
+                engine=shard_engine,
+            )
+        )
+    del columns
+    return FederatedInterface(
+        databases,
+        system_ranking,
+        name=name,
+        system_k=system_k,
+        partitions=partitions,
+        shard_by=shard_by,
         result_cache=result_cache,
     )

@@ -2,14 +2,16 @@
 
 :class:`ColumnarCatalog` is the storage layer of the indexed execution engine
 (:mod:`repro.webdb.engine`): the hidden-rank-ordered catalog transposed into
-plain Python column lists, plus the per-attribute access structures the query
-planner consumes:
+columns, plus the per-attribute access structures the query planner consumes:
 
-* **raw columns** — one list per column, in hidden-rank order, holding the
-  values exactly as they appear in the catalog (no type coercion), so result
-  rows materialized from columns are byte-identical to the naive scan's
-  ``dict(row)`` copies;
-* **float columns** — a parallel ``float``-converted list for every column
+* **raw columns** — one column per attribute, in hidden-rank order, holding
+  the values exactly as they appear in the catalog, so result rows
+  materialized from columns are byte-identical to the naive scan's
+  ``dict(row)`` copies.  Under the buffer backends
+  (:mod:`repro.webdb.arrays`), uniformly-typed numeric columns are packed
+  into ``array('d')``/``array('q')`` buffers (numpy views when numpy is
+  importable) — 8 bytes per value instead of a pointer plus a boxed object;
+* **float columns** — a parallel ``float``-converted column for every column
   whose values are all numeric, used by the tight range-filter loops;
 * **sorted value arrays** — ``(sorted values, rank positions)`` pairs usable
   with :mod:`bisect` for selectivity estimation and candidate extraction;
@@ -20,13 +22,22 @@ planner consumes:
 Everything beyond the raw columns and the key→rank map is built lazily, on
 first use, under a lock: most attributes of a catalog are never constrained,
 and databases are constructed eagerly all over the test suite.
+
+Row *materialization* is lazy in the other direction: the catalog never
+stores row dictionaries.  :meth:`ColumnarCatalog.materialize` builds a fresh
+dictionary from the columns on demand, and :meth:`ColumnarCatalog.rows`
+exposes the whole catalog as a lazy, read-only row sequence so reference
+paths (the naive scan engine, ground-truth helpers) keep working without the
+catalog ever being held twice in memory.
 """
 
 from __future__ import annotations
 
 import math
 import threading
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from repro.webdb import arrays
 
 Row = Dict[str, object]
 
@@ -47,19 +58,59 @@ def is_numeric(value: object) -> bool:
     return not (isinstance(value, float) and math.isnan(value))
 
 
+class CatalogRowView(Sequence):
+    """Lazy, read-only row-sequence facade over a :class:`ColumnarCatalog`.
+
+    Each access materializes a fresh row dictionary, so holding the view
+    costs nothing beyond the catalog itself.  Used wherever the seed code
+    kept a ``List[Row]`` of the ranked catalog (the naive reference engine,
+    ground-truth scans).
+    """
+
+    __slots__ = ("_catalog",)
+
+    def __init__(self, catalog: "ColumnarCatalog") -> None:
+        self._catalog = catalog
+
+    def __len__(self) -> int:
+        return self._catalog.size
+
+    def __getitem__(self, index):
+        size = self._catalog.size
+        if isinstance(index, slice):
+            return [self._catalog.materialize(i) for i in range(*index.indices(size))]
+        if index < 0:
+            index += size
+        if not 0 <= index < size:
+            raise IndexError(f"row index {index} out of range (0..{size - 1})")
+        return self._catalog.materialize(index)
+
+    def __iter__(self) -> Iterator[Row]:
+        materialize = self._catalog.materialize
+        for rank in range(self._catalog.size):
+            yield materialize(rank)
+
+
 class ColumnarCatalog:
     """Column-major snapshot of a catalog in hidden-rank order.
 
     Parameters
     ----------
     ranked_rows:
-        The catalog rows, already sorted by the hidden system ranking.
+        The catalog rows, already sorted by the hidden system ranking.  The
+        rows are transposed at construction and **not retained** — the
+        columns are the only copy of the catalog.
     column_order:
         Column names in the order the naive scan's row dictionaries carry
         them; materialized rows preserve it so both engines return
         byte-identical dictionaries.
     key_column:
         Name of the unique tuple identifier column.
+    backend:
+        Storage backend for numeric columns and rank arrays (see
+        :mod:`repro.webdb.arrays`): ``"list"`` (the seed reference layout,
+        default for direct construction), ``"array"``, ``"numpy"``, or
+        ``"buffer"`` (numpy when importable, stdlib ``array`` otherwise).
     """
 
     def __init__(
@@ -67,33 +118,67 @@ class ColumnarCatalog:
         ranked_rows: Sequence[Mapping[str, object]],
         column_order: Sequence[str],
         key_column: str,
+        backend: str = "list",
+    ) -> None:
+        columns: Dict[str, List[object]] = {
+            name: [row[name] for row in ranked_rows] for name in column_order
+        }
+        self._init_from_columns(columns, column_order, key_column, backend)
+
+    @classmethod
+    def from_columns(
+        cls,
+        columns: Mapping[str, Sequence[object]],
+        column_order: Sequence[str],
+        key_column: str,
+        backend: str = "list",
+    ) -> "ColumnarCatalog":
+        """Build a catalog directly from rank-ordered columns.
+
+        This is the streaming-load path: callers that read a catalog batch
+        by batch (e.g. from :class:`~repro.sqlstore.store.SQLiteTupleStore`)
+        accumulate columns and never materialize row dictionaries at all.
+        The column sequences are adopted as-is (lists are not copied).
+        """
+        adopted = {
+            name: column if isinstance(column, list) else list(column)
+            for name, column in ((name, columns[name]) for name in column_order)
+        }
+        catalog = cls.__new__(cls)
+        catalog._init_from_columns(adopted, column_order, key_column, backend)
+        return catalog
+
+    def _init_from_columns(
+        self,
+        columns: Dict[str, List[object]],
+        column_order: Sequence[str],
+        key_column: str,
+        backend: str,
     ) -> None:
         self._order: List[str] = list(column_order)
         self._names = frozenset(self._order)
         self.key_column = key_column
-        self.size = len(ranked_rows)
-        self._rows = ranked_rows
+        self.backend = arrays.resolve_backend(backend)
+        sizes = {len(column) for column in columns.values()} or {0}
+        if len(sizes) > 1:
+            raise ValueError(f"ragged catalog columns: {sorted(sizes)}")
+        self.size = sizes.pop()
+        # Pack uniformly-typed numeric columns into compact buffers; object
+        # columns (keys, categoricals, mixed/NaN columns) stay as lists so
+        # materialized rows return the original value objects.
+        self._raw: Dict[str, object] = {
+            name: arrays.pack_raw_column(columns[name], self.backend)
+            for name in self._order
+        }
         #: key → position in the hidden global ranking (O(1) ``system_rank_of``).
         self.rank_of: Dict[object, int] = {
-            row[key_column]: rank for rank, row in enumerate(ranked_rows)
+            key: rank for rank, key in enumerate(self._raw[key_column])
         }
         self._lock = threading.RLock()
-        # The transpose itself is lazy too: a database on the naive reference
-        # engine only ever touches ``rank_of``.
-        self._raw: Optional[Dict[str, List[object]]] = None
-        self._float_columns: Dict[str, Optional[List[float]]] = {}
-        self._sorted_indexes: Dict[str, Optional[Tuple[List[float], List[int]]]] = {}
+        self._float_columns: Dict[str, Optional[object]] = {}
+        self._sorted_indexes: Dict[str, Optional[Tuple[object, object]]] = {}
         self._postings: Dict[str, Optional[Dict[object, List[int]]]] = {}
-
-    def _columns(self) -> Dict[str, List[object]]:
-        """The transposed raw columns, built on first use."""
-        if self._raw is None:
-            with self._lock:
-                if self._raw is None:
-                    self._raw = {
-                        name: [row[name] for row in self._rows] for name in self._order
-                    }
-        return self._raw
+        self._positions: Optional[Sequence[int]] = None
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -107,35 +192,66 @@ class ColumnarCatalog:
         """True when the catalog stores a column called ``name``."""
         return name in self._names
 
-    def raw_column(self, name: str) -> Optional[List[object]]:
-        """The raw value list of ``name`` in rank order (shared, do not
-        mutate), or ``None`` for an unknown column."""
-        return self._columns().get(name)
+    def raw_column(self, name: str) -> Optional[Sequence[object]]:
+        """The raw value column of ``name`` in rank order (shared, do not
+        mutate), or ``None`` for an unknown column.  A list under the
+        ``"list"`` backend; possibly a compact buffer under the others."""
+        return self._raw.get(name)
+
+    def rows(self) -> CatalogRowView:
+        """The catalog as a lazy read-only sequence of row dictionaries."""
+        return CatalogRowView(self)
+
+    def scan_positions(self) -> Sequence[int]:
+        """The full rank-position sequence, in the backend's layout (cached)."""
+        if self._positions is None:
+            with self._lock:
+                if self._positions is None:
+                    self._positions = arrays.position_space(self.size, self.backend)
+        return self._positions
 
     # ------------------------------------------------------------------ #
     # Lazy index structures
     # ------------------------------------------------------------------ #
-    def float_column(self, name: str) -> Optional[List[float]]:
+    def float_column(self, name: str) -> Optional[Sequence[float]]:
         """``float``-converted column for fully numeric columns.
 
         Returns ``None`` when the column is unknown or holds any non-numeric
         value (including ``bool`` and ``NaN``, which range predicates reject)
         — the engine then falls back to the per-value check the naive scan
-        performs.
+        performs.  The result is backend-typed: a list under ``"list"``, an
+        ``array('d')`` under ``"array"``, a float64 ndarray under ``"numpy"``.
         """
         if name not in self._float_columns:
             with self._lock:
                 if name not in self._float_columns:
-                    column = self._columns().get(name)
-                    if column is None or not all(
-                        is_numeric(value) for value in column
-                    ):
-                        self._float_columns[name] = None
-                    else:
-                        self._float_columns[name] = [float(value) for value in column]
+                    self._float_columns[name] = self._build_float_column(name)
         return self._float_columns[name]
 
-    def sorted_index(self, name: str) -> Optional[Tuple[List[float], List[int]]]:
+    def _build_float_column(self, name: str) -> Optional[Sequence[float]]:
+        column = self._raw.get(name)
+        if column is None:
+            return None
+        if arrays.is_float_buffer(column):
+            # Raw buffers are packed only from NaN-free pure-float columns,
+            # so the raw buffer *is* the float column — zero extra memory
+            # (the numpy backend wraps it in a zero-copy ndarray view).
+            return arrays.float_buffer(column, self.backend)
+        if arrays.is_int_buffer(column):
+            return arrays.float_buffer([float(value) for value in column], self.backend)
+        # Object column: one fused pass that converts as it validates and
+        # bails on the first non-numeric value (the seed implementation
+        # scanned the column twice — an ``all(is_numeric)`` pass, then a
+        # conversion pass).
+        converted: List[float] = []
+        append = converted.append
+        for value in column:
+            if not is_numeric(value):
+                return None
+            append(float(value))
+        return arrays.float_buffer(converted, self.backend)
+
+    def sorted_index(self, name: str) -> Optional[Tuple[Sequence[float], Sequence[int]]]:
         """``(sorted values, rank positions)`` for a fully numeric column.
 
         ``bisect`` over the sorted values yields both an exact match count
@@ -150,10 +266,8 @@ class ColumnarCatalog:
                     if floats is None:
                         self._sorted_indexes[name] = None
                     else:
-                        pairs = sorted(zip(floats, range(len(floats))))
-                        self._sorted_indexes[name] = (
-                            [value for value, _ in pairs],
-                            [rank for _, rank in pairs],
+                        self._sorted_indexes[name] = arrays.stable_argsort(
+                            floats, self.backend
                         )
         return self._sorted_indexes[name]
 
@@ -167,7 +281,7 @@ class ColumnarCatalog:
         if name not in self._postings:
             with self._lock:
                 if name not in self._postings:
-                    column = self._columns().get(name)
+                    column = self._raw.get(name)
                     if column is None:
                         self._postings[name] = None
                     else:
@@ -186,11 +300,11 @@ class ColumnarCatalog:
     # ------------------------------------------------------------------ #
     def materialize(self, rank: int) -> Row:
         """Build a fresh row dictionary for the tuple at ``rank``."""
-        raw = self._columns()
+        raw = self._raw
         return {name: raw[name][rank] for name in self._order}
 
     def materialize_many(self, ranks: Sequence[int]) -> List[Row]:
         """Fresh row dictionaries for ``ranks``, in the given order."""
-        raw = self._columns()
+        raw = self._raw
         order = self._order
         return [{name: raw[name][rank] for name in order} for rank in ranks]

@@ -125,3 +125,61 @@ class TestStatisticsHelpers:
         first = gen.lognormal_column(gen.make_rng(7), 50, 100, 0.5, 1, 1000)
         second = gen.lognormal_column(gen.make_rng(7), 50, 100, 0.5, 1, 1000)
         assert first == second
+
+
+class TestScaleCatalog:
+    @pytest.fixture()
+    def store(self):
+        from repro.sqlstore.store import SQLiteTupleStore
+
+        store = SQLiteTupleStore(gen.scale_catalog_schema())
+        yield store
+        store.close()
+
+    def test_rows_validate_against_schema(self, store):
+        written = gen.generate_scale_catalog(store, 500, seed=3)
+        assert written == 500
+        assert store.count() == 500
+        schema = gen.scale_catalog_schema()
+        for row in store.all_rows():
+            schema.validate_row(row)
+
+    def test_batch_size_does_not_change_the_data(self):
+        from repro.sqlstore.store import SQLiteTupleStore
+
+        schema = gen.scale_catalog_schema()
+        first = SQLiteTupleStore(schema)
+        second = SQLiteTupleStore(schema)
+        try:
+            gen.generate_scale_catalog(first, 700, seed=13, batch_size=64)
+            gen.generate_scale_catalog(second, 700, seed=13, batch_size=700)
+            assert first.all_rows() == second.all_rows()
+        finally:
+            first.close()
+            second.close()
+
+    def test_distribution_shape(self, store):
+        gen.generate_scale_catalog(store, 2000, seed=13)
+        rows = store.all_rows()
+        prices = [row["price"] for row in rows]
+        # Right-skewed price: the mean sits well above the median.
+        ordered = sorted(prices)
+        assert sum(prices) / len(prices) > ordered[len(ordered) // 2] * 1.05
+        # Categorical skew: the heaviest category dominates the lightest.
+        counts = {}
+        for row in rows:
+            counts[row["category"]] = counts.get(row["category"], 0) + 1
+        assert counts.get("alpha", 0) > 4 * counts.get("mu", 1)
+        # Weight tracks price (positive correlation by construction).
+        weights = [row["weight"] for row in rows]
+        assert gen.pearson(prices, weights) > 0.5
+
+    def test_invalid_arguments_rejected(self, store):
+        with pytest.raises(ValueError):
+            gen.generate_scale_catalog(store, -1)
+        with pytest.raises(ValueError):
+            gen.generate_scale_catalog(store, 10, batch_size=0)
+
+    def test_zero_rows_writes_nothing(self, store):
+        assert gen.generate_scale_catalog(store, 0) == 0
+        assert store.count() == 0

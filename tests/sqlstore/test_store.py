@@ -126,3 +126,47 @@ class TestIdentifiersAndPersistence:
         for thread in threads:
             thread.join()
         assert store.count() == 300
+
+
+def _many_rows(count):
+    """Like ``_rows`` but keeps every value inside the schema domains for
+    counts beyond ten (carat is capped at 5)."""
+    return [
+        {
+            "id": f"t{i}",
+            "price": float(i % 100) * 10.0,
+            "carat": float(i % 10) / 2.0,
+            "cut": "good" if i % 2 else "ideal",
+        }
+        for i in range(count)
+    ]
+
+
+class TestIterRows:
+    def test_batches_cover_all_rows_in_order(self, store):
+        store.upsert(_many_rows(25))
+        batches = list(store.iter_rows(batch_size=7))
+        assert [len(batch) for batch in batches] == [7, 7, 7, 4]
+        streamed = [row for batch in batches for row in batch]
+        assert streamed == store.all_rows()
+
+    def test_batch_size_does_not_change_content(self, store):
+        store.upsert(_many_rows(13))
+        one_shot = [row for batch in store.iter_rows(batch_size=100) for row in batch]
+        row_by_row = [row for batch in store.iter_rows(batch_size=1) for row in batch]
+        assert one_shot == row_by_row == store.all_rows()
+
+    def test_numeric_types_converted_like_all_rows(self, store):
+        store.upsert(_rows(3))
+        for batch in store.iter_rows():
+            for row in batch:
+                assert type(row["price"]) is float
+                assert type(row["carat"]) is float
+                assert type(row["cut"]) is str
+
+    def test_empty_store_yields_nothing(self, store):
+        assert list(store.iter_rows()) == []
+
+    def test_invalid_batch_size_rejected(self, store):
+        with pytest.raises(ValueError):
+            next(store.iter_rows(batch_size=0))

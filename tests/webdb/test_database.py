@@ -174,3 +174,115 @@ class TestInstrumentedInterface:
         assert wrapped.system_k == tiny_db.system_k
         assert wrapped.key_column == "id"
         assert wrapped.inner is tiny_db
+
+
+class TestStreamingCatalogLoad:
+    """`from_tuple_store` must be observationally identical to the eager
+    constructor: same rows in the same hidden-rank order, byte-identical
+    search results, same describe() surface — while never materializing the
+    catalog as row dictionaries."""
+
+    @pytest.fixture()
+    def seeded_store(self, diamond_catalog, diamond_schema_fixture):
+        from repro.sqlstore.store import SQLiteTupleStore
+
+        store = SQLiteTupleStore(diamond_schema_fixture)
+        store.upsert(diamond_catalog.to_rows())
+        yield store
+        store.close()
+
+    def test_stream_sorted_columns_is_rank_ordered(
+        self, seeded_store, diamond_schema_fixture
+    ):
+        from repro.webdb.database import stream_sorted_columns
+        from repro.webdb.ranking import FeaturedScoreRanking
+
+        ranking = FeaturedScoreRanking("price", boost_weight=2500.0)
+        columns = stream_sorted_columns(
+            seeded_store, diamond_schema_fixture, ranking, batch_size=97
+        )
+        size = len(columns["id"])
+        rows = [
+            {name: columns[name][i] for name in diamond_schema_fixture.columns()}
+            for i in range(size)
+        ]
+        key_of = ranking.sort_key(diamond_schema_fixture.key)
+        assert rows == sorted(rows, key=key_of)
+        assert size == seeded_store.count()
+
+    @pytest.mark.parametrize("backend", ["list", "array", "buffer"])
+    def test_from_tuple_store_matches_eager_constructor(
+        self, seeded_store, diamond_catalog, diamond_schema_fixture, backend
+    ):
+        import random
+
+        from repro.webdb.query import RangePredicate
+        from repro.webdb.ranking import FeaturedScoreRanking
+
+        ranking = FeaturedScoreRanking("price", boost_weight=2500.0)
+        eager = HiddenWebDatabase(
+            diamond_catalog, diamond_schema_fixture, ranking,
+            system_k=10, name="eager", columnar_backend=backend,
+        )
+        streamed = HiddenWebDatabase.from_tuple_store(
+            seeded_store, diamond_schema_fixture, ranking,
+            system_k=10, name="streamed", columnar_backend=backend,
+            batch_size=61,
+        )
+        assert streamed.size == eager.size
+        assert streamed.columnar_backend == eager.columnar_backend
+        rng = random.Random(5)
+        for _ in range(40):
+            lower = rng.uniform(200.0, 18000.0)
+            query = SearchQuery(
+                (RangePredicate("price", lower, lower * rng.uniform(1.05, 2.0)),)
+            )
+            expected = eager.search(query)
+            actual = streamed.search(query)
+            assert actual.outcome is expected.outcome
+            assert [list(row.items()) for row in actual.rows] == [
+                list(row.items()) for row in expected.rows
+            ]
+
+    def test_streamed_database_supports_ground_truth_helpers(
+        self, seeded_store, diamond_schema_fixture
+    ):
+        from repro.webdb.ranking import AttributeOrderRanking
+
+        streamed = HiddenWebDatabase.from_tuple_store(
+            seeded_store, diamond_schema_fixture,
+            AttributeOrderRanking("price", ascending=True), system_k=10,
+        )
+        values = streamed.attribute_values("price")
+        assert len(values) == streamed.size
+        some_key = streamed.tuple_by_key(values and streamed._ranked_rows[0]["id"])
+        assert some_key["id"] == streamed._ranked_rows[0]["id"]
+        assert "backend=" in streamed.describe()
+
+
+class TestGroundTruthMemoization:
+    def test_attribute_values_returns_defensive_copies(self, tiny_db):
+        first = tiny_db.attribute_values("price")
+        first.append(-1.0)
+        assert -1.0 not in tiny_db.attribute_values("price")
+        histogram = tiny_db.value_multiplicity("price")
+        histogram[123.456] = 99
+        assert 123.456 not in tiny_db.value_multiplicity("price")
+
+    def test_apply_delta_invalidates_memos(self, diamond_catalog, diamond_schema_fixture):
+        database = HiddenWebDatabase(
+            diamond_catalog, diamond_schema_fixture,
+            AttributeOrderRanking("price", ascending=True),
+            system_k=10, name="memo-db",
+        )
+        before_values = database.attribute_values("price")
+        before_histogram = database.value_multiplicity("price")
+        victim = dict(database._ranked_rows[0])
+        new_price = max(before_values) + 17.0
+        database.apply_delta(upserts=[dict(victim, price=new_price)])
+        after_values = database.attribute_values("price")
+        assert new_price in after_values
+        assert sorted(after_values) != sorted(before_values)
+        after_histogram = database.value_multiplicity("price")
+        assert after_histogram.get(new_price, 0) >= 1
+        assert after_histogram != before_histogram

@@ -453,3 +453,139 @@ class TestNumericValueSemantics:
         ):
             matched = self._assert_engines_agree(naive, indexed, query)
             assert matched == []
+
+
+#: Every columnar backend knob value the engines must agree across
+#: (``"buffer"`` resolves to numpy when importable and ``"array"`` otherwise,
+#: so numpy machines exercise all three concrete layouts).
+BACKENDS = ("list", "array", "buffer")
+
+
+def backend_pair(rows, schema, ranking, k, backend):
+    """A naive reference database plus an indexed one on ``backend``."""
+    catalog = ColumnTable.from_rows(rows)
+    naive = HiddenWebDatabase(
+        catalog, schema, ranking, system_k=k, engine="naive",
+        name="naive-db", columnar_backend="list",
+    )
+    indexed = HiddenWebDatabase(
+        catalog, schema, ranking, system_k=k, engine="indexed",
+        name=f"indexed-{backend}", columnar_backend=backend,
+    )
+    return naive, indexed
+
+
+class TestBackendDifferential:
+    """The buffer backends must be as observationally invisible as the
+    indexed engine itself: naive scan, list-columnar, and buffer-columnar
+    databases return byte-identical pages and the same trichotomy outcome
+    for every query — including on mixed-type/NaN/bool columns (which must
+    refuse packing) and on catalogs rebuilt by ``apply_delta``."""
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("seed", [7, 23])
+    def test_backends_agree_on_random_workloads(self, backend, seed):
+        rng = random.Random(seed)
+        rows = make_rows(rng, 350)
+        schema = make_schema()
+        ranking = RANKINGS[(seed + 1) % len(RANKINGS)]
+        naive, indexed = backend_pair(rows, schema, ranking, 9, backend)
+        _, list_db = backend_pair(rows, schema, ranking, 9, "list")
+        outcomes = set()
+        for _ in range(100):
+            query = random_query(rng, rows)
+            reference = naive.search(query)
+            assert_identical(reference, indexed.search(query), query)
+            assert_identical(reference, list_db.search(query), query)
+            outcomes.add(reference.outcome)
+        assert len(outcomes) == 3, "workload must exercise the full trichotomy"
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_backends_agree_after_apply_delta(self, backend):
+        rng = random.Random(41)
+        rows = make_rows(rng, 250)
+        schema = make_schema()
+        naive, indexed = backend_pair(rows, schema, RANKINGS[0], 8, backend)
+        # A mixed change-set: value updates, fresh inserts, and deletes.
+        upserts = [dict(rows[i], price=round(rng.uniform(0, 100), 1)) for i in (3, 77, 140)]
+        upserts += [
+            {"id": f"n{i}", "price": round(rng.uniform(0, 100), 1),
+             "size": float(rng.randint(0, 10)), "kind": rng.choice(KINDS)}
+            for i in range(5)
+        ]
+        deletes = [rows[i]["id"] for i in (10, 200, 249)]
+        naive.apply_delta(upserts=upserts, deletes=deletes)
+        indexed.apply_delta(upserts=upserts, deletes=deletes)
+        current_rows = rows[:]  # for query generation only; values still span the grid
+        for _ in range(80):
+            query = random_query(rng, current_rows)
+            assert_identical(naive.search(query), indexed.search(query), query)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_backend_survives_delta_rebuild(self, backend):
+        from repro.webdb import arrays
+
+        rng = random.Random(9)
+        rows = make_rows(rng, 40)
+        _, indexed = backend_pair(rows, make_schema(), RANKINGS[0], 5, backend)
+        resolved = arrays.resolve_backend(backend)
+        assert indexed.columnar_backend == resolved
+        indexed.apply_delta(deletes=[rows[0]["id"]])
+        assert indexed.columnar_backend == resolved
+        assert f"backend={resolved}" in indexed.describe()
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_mixed_nan_bool_columns_agree(self, backend):
+        """Columns that must refuse buffer packing (NaN, bool, mixed types)
+        keep the engines byte-identical on every backend.  NaN rows cannot
+        pass schema validation, so this drives the raw engines directly."""
+        from repro.webdb.engine import IndexedColumnarEngine, NaiveScanEngine
+        from repro.webdb.indexes import ColumnarCatalog
+
+        rng = random.Random(67)
+        rows = []
+        for i in range(120):
+            roll = rng.random()
+            if roll < 0.10:
+                value = math.nan
+            elif roll < 0.20:
+                value = rng.random() < 0.5
+            elif roll < 0.35:
+                value = rng.randint(0, 20)
+            elif roll < 0.45:
+                value = f"label-{rng.randint(0, 3)}"
+            else:
+                value = round(rng.uniform(0.0, 20.0), 1)
+            rows.append({"id": f"t{i}", "x": value, "y": float(i % 7)})
+        order = list(rows[0].keys())
+        naive = NaiveScanEngine(rows)
+        indexed = IndexedColumnarEngine(ColumnarCatalog(rows, order, "id", backend))
+        for _ in range(60):
+            lower, upper = sorted((rng.uniform(-2, 22), rng.uniform(-2, 22)))
+            query = SearchQuery(
+                (
+                    RangePredicate("x", lower, upper, rng.random() < 0.5, rng.random() < 0.5),
+                    RangePredicate("y", 0.0, rng.uniform(0.0, 7.0)),
+                )
+            )
+            for k in (5, 30):
+                naive_rows, naive_overflow = naive.execute(query, k)
+                indexed_rows, indexed_overflow = indexed.execute(query, k)
+                assert naive_overflow == indexed_overflow, f"query: {query!r}"
+                assert [list(row.items()) for row in naive_rows] == [
+                    list(row.items()) for row in indexed_rows
+                ], f"query: {query!r}"
+
+    def test_numpy_backend_requires_numpy(self, monkeypatch):
+        from repro.webdb import arrays
+
+        if arrays.numpy_available():
+            monkeypatch.setattr(arrays, "_np", None)
+        with pytest.raises(ValueError, match="numpy"):
+            arrays.resolve_backend("numpy")
+        assert arrays.resolve_backend("buffer") == "array"
+
+    def test_unknown_backend_rejected(self):
+        rng = random.Random(1)
+        with pytest.raises(ValueError, match="unknown columnar backend"):
+            backend_pair(make_rows(rng, 10), make_schema(), RANKINGS[0], 5, "rowwise")

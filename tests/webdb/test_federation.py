@@ -308,3 +308,66 @@ class TestFederatedInterface:
         assert federation.true_ranking(query, score, limit=12) == (
             reference_db.true_ranking(query, score, limit=12)
         )
+
+
+class TestStreamingFederationLoad:
+    """``build_federation_from_store`` must produce shard-for-shard the same
+    federation the eager ``build_federation`` builds, for both partitioning
+    modes — streaming is a loading strategy, never a semantic change."""
+
+    @pytest.fixture()
+    def seeded_store(self, diamond_catalog, diamond_schema_fixture):
+        from repro.sqlstore.store import SQLiteTupleStore
+
+        store = SQLiteTupleStore(diamond_schema_fixture)
+        store.upsert(diamond_catalog.to_rows())
+        yield store
+        store.close()
+
+    @pytest.mark.parametrize("by", ["rank", "price"])
+    def test_streamed_federation_matches_eager(
+        self, seeded_store, diamond_catalog, diamond_schema_fixture, by
+    ):
+        import random
+
+        from repro.webdb.federation import build_federation_from_store
+        from repro.webdb.query import RangePredicate
+
+        eager = make_federation(
+            diamond_catalog, diamond_schema_fixture, shards=3, by=by,
+        )
+        streamed = build_federation_from_store(
+            seeded_store, diamond_schema_fixture, RANKING,
+            shards=3, by=by, name="fedtest", system_k=10, batch_size=73,
+        )
+        assert len(streamed.shards) == len(eager.shards)
+        for eager_shard, streamed_shard in zip(eager.shards, streamed.shards):
+            assert streamed_shard.size == eager_shard.size
+            assert [dict(row) for row in streamed_shard._ranked_rows] == [
+                dict(row) for row in eager_shard._ranked_rows
+            ]
+        rng = random.Random(3)
+        for _ in range(25):
+            lower = rng.uniform(200.0, 15000.0)
+            query = SearchQuery(
+                (RangePredicate("price", lower, lower * rng.uniform(1.1, 2.5)),)
+            )
+            expected = eager.search(query)
+            actual = streamed.search(query)
+            assert actual.outcome is expected.outcome
+            assert [list(row.items()) for row in actual.rows] == [
+                list(row.items()) for row in expected.rows
+            ]
+
+    def test_streamed_shards_report_buffer_backend(
+        self, seeded_store, diamond_schema_fixture
+    ):
+        from repro.webdb import arrays
+        from repro.webdb.federation import build_federation_from_store
+
+        federation = build_federation_from_store(
+            seeded_store, diamond_schema_fixture, RANKING, shards=2,
+        )
+        resolved = arrays.resolve_backend("buffer")
+        for shard in federation.shards:
+            assert shard.columnar_backend == resolved
