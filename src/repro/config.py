@@ -13,6 +13,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Optional
 
+from repro.webdb.faults import FaultPlan
+from repro.webdb.resilience import ResilienceConfig
+
 
 @dataclass(frozen=True)
 class DatabaseConfig:
@@ -32,7 +35,14 @@ class DatabaseConfig:
         model draws random delays.
     fail_rate:
         Probability that a query transiently fails (the client retries).
-        Mimics flaky remote endpoints; ``0.0`` in tests.
+        Mimics flaky remote endpoints; ``0.0`` in tests.  Shorthand for a
+        :class:`~repro.webdb.faults.FaultPlan` with only ``transient_rate``
+        set — an explicit ``fault_plan`` overrides it.
+    fault_plan:
+        Deterministic fault schedule wrapped around every source (and every
+        shard of a federated source) built from this configuration; see
+        :class:`~repro.webdb.faults.FaultPlan`.  ``None`` (plus
+        ``fail_rate == 0``) keeps the sources perfectly reliable.
     seed:
         Seed for the database's internal randomness (latency draws, failure
         draws).  Catalog generation takes its own seed.
@@ -79,6 +89,21 @@ class DatabaseConfig:
     shard_by: str = "rank"
     latency_sleep: bool = False
     columnar_backend: str = "buffer"
+    fault_plan: Optional[FaultPlan] = None
+
+    def effective_fault_plan(self) -> Optional[FaultPlan]:
+        """The fault schedule this configuration asks for: the explicit
+        ``fault_plan`` when set, otherwise a transient-only plan derived from
+        the legacy ``fail_rate`` knob, otherwise ``None``."""
+        if self.fault_plan is not None:
+            return None if self.fault_plan.is_noop else self.fault_plan
+        if self.fail_rate > 0.0:
+            return FaultPlan(seed=self.seed, transient_rate=self.fail_rate)
+        return None
+
+    def with_fault_plan(self, plan: Optional[FaultPlan]) -> "DatabaseConfig":
+        """Return a copy of this configuration with a fault schedule set."""
+        return replace(self, fault_plan=plan)
 
     def with_latency(self, seconds: float, sleep: Optional[bool] = None) -> "DatabaseConfig":
         """Return a copy of this configuration with a different latency
@@ -180,6 +205,11 @@ class RerankConfig:
         emissions TA-style, which tolerates heterogeneous per-shard ``k``
         at the cost of per-shard descents.  Both modes emit byte-identical
         pages in the same order as the unsharded reference.
+    resilience:
+        Retry / circuit-breaker / deadline policy applied to every source
+        query (see :class:`~repro.webdb.resilience.ResilienceConfig`).  The
+        defaults are inert against reliable sources — no fault means no
+        retry and a breaker that never opens — so resilience is always on.
     """
 
     dense_ratio_threshold: float = 0.005
@@ -199,6 +229,7 @@ class RerankConfig:
     rerank_feed_size: int = 256
     rerank_feed_ttl_seconds: Optional[float] = None
     federation_mode: str = "scatter"
+    resilience: ResilienceConfig = field(default_factory=ResilienceConfig)
 
     def without_parallel(self) -> "RerankConfig":
         """Copy of this configuration with parallel processing disabled."""
@@ -237,6 +268,10 @@ class RerankConfig:
         if mode not in ("scatter", "merge"):
             raise ValueError(f"unknown federation mode {mode!r}")
         return replace(self, federation_mode=mode)
+
+    def with_resilience(self, resilience: ResilienceConfig) -> "RerankConfig":
+        """Copy of this configuration with a different resilience policy."""
+        return replace(self, resilience=resilience)
 
 
 @dataclass(frozen=True)
@@ -284,6 +319,13 @@ class ServiceConfig:
         tier (runs :meth:`~repro.service.app.QR2Service.expire_idle_sessions`
         on a timer thread, started and stopped with the tier); ``None``
         disables the reaper.
+    ``request_deadline_seconds``
+        Wall-clock ceiling on one admitted request's execution in the
+        concurrent tier; a request that exceeds it fails with a structured
+        ``503`` (:class:`~repro.exceptions.DeadlineExceededError`) while the
+        worker finishes in the background.  ``None`` disables the ceiling.
+        Distinct from the *simulated* per-query deadline of
+        :attr:`RerankConfig.resilience`, which bounds a single scatter.
 
     The ``warming_*`` knobs configure the background feed warmer
     (:mod:`repro.service.warming`), which re-leads retired feeds and
@@ -315,6 +357,7 @@ class ServiceConfig:
     admission_queue_depth: int = 64
     slo_p99_seconds: Optional[float] = None
     reaper_interval_seconds: Optional[float] = None
+    request_deadline_seconds: Optional[float] = None
     warming_interval_seconds: Optional[float] = None
     warming_top_requests: int = 8
     warming_pages: int = 2
@@ -357,6 +400,13 @@ class ServiceConfig:
         if reaper_interval_seconds is not None:
             updated = replace(updated, reaper_interval_seconds=reaper_interval_seconds)
         return updated
+
+    def with_request_deadline(self, seconds: Optional[float]) -> "ServiceConfig":
+        """Copy of this configuration with the concurrent tier's per-request
+        wall-clock deadline set (``None`` disables it)."""
+        if seconds is not None and seconds <= 0:
+            raise ValueError("request_deadline_seconds must be positive")
+        return replace(self, request_deadline_seconds=seconds)
 
 
 DEFAULT_DATABASE_CONFIG = DatabaseConfig()

@@ -33,11 +33,12 @@ into ``close()``.
 from __future__ import annotations
 
 import threading
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.core.functions import UserRankingFunction
 from repro.core.getnext import GetNextStream, Row
 from repro.core.session import Session
+from repro.exceptions import SourceUnavailableError
 
 
 class ShardStreamGroup:
@@ -90,6 +91,17 @@ class FederatedGetNext:
     shard streams run on private sessions (exactly like the TA sub-streams),
     so tuples the *user's* session was already handed in an earlier request
     are skipped at the merge, matching the live algorithms' behaviour.
+
+    With ``skip_shard`` wired (to
+    :meth:`~repro.webdb.federation.FederatedInterface.shard_circuit_open`)
+    the merge degrades instead of failing when a shard is dark: shards whose
+    breaker is open — or whose advance raises
+    :class:`~repro.exceptions.SourceUnavailableError` — are passed over for
+    that call, the emission is recorded as degraded (so shared feeds refuse
+    to extend their verified prefix from it), and the shard re-joins the
+    merge as soon as its breaker admits calls again.  Tuples the dark shard
+    would have ranked earlier are emitted late, never lost — the per-user
+    dedup keeps the healed stream consistent.
     """
 
     variant = "federated-merge"
@@ -100,6 +112,7 @@ class FederatedGetNext:
         ranking: UserRankingFunction,
         session: Session,
         key_column: str,
+        skip_shard: Optional[Callable[[int], bool]] = None,
     ) -> None:
         if not streams:
             raise ValueError("a federated merge needs at least one shard stream")
@@ -112,27 +125,52 @@ class FederatedGetNext:
         self._heads: List[Optional[Row]] = [None] * len(self._streams)
         self._exhausted = [False] * len(self._streams)
         self._merged = 0
+        self._skip_shard = skip_shard
+        self._degraded_emissions = 0
 
     @property
     def emitted(self) -> int:
         """Tuples emitted through the merge so far."""
         return self._merged
 
-    def _refill(self) -> None:
+    @property
+    def degraded_emissions(self) -> int:
+        """Emissions produced while at least one shard was skipped (their
+        global-order guarantee is suspended until the shard heals)."""
+        return self._degraded_emissions
+
+    def _refill(self) -> List[int]:
         """Advance every shard stream whose head slot is empty (lazy: after
-        warm-up only the shard that just emitted has an empty slot)."""
+        warm-up only the shard that just emitted has an empty slot).
+
+        Returns the indexes of shards skipped this round — breaker open or
+        advance unavailable.  Skipped shards keep an empty head but are *not*
+        exhausted; a later call retries them."""
+        skipped: List[int] = []
         for index, stream in enumerate(self._streams):
             if self._heads[index] is None and not self._exhausted[index]:
-                row = stream.get_next()
+                if self._skip_shard is not None and self._skip_shard(index):
+                    # Open circuit: don't even ask — the whole point is not
+                    # paying the dead shard's timeout on every advance.
+                    skipped.append(index)
+                    continue
+                try:
+                    row = stream.get_next()
+                except SourceUnavailableError:
+                    skipped.append(index)
+                    continue
                 if row is None:
                     self._exhausted[index] = True
                 else:
                     self._heads[index] = row
+        return skipped
 
     def next(self) -> Optional[Dict[str, object]]:
         """Return the next tuple of the merged global order, or ``None``."""
+        degraded_call = False
         while True:
-            self._refill()
+            skipped = self._refill()
+            degraded_call = degraded_call or bool(skipped)
             best_index: Optional[int] = None
             best_key = None
             for index, head in enumerate(self._heads):
@@ -142,6 +180,13 @@ class FederatedGetNext:
                 if best_key is None or candidate < best_key:
                     best_index, best_key = index, candidate
             if best_index is None:
+                if skipped:
+                    # Every reachable shard is exhausted but dark shards may
+                    # still hold tuples: claiming exhaustion would be a lie.
+                    raise SourceUnavailableError(
+                        "federated merge: shard stream(s) "
+                        f"{sorted(skipped)} unavailable and no live head remains"
+                    )
                 self._statistics.record_get_next(returned=False)
                 return None
             row = self._heads[best_index]
@@ -151,6 +196,9 @@ class FederatedGetNext:
                 # Handed to this user in an earlier request: skip, exactly as
                 # the live algorithms skip session-emitted tuples.
                 continue
+            if degraded_call:
+                self._degraded_emissions += 1
+                self._statistics.record_degraded_result()
             self._session.mark_emitted(row, self._key_column)
             self._statistics.record_get_next(returned=True)
             self._merged += 1

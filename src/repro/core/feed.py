@@ -257,6 +257,7 @@ class RerankFeed:
         row: Optional[Row] = None
         completed = False
         mark = producer.statistics.checkpoint() if statistics is not None else None
+        degradation_before = producer.statistics.degradation_mark()
         try:
             row = producer.algorithm.next()
             completed = True
@@ -264,6 +265,9 @@ class RerankFeed:
             if statistics is not None and mark is not None:
                 statistics.absorb_since(producer.statistics, mark)
             fresh = self._generation_probe() == self.generation
+            degraded_advance = (
+                producer.statistics.degradation_mark() != degradation_before
+            )
             stray: Optional[FeedProducer] = None
             with self._condition:
                 self._advancing = False
@@ -271,6 +275,14 @@ class RerankFeed:
                     if row is None:
                         self._exhausted = True
                     else:
+                        if degraded_advance:
+                            # The advance ran against a partially reachable
+                            # (or stale-served) source, so this row's place in
+                            # the canonical order is not certified.  The
+                            # leader still gets its row, but the feed is
+                            # poisoned: the store stops handing it to new
+                            # sessions and a healthy feed is rebuilt fresh.
+                            self._stale = True
                         if not fresh:
                             # Produced after an invalidation: the prefix from
                             # here on is stale.  Keep serving the streams that

@@ -36,11 +36,29 @@ from typing import List, Optional, Sequence, Tuple
 
 from repro.config import RerankConfig
 from repro.core.stats import RerankStatistics
-from repro.exceptions import EngineShutdownError
+from repro.exceptions import EngineShutdownError, SourceUnavailableError
 from repro.webdb.cache import FetchStatus, QueryResultCache, default_namespace
 from repro.webdb.counters import QueryBudget, QueryLog
 from repro.webdb.interface import SearchResult, TopKInterface
 from repro.webdb.query import SearchQuery
+from repro.webdb.resilience import ResilienceStatistics
+
+
+def _locate_resilience_statistics(
+    interface: TopKInterface,
+) -> Optional[ResilienceStatistics]:
+    """Walk the interface's wrapper chain for the shared resilience counters
+    (a :class:`~repro.webdb.resilience.ResilientInterface` or a configured
+    :class:`~repro.webdb.federation.FederatedInterface` exposes them)."""
+    current: Optional[object] = interface
+    for _ in range(16):
+        if current is None:
+            return None
+        stats = getattr(current, "resilience_statistics", None)
+        if isinstance(stats, ResilienceStatistics):
+            return stats
+        current = getattr(current, "inner", None) or getattr(current, "_inner", None)
+    return None
 
 
 class QueryEngine:
@@ -68,6 +86,8 @@ class QueryEngine:
         self._group_lock = threading.Lock()
         self._executor: Optional[ThreadPoolExecutor] = None
         self._closed = False
+        self._resilience_stats: Optional[ResilienceStatistics] = None
+        self._resilience_resolved = False
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -128,6 +148,15 @@ class QueryEngine:
         with self._group_lock:
             self._group_counter += 1
             return self._group_counter
+
+    def _locate_resilience(self) -> Optional[ResilienceStatistics]:
+        # Resolved lazily (and re-probed while unresolved) because the
+        # reranker configures the federation's guards after the engine is
+        # constructed; once found the counters object never changes.
+        if not self._resilience_resolved:
+            self._resilience_stats = _locate_resilience_statistics(self._interface)
+            self._resilience_resolved = self._resilience_stats is not None
+        return self._resilience_stats
 
     def _pool(self) -> ThreadPoolExecutor:
         if self._executor is None:
@@ -210,19 +239,25 @@ class QueryEngine:
         # atomically, before issuing anything.
         self._budget.charge(len(pending))
 
-        # Phase 3: issue the misses.  Failures must not leak budget: charges
-        # for queries that were never issued (sequential tail after an error)
-        # or that coalesced onto another caller's round trip are refunded
+        # Phase 3: issue the misses.  Failures must not leak budget: the
+        # charge for a round trip that failed (source unavailable, timed
+        # out, circuit open), was never issued (sequential tail after an
+        # error), or coalesced onto another caller's round trip is refunded
         # before any exception propagates, keeping ``budget.used`` equal to
-        # the round trips actually attempted.
+        # the round trips that actually *answered*.
         #
         # Parallel groups against interfaces advertising batched search go
         # out as one ``search_many`` call, which amortizes the execution
         # engine's plan setup across the group's queries; coalescing and
         # duplicate-in-group reuse are preserved by the cache's batched
-        # fetch.  Sequential mode keeps the one-by-one loop: its documented
-        # mid-group failure semantics (attempted queries stay charged, the
-        # unissued tail is refunded) depend on per-query issuance.
+        # fetch.  Sequential mode keeps the one-by-one loop: mid-group
+        # failure refunds both the failed attempt and the unissued tail.
+        resilience_stats = self._locate_resilience()
+        retries_before = (
+            int(resilience_stats.snapshot()["retries"])
+            if resilience_stats is not None and pending
+            else 0
+        )
         use_parallel = self._config.enable_parallel and len(pending) > 1
         use_batch = use_parallel and bool(
             getattr(self._interface, "supports_batched_search", False)
@@ -276,6 +311,8 @@ class QueryEngine:
                 try:
                     resolved.append(future.result())
                 except BaseException as error:  # noqa: BLE001 - re-raised below
+                    # Attempted but never answered: hand the charge back.
+                    self._budget.refund(1)
                     resolved.append(None)
                     if first_error is None:
                         first_error = error
@@ -289,17 +326,28 @@ class QueryEngine:
                 try:
                     resolved.append(self._resolve_miss(query, use_cache))
                 except BaseException as error:  # noqa: BLE001 - re-raised below
+                    self._budget.refund(1)
                     resolved.append(None)
                     first_error = error
 
         issued_latencies: List[float] = []
+        degraded = 0
+        stale = 0
         for (index, _), outcome in zip(pending, resolved):
             if outcome is None:
                 continue
             result, status = outcome
             results[index] = result
+            if result.degraded:
+                degraded += 1
+            if result.stale:
+                stale += 1
             if status is FetchStatus.MISS:
                 issued_latencies.append(result.elapsed_seconds)
+            elif status is FetchStatus.STALE:
+                # The round trip failed and a generation-stale entry answered
+                # instead; the failed attempt is not a paid answer.
+                self._budget.refund(1)
             else:
                 # Another caller paid the round trip (or stored an entry —
                 # exact or covering — between our probe and the fetch): hand
@@ -339,21 +387,46 @@ class QueryEngine:
             self.statistics.record_contained_answer(contained)
         if coalesced:
             self.statistics.record_coalesced_query(coalesced)
+        if degraded:
+            self.statistics.record_degraded_result(degraded)
+        if stale:
+            self.statistics.record_stale_serve(stale)
+        if resilience_stats is not None and pending:
+            # Best-effort attribution: the guards' counters are shared across
+            # concurrent requests, so the delta may include a neighbour's
+            # retries; the aggregate across all requests stays exact.
+            retried = int(resilience_stats.snapshot()["retries"]) - retries_before
+            if retried > 0:
+                self.statistics.record_retried_query(retried)
         return [result for result in results if result is not None]
 
     def _resolve_miss(
         self, query: SearchQuery, use_cache: bool
     ) -> Tuple[SearchResult, FetchStatus]:
         """Resolve one query that missed the probe: through the coalescing
-        cache when enabled, directly against the interface otherwise."""
+        cache when enabled, directly against the interface otherwise.
+
+        When the source is unavailable (retries exhausted, circuit open) and
+        the resilience policy allows it, a generation-stale cache entry — an
+        answer flushed by an earlier invalidation, still within its TTL —
+        is served instead of failing, marked ``stale``/``degraded``."""
         if use_cache:
             assert self._cache is not None
-            return self._cache.fetch(
-                self._cache_namespace,
-                query,
-                self._interface.system_k,
-                lambda: self._interface.search(query),
-            )
+            try:
+                return self._cache.fetch(
+                    self._cache_namespace,
+                    query,
+                    self._interface.system_k,
+                    lambda: self._interface.search(query),
+                )
+            except SourceUnavailableError:
+                if self._config.resilience.serve_stale_on_error:
+                    stale = self._cache.serve_stale(
+                        self._cache_namespace, query, self._interface.system_k
+                    )
+                    if stale is not None:
+                        return stale, FetchStatus.STALE
+                raise
         return self._interface.search(query), FetchStatus.MISS
 
     def shutdown(self) -> None:

@@ -134,6 +134,10 @@ class QueryReranker:
                 and self._federation.result_cache is None
             ):
                 self._federation.attach_cache(self._result_cache)
+            # Install the retry/breaker guards so every scatter below the
+            # facade runs under the configured resilience policy (idempotent
+            # for rerankers sharing one federation with equal configs).
+            self._federation.configure_resilience(self._config.resilience)
             self._shard_dense_indexes: Dict[int, DenseRegionIndex] = {
                 index: DenseRegionIndex(
                     interface.schema, impl=self._config.dense_index_impl
@@ -194,6 +198,26 @@ class QueryReranker:
         Sessions asking for the same canonical *(query, ranking, algorithm)*
         share one materialized Get-Next stream through it."""
         return self._feed_store
+
+    def resilience_snapshot(self) -> Optional[Dict[str, object]]:
+        """Aggregated retry/breaker/degradation counters for the statistics
+        panel — the federation's when this reranker serves a sharded source,
+        otherwise the :class:`~repro.webdb.resilience.ResilientInterface`
+        wrapper's (found by walking the interface chain); ``None`` when no
+        resilience layer is installed."""
+        if self._federation is not None:
+            return self._federation.resilience_snapshot()
+        current: object = self._interface
+        for _ in range(16):
+            snapshot = getattr(current, "resilience_snapshot", None)
+            if callable(snapshot):
+                return snapshot()
+            current = getattr(current, "inner", None) or getattr(
+                current, "_inner", None
+            )
+            if current is None:
+                return None
+        return None
 
     def close(self) -> None:
         """Release shared resources: every feed's producer engine is shut
@@ -543,7 +567,13 @@ class QueryReranker:
                 )
             )
         merged = FederatedGetNext(
-            streams, merge_ranking, session, self._interface.key_column
+            streams,
+            merge_ranking,
+            session,
+            self._interface.key_column,
+            # Open-circuit shards are passed over instead of paying their
+            # timeout on every advance; the merge marks itself degraded.
+            skip_shard=federation.shard_circuit_open,
         )
         return merged, ShardStreamGroup(streams)
 

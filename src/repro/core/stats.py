@@ -40,6 +40,9 @@ class RerankStatistics:
     feed_hits: int = 0
     feed_replayed_tuples: int = 0
     feed_leader_advances: int = 0
+    degraded_results: int = 0
+    stale_serves: int = 0
+    retried_queries: int = 0
 
     def __post_init__(self) -> None:
         self._lock = threading.Lock()
@@ -146,6 +149,35 @@ class RerankStatistics:
         with self._lock:
             self.feed_leader_advances += count
 
+    def record_degraded_result(self, count: int = 1) -> None:
+        """Record external queries answered *partially*: one or more
+        federated shards were unreachable and the merged result was marked
+        degraded instead of failing the request."""
+        with self._lock:
+            self.degraded_results += count
+
+    def record_stale_serve(self, count: int = 1) -> None:
+        """Record external queries answered from a generation-stale cache
+        entry while the live source was unavailable."""
+        with self._lock:
+            self.stale_serves += count
+
+    def record_retried_query(self, count: int = 1) -> None:
+        """Record external queries that needed at least one retry."""
+        with self._lock:
+            self.retried_queries += count
+
+    def degradation_mark(self) -> Dict[str, int]:
+        """Mark of the degradation counters; compare a later mark to detect
+        that an operation served degraded or stale data (the shared rerank
+        feed uses this to refuse extending its verified prefix from a
+        degraded advance)."""
+        with self._lock:
+            return {
+                "degraded_results": self.degraded_results,
+                "stale_serves": self.stale_serves,
+            }
+
     # ------------------------------------------------------------------ #
     # Derived metrics
     # ------------------------------------------------------------------ #
@@ -211,6 +243,9 @@ class RerankStatistics:
                 "feed_hits": self.feed_hits,
                 "feed_replayed_tuples": self.feed_replayed_tuples,
                 "feed_leader_advances": self.feed_leader_advances,
+                "degraded_results": self.degraded_results,
+                "stale_serves": self.stale_serves,
+                "retried_queries": self.retried_queries,
             }
 
     # ------------------------------------------------------------------ #
@@ -235,6 +270,9 @@ class RerankStatistics:
         "dense_index_hits",
         "dense_regions_built",
         "crawled_tuples",
+        "degraded_results",
+        "stale_serves",
+        "retried_queries",
     )
 
     def checkpoint(self) -> Dict[str, float]:
@@ -287,3 +325,6 @@ class RerankStatistics:
             self.feed_hits += other.feed_hits
             self.feed_replayed_tuples += other.feed_replayed_tuples
             self.feed_leader_advances += other.feed_leader_advances
+            self.degraded_results += other.degraded_results
+            self.stale_serves += other.stale_serves
+            self.retried_queries += other.retried_queries

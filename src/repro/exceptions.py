@@ -7,6 +7,8 @@ service boundary while still being able to distinguish failure modes.
 
 from __future__ import annotations
 
+from typing import Optional
+
 
 class QR2Error(Exception):
     """Base class for every error raised by this library."""
@@ -75,3 +77,45 @@ class WireFormatError(QR2Error):
 
 class RemoteInterfaceError(QR2Error):
     """The HTTP-backed search interface returned an error response."""
+
+
+class SourceUnavailableError(QR2Error):
+    """A source (or shard) could not answer a query: every retry failed, its
+    circuit breaker is open, or its fault schedule says it is down.  Carries
+    the simulated time already paid waiting on the source and, when known, a
+    hint for when a retry could succeed.  The HTTP layer maps this to a
+    ``503 Service Unavailable`` response."""
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        source: str = "",
+        elapsed_seconds: float = 0.0,
+        retry_after_seconds: Optional[float] = None,
+    ) -> None:
+        super().__init__(message)
+        self.source = source
+        self.elapsed_seconds = elapsed_seconds
+        self.retry_after_seconds = retry_after_seconds
+
+
+class SourceTimeoutError(SourceUnavailableError):
+    """A source query exceeded its per-attempt timeout (the fault schedule
+    stalled the round trip past the resilience policy's patience)."""
+
+
+class CircuitOpenError(SourceUnavailableError):
+    """The source's circuit breaker is open: recent failures tripped it, so
+    the call was rejected *without* paying the source's round trip.  The
+    ``retry_after_seconds`` hint is the time until the breaker admits a
+    half-open probe."""
+
+
+class DeadlineExceededError(QR2Error):
+    """The per-query deadline was exhausted before the scatter-gather (or
+    retry loop) completed.  The HTTP layer maps this to a ``503``."""
+
+    def __init__(self, message: str, *, elapsed_seconds: float = 0.0) -> None:
+        super().__init__(message)
+        self.elapsed_seconds = elapsed_seconds

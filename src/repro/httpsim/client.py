@@ -17,11 +17,12 @@ import time
 import urllib.error
 import urllib.request
 from abc import ABC, abstractmethod
-from typing import Mapping, Optional
+from typing import Callable, Mapping, Optional
 from urllib.parse import urlencode
 
 from repro.exceptions import RemoteInterfaceError
 from repro.httpsim.messages import HttpRequest, HttpResponse
+from repro.webdb.resilience import RetryPolicy
 
 
 class Transport(ABC):
@@ -70,23 +71,46 @@ class UrllibTransport(Transport):
 
 
 class HttpClient:
-    """Small ``requests``-like client with retries for transient failures."""
+    """Small ``requests``-like client with retries for transient failures.
+
+    Retryable outcomes are transport errors, 5xx statuses, and 429s.  The
+    waits between attempts come from a seeded
+    :class:`~repro.webdb.resilience.RetryPolicy` (capped exponential backoff
+    with decorrelated jitter), so a replayed call sequence replays its delay
+    sequence byte for byte; a 429 carrying ``Retry-After`` overrides the
+    jittered delay with the server's own hint.  ``sleeper`` is injectable so
+    tests and simulations observe the chosen delays without sleeping.
+    """
 
     def __init__(
         self,
         transport: Transport,
         max_retries: int = 2,
         backoff_seconds: float = 0.0,
+        backoff_cap_seconds: float = 2.0,
+        backoff_seed: int = 17,
+        sleeper: Optional[Callable[[float], None]] = None,
     ) -> None:
         if max_retries < 0:
             raise ValueError("max_retries must be non-negative")
         self._transport = transport
         self._max_retries = max_retries
-        self._backoff = backoff_seconds
+        self._policy = RetryPolicy(
+            max_attempts=max_retries + 1,
+            base_seconds=backoff_seconds,
+            cap_seconds=backoff_cap_seconds,
+            seed=backoff_seed,
+        )
+        self._sleeper = sleeper if sleeper is not None else time.sleep
         self.requests_sent = 0
+        self.retries = 0
+        self.rate_limited = 0
+        self.backoff_waited_seconds = 0.0
+        self._calls = 0
 
     def get(self, path: str, params: Optional[Mapping[str, str]] = None) -> HttpResponse:
-        """Send a GET request, retrying transient (5xx / transport) failures."""
+        """Send a GET request, retrying transient (5xx / 429 / transport)
+        failures."""
         request = HttpRequest.get(path, params)
         return self._send_with_retries(request)
 
@@ -100,20 +124,43 @@ class HttpClient:
         return response.json()
 
     def _send_with_retries(self, request: HttpRequest) -> HttpResponse:
+        token = self._calls
+        self._calls += 1
+        delays = self._policy.delays(token)
         last_error: Optional[Exception] = None
+        last_response: Optional[HttpResponse] = None
         for attempt in range(self._max_retries + 1):
+            retry_after: Optional[float] = None
             try:
                 self.requests_sent += 1
                 response = self._transport.send(request)
             except RemoteInterfaceError as exc:
-                last_error = exc
+                last_error, last_response = exc, None
             else:
-                if response.status < 500:
+                if response.status == 429:
+                    # Rate limited: the server told us to go away for a bit.
+                    self.rate_limited += 1
+                    retry_after = response.retry_after_seconds()
+                    last_error, last_response = None, response
+                elif response.status < 500:
                     return response
-                last_error = RemoteInterfaceError(
-                    f"server error {response.status} for {request.url}"
-                )
-            if attempt < self._max_retries and self._backoff > 0:
-                time.sleep(self._backoff * (attempt + 1))
+                else:
+                    last_error = RemoteInterfaceError(
+                        f"server error {response.status} for {request.url}"
+                    )
+                    last_response = None
+            if attempt >= self._max_retries:
+                break
+            self.retries += 1
+            wait = delays[attempt] if attempt < len(delays) else 0.0
+            if retry_after is not None and retry_after > 0:
+                wait = retry_after
+            if wait > 0:
+                self.backoff_waited_seconds += wait
+                self._sleeper(wait)
+        if last_response is not None:
+            # Retries exhausted while rate limited: surface the last 429 —
+            # the caller sees the status instead of a masked exception.
+            return last_response
         assert last_error is not None
         raise last_error

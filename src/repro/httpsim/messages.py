@@ -96,13 +96,28 @@ class HttpResponse:
             raise WireFormatError(f"invalid JSON response body: {exc}") from exc
 
     @staticmethod
-    def json_response(payload: object, status: int = 200) -> "HttpResponse":
-        """Build a JSON response."""
+    def json_response(
+        payload: object,
+        status: int = 200,
+        headers: Optional[Mapping[str, str]] = None,
+    ) -> "HttpResponse":
+        """Build a JSON response; extra ``headers`` win over the default
+        content type (the 429/503 paths attach ``Retry-After`` this way)."""
         return HttpResponse(
             status=status,
-            headers={"content-type": "application/json"},
+            headers=merge_headers({"content-type": "application/json"}, headers or {}),
             body=json.dumps(payload),
         )
+
+    def retry_after_seconds(self) -> Optional[float]:
+        """Parsed ``Retry-After`` header (seconds form), or ``None``."""
+        for key, value in self.headers.items():
+            if key.lower() == "retry-after":
+                try:
+                    return float(value)
+                except ValueError:
+                    return None
+        return None
 
     @staticmethod
     def error(status: int, message: str) -> "HttpResponse":

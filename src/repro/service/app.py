@@ -119,6 +119,9 @@ class QR2Service:
             "feeds_retired": 0,
             "spill_entries_pruned": 0,
         }
+        # Pages served with the degradation counters moving underneath them
+        # (a shard dark, a stale serve): cumulative, service scope.
+        self._degraded_pages = 0
         self._popularity = PopularityTracker()
         self._warmer = FeedWarmer(
             self,
@@ -437,7 +440,15 @@ class QR2Service:
 
     def _serve_page(self, session_id: str) -> Dict[str, object]:
         request = self._active_request(session_id)
+        # Bracket the advance with the degradation counters: movement means
+        # some answer under this page came back partial or stale, and the
+        # page must say so instead of passing as a full answer.
+        mark = request.stream.statistics.degradation_mark()
         rows = request.stream.next_page(request.page_size)
+        degraded = request.stream.statistics.degradation_mark() != mark
+        if degraded:
+            with self._lock:
+                self._degraded_pages += 1
         request.pages_served += 1
         columns = request.source.result_columns or request.source.schema.columns()
         table = (
@@ -453,6 +464,7 @@ class QR2Service:
             "rows": [{name: row[name] for name in columns} for row in rows],
             "rendered": table.to_text(max_rows=request.page_size),
             "exhausted": request.stream.exhausted,
+            "degraded": degraded,
             "statistics": self._statistics_panel(request),
         }
 
@@ -499,7 +511,22 @@ class QR2Service:
             # to any one session).
             "invalidation": self._invalidation_snapshot(),
             "warming": self._warmer.snapshot(),
+            # Retries, breaker transitions, degraded/stale serving.  The
+            # ``source`` block is the guards' shared counters (``None`` when
+            # the source has no resilience layer); the per-request counters
+            # come from this request's statistics.
+            "resilience": {
+                "source": request.source.reranker.resilience_snapshot(),
+                "degraded_results": snapshot["degraded_results"],
+                "stale_serves": snapshot["stale_serves"],
+                "retried_queries": snapshot["retried_queries"],
+                "degraded_pages": self._degraded_pages_snapshot(),
+            },
         }
+
+    def _degraded_pages_snapshot(self) -> int:
+        with self._lock:
+            return self._degraded_pages
 
     def _invalidation_snapshot(self) -> Dict[str, int]:
         with self._lock:

@@ -44,6 +44,7 @@ import threading
 import uuid
 from collections import deque
 from concurrent.futures import Future
+from concurrent.futures import TimeoutError as FutureTimeoutError
 from time import monotonic
 from typing import Callable, Deque, Dict, List, Optional
 
@@ -115,6 +116,13 @@ class ConcurrentServingTier:
         self._max_in_flight = 0
         self._reaped_sessions = 0
         self._warming_runs = 0
+        self._deadline_timeouts = 0
+        # Maintenance-thread failures used to vanish into a bare ``continue``;
+        # they now surface in the snapshot so operators see a sick timer.
+        self._reaper_errors = 0
+        self._reaper_last_error = ""
+        self._warming_errors = 0
+        self._warming_last_error = ""
 
         self._threads: List[threading.Thread] = [
             threading.Thread(target=self._worker_loop, name=f"qr2-worker-{i}", daemon=True)
@@ -242,8 +250,19 @@ class ConcurrentServingTier:
                 "rejected": self._rejected,
                 "reaped_sessions": self._reaped_sessions,
                 "warming_runs": self._warming_runs,
+                "deadline_timeouts": self._deadline_timeouts,
+                "reaper_errors": self._reaper_errors,
+                "reaper_last_error": self._reaper_last_error,
+                "warming_errors": self._warming_errors,
+                "warming_last_error": self._warming_last_error,
                 "draining": self._draining,
             }
+
+    def record_deadline_timeout(self) -> None:
+        """Count one request whose caller gave up at the service deadline
+        (the job itself keeps running to completion on its worker)."""
+        with self._cond:
+            self._deadline_timeouts += 1
 
     # ------------------------------------------------------------------ #
     # Internals
@@ -278,18 +297,26 @@ class ConcurrentServingTier:
     def _reaper_loop(self, interval: float) -> None:
         while not self._reaper_stop.wait(interval):
             try:
-                self._reaped_sessions += self._service.expire_idle_sessions()
-            except Exception:  # noqa: BLE001 - the timer must survive
+                reaped = self._service.expire_idle_sessions()
+            except Exception as exc:  # noqa: BLE001 - the timer must survive
+                with self._cond:
+                    self._reaper_errors += 1
+                    self._reaper_last_error = f"{type(exc).__name__}: {exc}"
                 continue
+            with self._cond:
+                self._reaped_sessions += reaped
 
     def _warmer_loop(self, interval: float) -> None:
         while not self._reaper_stop.wait(interval):
             try:
                 self._service.warmer.warm_once()
+            except Exception as exc:  # noqa: BLE001 - the timer must survive
                 with self._cond:
-                    self._warming_runs += 1
-            except Exception:  # noqa: BLE001 - the timer must survive
+                    self._warming_errors += 1
+                    self._warming_last_error = f"{type(exc).__name__}: {exc}"
                 continue
+            with self._cond:
+                self._warming_runs += 1
 
 
 class ConcurrentQR2Application:
@@ -329,10 +356,32 @@ class ConcurrentQR2Application:
             future = self._tier.submit(lambda: self._inner.handle(request), key=key)
         except ServiceOverloadedError as exc:
             return HttpResponse.json_response(
-                {"error": str(exc), "retry": True}, status=429
+                {"error": str(exc), "retry": True},
+                status=429,
+                # Shed load with an explicit back-off hint; the simulated
+                # HTTP client honors it before its next attempt.
+                headers={"retry-after": "1"},
             )
+        deadline = self._service.config.request_deadline_seconds
         try:
-            return future.result()  # type: ignore[return-value]
+            return future.result(timeout=deadline)  # type: ignore[return-value]
+        except FutureTimeoutError:
+            # Distinct from 429: the request *was* admitted, the service just
+            # could not answer in time.  The job keeps its worker until it
+            # finishes; the client is told to come back, not to shed load.
+            self._tier.record_deadline_timeout()
+            return HttpResponse.json_response(
+                {
+                    "error": (
+                        "request exceeded the service deadline of "
+                        f"{deadline:.3f}s"
+                    ),
+                    "retry": True,
+                    "unavailable": True,
+                    "deadline_seconds": deadline,
+                },
+                status=503,
+            )
         except Exception as exc:  # noqa: BLE001 - the serving boundary
             return HttpResponse.json_response(
                 {

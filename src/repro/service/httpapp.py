@@ -25,7 +25,9 @@ import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, Optional, Tuple
 
-from repro.exceptions import QR2Error
+import math
+
+from repro.exceptions import DeadlineExceededError, QR2Error, SourceUnavailableError
 from repro.httpsim.messages import HttpRequest, HttpResponse
 from repro.service.app import QR2Service
 
@@ -45,12 +47,34 @@ class QR2HttpApplication:
     def handle(self, request: HttpRequest) -> HttpResponse:
         """Dispatch one request.
 
-        Expected application errors (:class:`QR2Error`) map to 400; anything
-        else is a bug in the service, reported as a structured 500 JSON body
-        instead of propagating and killing the calling handler/worker thread.
+        Expected application errors (:class:`QR2Error`) map to 400, except
+        the availability family — :class:`DeadlineExceededError` and
+        :class:`SourceUnavailableError` (which includes circuit-open and
+        timeout errors) — which maps to a structured 503 with a
+        ``Retry-After`` hint: the request was well-formed, the backing source
+        just cannot answer right now.  Anything else is a bug in the service,
+        reported as a structured 500 JSON body instead of propagating and
+        killing the calling handler/worker thread.
         """
         try:
             return self._route(request)
+        except (DeadlineExceededError, SourceUnavailableError) as exc:
+            # Must precede the QR2Error arm: both are QR2Error subclasses.
+            headers = {}
+            retry_after = getattr(exc, "retry_after_seconds", None)
+            if retry_after is not None and retry_after > 0:
+                headers["retry-after"] = str(int(math.ceil(retry_after)))
+            return HttpResponse.json_response(
+                {
+                    "error": str(exc),
+                    "unavailable": True,
+                    "retry": True,
+                    "exception": type(exc).__name__,
+                    "source": getattr(exc, "source", ""),
+                },
+                status=503,
+                headers=headers,
+            )
         except QR2Error as exc:
             return HttpResponse.error(400, str(exc))
         except Exception as exc:  # noqa: BLE001 - the serving boundary

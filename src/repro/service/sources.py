@@ -26,9 +26,11 @@ from repro.exceptions import DataSourceError
 from repro.sqlstore.dense_cache import DenseRegionCache
 from repro.webdb.cache import QueryResultCache
 from repro.webdb.database import HiddenWebDatabase
+from repro.webdb.faults import FaultInjector
 from repro.webdb.federation import build_federation
 from repro.webdb.interface import TopKInterface
 from repro.webdb.latency import LatencyModel
+from repro.webdb.resilience import ResilientInterface
 from repro.webdb.ranking import FeaturedScoreRanking, SystemRankingFunction
 
 
@@ -188,12 +190,15 @@ def _make_source(
     result_columns: List[str],
     result_cache: Optional[QueryResultCache] = None,
 ) -> DataSource:
+    fault_plan = database_config.effective_fault_plan()
     if database_config.shards > 1:
         # Sharded source: the catalog is partitioned across N per-shard
         # databases behind a federated facade.  Shards are named
         # "{name}#{i}", giving each its own cache namespace, while the
         # reranker keys its cache/feed state under the federated name —
-        # above the shard layer.
+        # above the shard layer.  A configured fault plan lands *below* the
+        # facade, one derived schedule per shard; the reranker installs the
+        # retry/breaker guards above the injectors when it takes ownership.
         database: TopKInterface = build_federation(
             catalog=catalog,
             schema=schema,
@@ -208,6 +213,7 @@ def _make_source(
             latency_sleep=database_config.latency_sleep,
             engine=database_config.engine,
             columnar_backend=database_config.columnar_backend,
+            fault_plan=fault_plan,
         )
     else:
         latency = LatencyModel(
@@ -226,6 +232,14 @@ def _make_source(
             engine=database_config.engine,
             columnar_backend=database_config.columnar_backend,
         )
+        if fault_plan is not None:
+            # Injector inside, guard outside: scheduled faults are what the
+            # retry/breaker layer is exercised against.  A clean source stays
+            # unwrapped — the guard would force per-query issuance and cost
+            # the engine its batched ``search_many`` path for nothing.
+            database = ResilientInterface(
+                FaultInjector(database, fault_plan), rerank_config.resilience
+            )
     dense_cache = (
         DenseRegionCache(schema, path=dense_cache_path) if dense_cache_path else None
     )

@@ -74,6 +74,7 @@ class FetchStatus(enum.Enum):
     HIT = "hit"  #: answered from a stored entry, zero round trips
     COALESCED = "coalesced"  #: rode along another caller's in-flight query
     CONTAINED = "contained"  #: derived from a covering superset entry
+    STALE = "stale"  #: generation-stale entry served while the source is down
 
 
 @dataclass
@@ -91,6 +92,9 @@ class CacheStatistics:
     delta_retired: int = 0
     delta_survivors: int = 0
     delta_blocked_stores: int = 0
+    stale_kept: int = 0
+    stale_serves: int = 0
+    stale_dropped: int = 0
 
     def __post_init__(self) -> None:
         self._lock = threading.Lock()
@@ -144,6 +148,9 @@ class CacheStatistics:
                 "delta_retired": self.delta_retired,
                 "delta_survivors": self.delta_survivors,
                 "delta_blocked_stores": self.delta_blocked_stores,
+                "stale_kept": self.stale_kept,
+                "stale_serves": self.stale_serves,
+                "stale_dropped": self.stale_dropped,
                 "hit_rate": round(self._hit_rate_locked(), 4),
             }
 
@@ -221,6 +228,13 @@ class QueryResultCache:
         #: sequence older than the log's tail is conservatively dropped.
         self._delta_seqs: Dict[str, int] = {}
         self._delta_logs: Dict[str, Deque[Tuple[int, CatalogDelta]]] = {}
+        #: Generation-stale side-store: entries flushed by :meth:`invalidate`
+        #: are kept here (bounded, LRU) so :meth:`serve_stale` can answer a
+        #: query while its source's breaker is open.  Delta-retired entries
+        #: never enter (the delta *proves* them wrong), and a later delta
+        #: matching a parked entry purges it — a stale serve can never cross
+        #: an ``apply_delta`` that touched its query.
+        self._stale: "OrderedDict[CacheKey, _Entry]" = OrderedDict()
         self.statistics = CacheStatistics()
 
     #: How many recent deltas per namespace the in-flight store guard keeps.
@@ -258,6 +272,7 @@ class QueryResultCache:
         payload = self.statistics.snapshot()
         with self._lock:
             payload["entries"] = len(self._entries)
+            payload["stale_entries"] = len(self._stale)
             payload["in_flight"] = len(self._inflight)
             payload["covering_entries"] = sum(
                 len(queries) for queries in self._covering.values()
@@ -597,24 +612,36 @@ class QueryResultCache:
         that began *before* the invalidation complete normally for their
         callers but do **not** re-store their results — without the counter a
         slow pre-invalidation query could resurrect a stale entry after the
-        flush."""
+        flush.
+
+        Flushed entries are parked in the bounded stale side-store: they may
+        no longer answer normal lookups, but :meth:`serve_stale` can replay
+        them (marked degraded) while their source is unreachable."""
+        parked = 0
         with self._lock:
             if namespace is None:
                 removed = len(self._entries)
+                for key, entry in self._entries.items():
+                    self._park_stale_locked(key, entry)
+                parked = removed
                 self._entries.clear()
                 self._covering.clear()
                 self._global_generation += 1
             else:
                 doomed = [key for key in self._entries if key[0] == namespace]
                 for key in doomed:
+                    self._park_stale_locked(key, self._entries[key])
                     del self._entries[key]
                     self._forget_covering_locked(key)
                 removed = len(doomed)
+                parked = removed
                 self._namespace_generations[namespace] = (
                     self._namespace_generations.get(namespace, 0) + 1
                 )
         if removed:
             self.statistics.record("invalidations", removed)
+        if parked:
+            self.statistics.record("stale_kept", parked)
         return removed
 
     def invalidate_delta(
@@ -632,6 +659,7 @@ class QueryResultCache:
             return []
         retired: List[CacheKey] = []
         survivors = 0
+        stale_purged = 0
         with self._lock:
             sequence = self._delta_seqs.get(namespace, 0) + 1
             self._delta_seqs[namespace] = sequence
@@ -648,12 +676,66 @@ class QueryResultCache:
                     retired.append(key)
                 else:
                     survivors += 1
+            # A stale parked entry the delta could match must never be
+            # replayed by serve_stale: its rows are provably out of date.
+            for key in [k for k in self._stale if k[0] == namespace]:
+                if delta.may_match_query(self._stale[key].result.query):
+                    del self._stale[key]
+                    stale_purged += 1
         self.statistics.record("delta_invalidations")
+        if stale_purged:
+            self.statistics.record("stale_dropped", stale_purged)
         if retired:
             self.statistics.record("delta_retired", len(retired))
         if survivors:
             self.statistics.record("delta_survivors", survivors)
         return retired
+
+    # ------------------------------------------------------------------ #
+    # Stale serving (graceful degradation)
+    # ------------------------------------------------------------------ #
+    def serve_stale(
+        self, namespace: str, query: SearchQuery, system_k: int
+    ) -> Optional[SearchResult]:
+        """Replay a generation-stale parked entry for ``query``, or ``None``.
+
+        Only used when the live source cannot answer (open breaker, retries
+        exhausted): the returned copy is marked ``stale`` *and* ``degraded``
+        and is forced to ``OVERFLOW`` by the caller's contract — a stale
+        answer must never claim to cover its query, so no algorithm builds
+        durable state (dense regions, feeds, emissions) from it.  TTL-expired
+        parked entries are dropped, and entries a catalog delta touched were
+        already purged at ``invalidate_delta`` time.
+        """
+        key = self.key_for(namespace, query, system_k)
+        with self._lock:
+            entry = self._stale.get(key)
+            if entry is None:
+                return None
+            if self._ttl is not None and self._clock() - entry.stored_at >= self._ttl:
+                del self._stale[key]
+                self.statistics.record("stale_dropped")
+                return None
+            self._stale.move_to_end(key)
+            result = entry.result
+        self.statistics.record("stale_serves")
+        stale = self._replay(result)
+        return replace(
+            stale,
+            outcome=Outcome.OVERFLOW,
+            degraded=True,
+            stale=True,
+        )
+
+    def _park_stale_locked(self, key: CacheKey, entry: _Entry) -> None:
+        """Move one flushed entry into the bounded stale side-store."""
+        if entry.result.degraded or entry.result.stale:
+            return  # never replay an answer that was itself degraded
+        self._stale[key] = entry
+        self._stale.move_to_end(key)
+        while len(self._stale) > self._max_entries:
+            self._stale.popitem(last=False)
+            self.statistics.record("stale_dropped")
 
     # ------------------------------------------------------------------ #
     # Internals (call with the lock held)
@@ -713,9 +795,16 @@ class QueryResultCache:
         result: SearchResult,
         stored_at: Optional[float] = None,
     ) -> None:
+        if result.degraded or result.stale:
+            # A partial or stale answer is request-scoped by design: caching
+            # it would keep serving the degraded rows after the source heals
+            # and break byte-identity with the fault-free run.
+            return
         stamp = self._clock() if stored_at is None else stored_at
         self._entries[key] = _Entry(result=result, stored_at=stamp)
         self._entries.move_to_end(key)
+        # A fresh answer supersedes any parked stale copy of the same key.
+        self._stale.pop(key, None)
         scope = (key[0], key[1])
         if result.covers_query:
             # Only covering (valid/underflow) results may answer subset

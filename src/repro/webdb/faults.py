@@ -1,0 +1,313 @@
+"""Deterministic fault injection for simulated hidden-web sources.
+
+The paper's setting is reranking over *remote* sources, which fail: queries
+time out, endpoints throw transient errors, whole replicas go dark and come
+back.  Following the discrete-event-simulation approach of Bhosekar et al.
+(arXiv:2006.06764), faults here are a *deterministic schedule*, not live
+randomness: a :class:`FaultPlan` is seeded, and the fault drawn for the N-th
+query through a given injector is a pure function of ``(seed, N)``.  Replaying
+the same query sequence replays the same faults, so resilience claims become
+differential gates (byte-identical pages after recovery) instead of flaky
+assertions.
+
+:class:`FaultInjector` wraps any :class:`~repro.webdb.interface.TopKInterface`
+transparently — schema, ``system_k``, ``apply_delta``, ground-truth helpers
+all pass through — and perturbs only ``search``:
+
+* ``TRANSIENT`` — the query raises :class:`SourceUnavailableError` (a retry
+  may succeed: the next attempt draws the next schedule index);
+* ``TIMEOUT`` — the query raises :class:`SourceTimeoutError` after *paying*
+  ``timeout_seconds`` of simulated wall time (the cost an impatient caller
+  eats before giving up);
+* ``SLOW`` — the query succeeds but its ``elapsed_seconds`` is inflated by a
+  latency spike;
+* fail-stop windows — between ``fail_from`` and ``fail_until`` (query-index
+  space) *every* query times out, modelling a crashed shard that later
+  recovers.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from dataclasses import dataclass, replace
+from enum import Enum
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.dataset.schema import Schema
+from repro.exceptions import SourceTimeoutError, SourceUnavailableError
+from repro.webdb.interface import SearchResult, TopKInterface
+from repro.webdb.query import SearchQuery
+
+
+class FaultKind(Enum):
+    """What the schedule does to one query."""
+
+    NONE = "none"
+    TRANSIENT = "transient"
+    TIMEOUT = "timeout"
+    SLOW = "slow"
+    FAIL_STOP = "fail_stop"
+
+
+# Knuth's multiplicative hash constant: decorrelates per-index streams drawn
+# from one seed without the schedules of adjacent indexes resembling each
+# other.
+_INDEX_HASH = 2654435761
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded, replayable fault schedule.
+
+    Parameters
+    ----------
+    seed:
+        Schedule seed.  The fault at query index ``i`` is a pure function of
+        ``(seed, i)`` — two injectors with equal plans fed the same query
+        sequence fail identically.
+    transient_rate:
+        Probability (per query index) of a retryable transient error.
+    timeout_rate:
+        Probability of a per-attempt timeout (pays ``timeout_seconds``).
+    slow_rate:
+        Probability of a latency spike (query succeeds, elapsed inflated).
+    timeout_seconds:
+        Simulated seconds a timed-out attempt costs before it fails, and the
+        floor of a slow query's inflated latency.
+    slow_factor:
+        Multiplier applied to ``timeout_seconds`` for latency-spike draws.
+    fail_from / fail_until:
+        Fail-stop window in query-index space: every query whose schedule
+        index ``i`` satisfies ``fail_from <= i < fail_until`` times out
+        unconditionally.  ``fail_until=None`` means the outage never heals.
+    """
+
+    seed: int = 0
+    transient_rate: float = 0.0
+    timeout_rate: float = 0.0
+    slow_rate: float = 0.0
+    timeout_seconds: float = 1.0
+    slow_factor: float = 4.0
+    fail_from: Optional[int] = None
+    fail_until: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        for name in ("transient_rate", "timeout_rate", "slow_rate"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be within [0, 1], got {value}")
+        if self.timeout_seconds < 0:
+            raise ValueError("timeout_seconds must be non-negative")
+
+    @property
+    def is_noop(self) -> bool:
+        """True when the plan can never perturb a query."""
+        return (
+            self.transient_rate == 0.0
+            and self.timeout_rate == 0.0
+            and self.slow_rate == 0.0
+            and self.fail_from is None
+        )
+
+    def in_fail_window(self, index: int) -> bool:
+        """Whether query index ``index`` falls inside the fail-stop window."""
+        if self.fail_from is None or index < self.fail_from:
+            return False
+        return self.fail_until is None or index < self.fail_until
+
+    def fault_at(self, index: int) -> Tuple[FaultKind, float]:
+        """The fault scheduled for query index ``index``.
+
+        Returns ``(kind, cost_seconds)`` where ``cost_seconds`` is the
+        simulated time the fault adds to the round trip.  Pure: the same
+        ``(plan, index)`` always yields the same answer.
+        """
+        if self.in_fail_window(index):
+            return FaultKind.FAIL_STOP, self.timeout_seconds
+        rng = random.Random(self.seed * _INDEX_HASH + index)
+        draw = rng.random()
+        threshold = self.transient_rate
+        if draw < threshold:
+            return FaultKind.TRANSIENT, 0.0
+        threshold += self.timeout_rate
+        if draw < threshold:
+            return FaultKind.TIMEOUT, self.timeout_seconds
+        threshold += self.slow_rate
+        if draw < threshold:
+            spike = self.timeout_seconds * (1.0 + rng.random() * (self.slow_factor - 1.0))
+            return FaultKind.SLOW, spike
+        return FaultKind.NONE, 0.0
+
+    def with_fail_window(self, start: int, stop: Optional[int] = None) -> "FaultPlan":
+        """Copy of this plan with a fail-stop window set."""
+        return replace(self, fail_from=start, fail_until=stop)
+
+
+class FaultInjector(TopKInterface):
+    """Wrap a :class:`TopKInterface` with a scheduled fault stream.
+
+    The injector keeps a monotone *schedule index*: each query it actively
+    perturbs (or passes through) consumes one index, so the fault sequence is
+    a deterministic function of the plan and the number of queries seen.
+    ``deactivate()`` freezes the index and makes the injector transparent —
+    the chaos harness heals a federation without perturbing the schedule
+    replay of a later phase.  All unknown attributes proxy to the wrapped
+    interface, so the injector composes with instrumentation, caching, and
+    federation layers that reach for ``name`` / ``apply_delta`` / ground
+    truth helpers.
+    """
+
+    def __init__(self, inner: TopKInterface, plan: FaultPlan) -> None:
+        self._inner = inner
+        self._plan = plan
+        self._index = 0
+        self._active = True
+        self._lock = threading.Lock()
+        self._counts: Dict[str, int] = {kind.value: 0 for kind in FaultKind}
+        self._injected_seconds = 0.0
+
+    # ------------------------------------------------------------------ #
+    # TopKInterface contract
+    # ------------------------------------------------------------------ #
+    @property
+    def schema(self) -> Schema:
+        return self._inner.schema
+
+    @property
+    def system_k(self) -> int:
+        return self._inner.system_k
+
+    @property
+    def key_column(self) -> str:
+        return self._inner.key_column
+
+    @property
+    def supports_batched_search(self) -> bool:
+        # Faults are drawn per query; batching would let a whole group dodge
+        # (or share) one schedule slot.
+        return False
+
+    def search(self, query: SearchQuery) -> SearchResult:
+        with self._lock:
+            if not self._active:
+                kind, cost = FaultKind.NONE, 0.0
+            else:
+                kind, cost = self._plan.fault_at(self._index)
+                self._index += 1
+            self._counts[kind.value] += 1
+            if kind in (FaultKind.TIMEOUT, FaultKind.FAIL_STOP, FaultKind.SLOW):
+                self._injected_seconds += cost
+        name = getattr(self._inner, "name", "source")
+        if kind is FaultKind.TRANSIENT:
+            raise SourceUnavailableError(
+                f"{name}: scheduled transient fault", source=name
+            )
+        if kind in (FaultKind.TIMEOUT, FaultKind.FAIL_STOP):
+            raise SourceTimeoutError(
+                f"{name}: scheduled {kind.value} "
+                f"(paid {cost:.3f}s waiting)",
+                source=name,
+                elapsed_seconds=cost,
+            )
+        result = self._inner.search(query)
+        if kind is FaultKind.SLOW:
+            result = replace(result, elapsed_seconds=result.elapsed_seconds + cost)
+        return result
+
+    def search_many(self, queries: Sequence[SearchQuery]) -> List[SearchResult]:
+        return [self.search(query) for query in queries]
+
+    def queries_issued(self) -> int:
+        return self._inner.queries_issued()
+
+    # ------------------------------------------------------------------ #
+    # Schedule control (chaos harness / tests)
+    # ------------------------------------------------------------------ #
+    @property
+    def plan(self) -> FaultPlan:
+        """The active fault plan."""
+        with self._lock:
+            return self._plan
+
+    @property
+    def active(self) -> bool:
+        """Whether the injector currently perturbs queries."""
+        with self._lock:
+            return self._active
+
+    @property
+    def schedule_index(self) -> int:
+        """Schedule indexes consumed so far (faulted + clean, while active)."""
+        with self._lock:
+            return self._index
+
+    def activate(self) -> None:
+        """Resume injecting faults (the schedule index continues)."""
+        with self._lock:
+            self._active = True
+
+    def deactivate(self) -> None:
+        """Heal the source: pass every query through untouched.  The schedule
+        index freezes, so reactivating resumes the plan where it left off."""
+        with self._lock:
+            self._active = False
+
+    def reset_schedule(self) -> None:
+        """Rewind the schedule index to 0 (replay the plan from the start)."""
+        with self._lock:
+            self._index = 0
+
+    def set_plan(self, plan: FaultPlan) -> None:
+        """Swap in a new plan and rewind the schedule (a bench phase switches
+        from a transient-noise plan to a fail-stop outage, say)."""
+        with self._lock:
+            self._plan = plan
+            self._index = 0
+            self._active = True
+
+    def fault_counts(self) -> Dict[str, int]:
+        """Per-kind counts of queries seen (``"none"`` counts clean passes)."""
+        with self._lock:
+            return dict(self._counts)
+
+    def describe(self) -> Dict[str, object]:
+        """JSON-friendly injector snapshot for statistics panels."""
+        with self._lock:
+            return {
+                "active": self._active,
+                "schedule_index": self._index,
+                "injected_seconds": self._injected_seconds,
+                "faults": {
+                    kind: count
+                    for kind, count in self._counts.items()
+                    if kind != FaultKind.NONE.value and count
+                },
+            }
+
+    # ------------------------------------------------------------------ #
+    # Transparency
+    # ------------------------------------------------------------------ #
+    @property
+    def inner(self) -> TopKInterface:
+        """The wrapped interface."""
+        return self._inner
+
+    def __getattr__(self, name: str):
+        # Everything this class does not implement (name, size, apply_delta,
+        # has_key, true_ranking, engine_name, ...) proxies to the wrapped
+        # interface, so downstream layers see the source they expect.
+        return getattr(self._inner, name)
+
+
+def find_injector(interface: object) -> Optional[FaultInjector]:
+    """Walk a wrapper chain (instrumentation, resilience, caching) down to
+    the first :class:`FaultInjector`, or ``None`` when the chain is clean."""
+    seen = 0
+    current = interface
+    while current is not None and seen < 16:
+        if isinstance(current, FaultInjector):
+            return current
+        current = getattr(current, "inner", None) or getattr(current, "_inner", None)
+        seen += 1
+    return None

@@ -37,18 +37,24 @@ sibling shard's entries.
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+import time
+from dataclasses import dataclass, replace as dataclass_replace
+from typing import Callable, TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
     from repro.sqlstore.store import SQLiteTupleStore
 
 from repro.dataset.schema import Schema
 from repro.dataset.table import ColumnTable
-from repro.exceptions import QueryError
+from repro.exceptions import (
+    DeadlineExceededError,
+    QueryError,
+    SourceUnavailableError,
+)
 from repro.webdb.cache import FetchStatus, QueryResultCache, default_namespace
 from repro.webdb.database import HiddenWebDatabase, stream_sorted_columns
 from repro.webdb.delta import CatalogDelta, merge_shard_deltas
+from repro.webdb.faults import FaultInjector, FaultPlan, find_injector
 from repro.webdb.indexes import ColumnarCatalog
 from repro.webdb.interface import (
     InstrumentedInterface,
@@ -59,6 +65,12 @@ from repro.webdb.interface import (
 from repro.webdb.latency import LatencyModel
 from repro.webdb.query import RangePredicate, SearchQuery
 from repro.webdb.ranking import SystemRankingFunction
+from repro.webdb.resilience import (
+    Deadline,
+    ResilienceConfig,
+    ResilienceStatistics,
+    SourceGuard,
+)
 
 Row = Dict[str, object]
 
@@ -70,12 +82,14 @@ class ShardSpec:
     ``None`` fields fall back to the federation-wide defaults.  ``system_k``
     may only *raise* a shard's page size above the federated ``k`` — the
     merge is provably complete only when every shard returns at least the
-    federated ``k`` tuples per query.
+    federated ``k`` tuples per query.  ``fault_plan`` gives the shard its own
+    deterministic fault schedule (overriding any federation-wide plan).
     """
 
     system_k: Optional[int] = None
     engine: Optional[str] = None
     latency: Optional[LatencyModel] = None
+    fault_plan: Optional[FaultPlan] = None
 
 
 def _resolve_shard_spec(
@@ -88,9 +102,10 @@ def _resolve_shard_spec(
     latency_jitter: float,
     latency_seed: int,
     latency_sleep: bool,
-) -> Tuple[int, str, LatencyModel]:
-    """Resolve one shard's effective ``(k, engine, latency)`` from its
-    optional :class:`ShardSpec` and the federation-wide defaults."""
+    fault_plan: Optional[FaultPlan] = None,
+) -> Tuple[int, str, LatencyModel, Optional[FaultPlan]]:
+    """Resolve one shard's effective ``(k, engine, latency, fault plan)``
+    from its optional :class:`ShardSpec` and the federation-wide defaults."""
     shard_k = spec.system_k if spec and spec.system_k is not None else system_k
     if shard_k < system_k:
         raise QueryError(
@@ -107,7 +122,15 @@ def _resolve_shard_spec(
             sleep=latency_sleep,
             seed=latency_seed + index,
         )
-    return shard_k, shard_engine, latency
+    if spec and spec.fault_plan is not None:
+        shard_plan: Optional[FaultPlan] = spec.fault_plan
+    elif fault_plan is not None and not fault_plan.is_noop:
+        # Shard-specific seed offset: shards draw independent fault streams
+        # from one federation-wide plan, yet each stream stays replayable.
+        shard_plan = dataclass_replace(fault_plan, seed=fault_plan.seed + index)
+    else:
+        shard_plan = None
+    return shard_k, shard_engine, latency, shard_plan
 
 
 class ShardedCatalog:
@@ -248,21 +271,25 @@ class ShardedCatalog:
         engine: str = "indexed",
         specs: Optional[Sequence[Optional[ShardSpec]]] = None,
         columnar_backend: str = "buffer",
-    ) -> List[HiddenWebDatabase]:
+        fault_plan: Optional[FaultPlan] = None,
+    ) -> List[TopKInterface]:
         """Materialize one :class:`HiddenWebDatabase` per shard.
 
         Shards are named ``"{name}#{i}"`` so that
         :func:`~repro.webdb.cache.default_namespace` automatically gives each
         shard its own cache namespace.  Every shard gets an independent
         latency model (same distribution, shard-specific seed) unless a
-        :class:`ShardSpec` overrides it.
+        :class:`ShardSpec` overrides it.  A ``fault_plan`` (federation-wide,
+        or per shard via the spec) wraps that shard in a
+        :class:`~repro.webdb.faults.FaultInjector` with a shard-specific
+        seed, so the databases returned may be injector-wrapped.
         """
         if specs is not None and len(specs) != self.shard_count:
             raise QueryError("specs must align with shard tables")
-        databases: List[HiddenWebDatabase] = []
+        databases: List[TopKInterface] = []
         for index, table in enumerate(self.tables):
             spec = specs[index] if specs is not None else None
-            shard_k, shard_engine, latency = _resolve_shard_spec(
+            shard_k, shard_engine, latency, shard_plan = _resolve_shard_spec(
                 spec,
                 index,
                 system_k=system_k,
@@ -271,19 +298,21 @@ class ShardedCatalog:
                 latency_jitter=latency_jitter,
                 latency_seed=latency_seed,
                 latency_sleep=latency_sleep,
+                fault_plan=fault_plan,
             )
-            databases.append(
-                HiddenWebDatabase(
-                    catalog=table,
-                    schema=self.schema,
-                    system_ranking=system_ranking,
-                    system_k=shard_k,
-                    latency=latency,
-                    name=f"{name}#{index}",
-                    engine=shard_engine,
-                    columnar_backend=columnar_backend,
-                )
+            database: TopKInterface = HiddenWebDatabase(
+                catalog=table,
+                schema=self.schema,
+                system_ranking=system_ranking,
+                system_k=shard_k,
+                latency=latency,
+                name=f"{name}#{index}",
+                engine=shard_engine,
+                columnar_backend=columnar_backend,
             )
+            if shard_plan is not None:
+                database = FaultInjector(database, shard_plan)
+            databases.append(database)
         return databases
 
 
@@ -302,7 +331,7 @@ class FederatedInterface(TopKInterface):
 
     def __init__(
         self,
-        shards: Sequence[HiddenWebDatabase],
+        shards: Sequence[TopKInterface],
         system_ranking: SystemRankingFunction,
         name: str = "federation",
         system_k: Optional[int] = None,
@@ -314,7 +343,7 @@ class FederatedInterface(TopKInterface):
             raise QueryError("a federation needs at least one shard")
         if partitions is not None and len(partitions) != len(shards):
             raise QueryError("partitions must align with shards")
-        self._shards: List[HiddenWebDatabase] = list(shards)
+        self._shards: List[TopKInterface] = list(shards)
         self._schema = shards[0].schema
         for shard in self._shards[1:]:
             if shard.schema.key != self._schema.key:
@@ -349,6 +378,13 @@ class FederatedInterface(TopKInterface):
         self._merge_rows_total = 0
         self._merge_depth_max = 0
         self._shard_cache_hits = [0] * len(self._shards)
+        # Resilience (off until configure_resilience): one guard per shard,
+        # sharing the federation's resilience statistics.
+        self._resilience: Optional[ResilienceConfig] = None
+        self._guards: Optional[List[SourceGuard]] = None
+        self._resilience_stats: Optional[ResilienceStatistics] = None
+        self._degraded_scatters = 0
+        self._stale_shard_answers = 0
 
     # ------------------------------------------------------------------ #
     # TopKInterface
@@ -368,15 +404,70 @@ class FederatedInterface(TopKInterface):
         return all(shard.supports_batched_search for shard in self._shards)
 
     def search(self, query: SearchQuery) -> SearchResult:
-        """Scatter ``query`` to the live shards and gather one merged page."""
+        """Scatter ``query`` to the live shards and gather one merged page.
+
+        With resilience configured, a shard whose retries are exhausted (or
+        whose breaker is open) does not fail the scatter: its stale cached
+        answer is replayed when permitted, otherwise the shard is recorded in
+        ``missing_shards`` and the merged result is returned *degraded* —
+        forced to ``OVERFLOW`` so it never claims to cover the query, and
+        never stored in the result cache.  Only when **no** shard contributes
+        anything does the scatter raise.
+        """
         query.validate(self._schema)
         targets = self._targets_for(query)
-        results = [self._shard_search(index, query) for index in targets]
+        deadline = (
+            Deadline(self._resilience.deadline_seconds)
+            if self._resilience is not None
+            else None
+        )
+        results: List[SearchResult] = []
+        missing: List[str] = []
+        stale_answers = 0
+        last_error: Optional[SourceUnavailableError] = None
+        deadline_hit = False
+        for index in targets:
+            if deadline is not None and deadline.expired:
+                # Out of time: the remaining shards go unqueried and are
+                # reported missing instead of being paid for.
+                deadline_hit = True
+                missing.append(self._namespaces[index])
+                continue
+            try:
+                result = self._shard_search(index, query, deadline)
+            except SourceUnavailableError as error:
+                last_error = error
+                stale = self._stale_shard_answer(index, query)
+                if stale is not None:
+                    stale_answers += 1
+                    results.append(stale)
+                else:
+                    missing.append(self._namespaces[index])
+                continue
+            if deadline is not None:
+                deadline.charge(result.elapsed_seconds)
+            results.append(result)
+        if targets and not results:
+            # Nothing answered, live or stale: the whole federation is down
+            # (or the deadline left no room for even one shard).
+            if deadline_hit and last_error is None:
+                raise DeadlineExceededError(
+                    f"{self.name}: deadline exhausted before any shard answered",
+                    elapsed_seconds=deadline.spent if deadline else 0.0,
+                )
+            raise SourceUnavailableError(
+                f"{self.name}: no shard reachable ({', '.join(missing)})",
+                source=self.name,
+                retry_after_seconds=self._shortest_retry_hint(),
+            )
+        degraded = bool(missing) or stale_answers > 0
         merged: List[Row] = [row for result in results for row in result.rows]
         merged.sort(key=self._system_ranking.sort_key(self._schema.key))
         overflow = any(result.is_overflow for result in results)
         total = len(merged)
-        if overflow or total > self._system_k:
+        if degraded or overflow or total > self._system_k:
+            # A degraded merge can never prove coverage: unseen shards may
+            # hold matches, so the trichotomy is pinned at OVERFLOW.
             outcome = Outcome.OVERFLOW
         elif total == 0:
             outcome = Outcome.UNDERFLOW
@@ -390,12 +481,18 @@ class FederatedInterface(TopKInterface):
             self._fanout_max = max(self._fanout_max, len(targets))
             self._merge_rows_total += total
             self._merge_depth_max = max(self._merge_depth_max, total)
+            if degraded:
+                self._degraded_scatters += 1
+            self._stale_shard_answers += stale_answers
         return SearchResult(
             query=query,
             rows=tuple(merged[: self._system_k]),
             outcome=outcome,
             system_k=self._system_k,
             elapsed_seconds=elapsed,
+            degraded=degraded,
+            missing_shards=tuple(missing),
+            stale=stale_answers > 0,
         )
 
     def queries_issued(self) -> int:
@@ -426,20 +523,58 @@ class FederatedInterface(TopKInterface):
             targets.append(index)
         return targets
 
-    def _shard_search(self, index: int, query: SearchQuery) -> SearchResult:
+    def _shard_search(
+        self, index: int, query: SearchQuery, deadline: Optional[Deadline] = None
+    ) -> SearchResult:
         shard = self._instrumented[index]
+        guard = self._guards[index] if self._guards is not None else None
+        if guard is None:
+            compute: Callable[[], SearchResult] = lambda: shard.search(query)
+        else:
+            # The guard wraps only the remote compute: cache hits below never
+            # touch the breaker, so cached answers keep serving while a shard
+            # is down, and breaker state reflects only real round trips.
+            compute = lambda: guard.call(lambda: shard.search(query), deadline)
         if self._cache is None:
-            return shard.search(query)
+            return compute()
         result, status = self._cache.fetch(
             self._namespaces[index],
             query,
             shard.system_k,
-            lambda: shard.search(query),
+            compute,
         )
         if status is not FetchStatus.MISS:
             with self._lock:
                 self._shard_cache_hits[index] += 1
         return result
+
+    def _stale_shard_answer(
+        self, index: int, query: SearchQuery
+    ) -> Optional[SearchResult]:
+        """A generation-stale cached answer for a failed shard, when the
+        resilience policy allows serving it (marked stale + degraded)."""
+        if (
+            self._cache is None
+            or self._resilience is None
+            or not self._resilience.serve_stale_on_error
+        ):
+            return None
+        shard = self._instrumented[index]
+        stale = self._cache.serve_stale(self._namespaces[index], query, shard.system_k)
+        if stale is not None and self._resilience_stats is not None:
+            self._resilience_stats.record("stale_serves")
+        return stale
+
+    def _shortest_retry_hint(self) -> Optional[float]:
+        """The soonest any shard's breaker would admit a probe (for the
+        ``Retry-After`` hint of a total-outage 503)."""
+        if self._guards is None:
+            return None
+        waits = [guard.breaker.seconds_until_probe() for guard in self._guards]
+        positive = [wait for wait in waits if wait > 0]
+        if not positive:
+            return None
+        return min(positive)
 
     # ------------------------------------------------------------------ #
     # Cache / shard management
@@ -483,6 +618,76 @@ class FederatedInterface(TopKInterface):
         if self._cache is not None and self._cache is not cache:
             raise QueryError("federation already attached to a different cache")
         self._cache = cache
+
+    # ------------------------------------------------------------------ #
+    # Resilience
+    # ------------------------------------------------------------------ #
+    def configure_resilience(
+        self,
+        config: ResilienceConfig,
+        statistics: Optional[ResilienceStatistics] = None,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        """Install per-shard retry/breaker guards (idempotent for an equal
+        configuration).  ``clock`` overrides the breakers' recovery clock for
+        the tests."""
+        if self._resilience == config and self._guards is not None:
+            return
+        effective_clock = clock if clock is not None else time.monotonic
+        self._resilience = config
+        self._resilience_stats = statistics or ResilienceStatistics()
+        self._guards = [
+            SourceGuard.from_config(
+                namespace,
+                config,
+                statistics=self._resilience_stats,
+                clock=effective_clock,
+            )
+            for namespace in self._namespaces
+        ]
+
+    @property
+    def resilience_config(self) -> Optional[ResilienceConfig]:
+        """The installed resilience policy (``None`` until configured)."""
+        return self._resilience
+
+    @property
+    def resilience_statistics(self) -> Optional[ResilienceStatistics]:
+        """The shared counters the shard guards record into (``None`` until
+        :meth:`configure_resilience`)."""
+        return self._resilience_stats
+
+    @property
+    def shard_guards(self) -> Optional[List[SourceGuard]]:
+        """Per-shard guards, aligned with shard indexes (``None`` until
+        :meth:`configure_resilience`)."""
+        return list(self._guards) if self._guards is not None else None
+
+    def shard_circuit_open(self, index: int) -> bool:
+        """True when shard ``index``'s breaker currently rejects calls (the
+        merge-mode Get-Next uses this to skip dead shards up front)."""
+        if self._guards is None:
+            return False
+        return self._guards[index].breaker.is_open
+
+    def fault_injectors(self) -> List[Optional[FaultInjector]]:
+        """Each shard's :class:`FaultInjector` (``None`` for clean shards);
+        the chaos harness uses these to heal or re-plan outages mid-run."""
+        return [find_injector(shard) for shard in self._shards]
+
+    def resilience_snapshot(self) -> Optional[Dict[str, object]]:
+        """Aggregated resilience counters plus per-shard breaker states, or
+        ``None`` when resilience was never configured."""
+        if self._resilience_stats is None or self._guards is None:
+            return None
+        with self._lock:
+            degraded = self._degraded_scatters
+            stale = self._stale_shard_answers
+        payload = self._resilience_stats.snapshot()
+        payload["degraded_scatters"] = degraded
+        payload["stale_shard_answers"] = stale
+        payload["breakers"] = [guard.describe() for guard in self._guards]
+        return payload
 
     def invalidate_shard(self, index: int) -> int:
         """Retire shard ``index``'s cached answers (returns entries removed).
@@ -657,6 +862,7 @@ class FederatedInterface(TopKInterface):
                 "mean_depth": (merge_rows / scatter) if scatter else 0.0,
             },
             "shards": shards,
+            "resilience": self.resilience_snapshot(),
         }
 
 
@@ -676,13 +882,16 @@ def build_federation(
     specs: Optional[Sequence[Optional[ShardSpec]]] = None,
     result_cache: Optional[QueryResultCache] = None,
     columnar_backend: str = "buffer",
+    fault_plan: Optional[FaultPlan] = None,
 ) -> FederatedInterface:
     """Partition ``catalog`` and wrap the shards in a federated interface.
 
     This is the one-call path the service registry and the experiment
     harness use; ``shards=1`` still produces a (single-shard) federation —
     callers wanting the unsharded reference engine construct
-    :class:`HiddenWebDatabase` directly.
+    :class:`HiddenWebDatabase` directly.  ``fault_plan`` wraps every shard in
+    a deterministic :class:`~repro.webdb.faults.FaultInjector` (per-shard
+    seed offsets keep the shard schedules independent but replayable).
     """
     sharded = ShardedCatalog.partition(catalog, schema, system_ranking, shards, by=by)
     databases = sharded.build_databases(
@@ -696,6 +905,7 @@ def build_federation(
         engine=engine,
         specs=specs,
         columnar_backend=columnar_backend,
+        fault_plan=fault_plan,
     )
     return FederatedInterface(
         databases,
@@ -725,6 +935,7 @@ def build_federation_from_store(
     result_cache: Optional[QueryResultCache] = None,
     columnar_backend: str = "buffer",
     batch_size: int = 10_000,
+    fault_plan: Optional[FaultPlan] = None,
 ) -> FederatedInterface:
     """Stream a catalog out of a SQLite store into a federated interface.
 
@@ -794,7 +1005,7 @@ def build_federation_from_store(
             )
     if specs is not None and len(specs) != len(buckets):
         raise QueryError("specs must align with shard tables")
-    databases: List[HiddenWebDatabase] = []
+    databases: List[TopKInterface] = []
     for index, bucket in enumerate(buckets):
         shard_columns = {
             column: [columns[column][position] for position in bucket]
@@ -804,7 +1015,7 @@ def build_federation_from_store(
             shard_columns, column_order, schema.key, backend=columnar_backend
         )
         spec = specs[index] if specs is not None else None
-        shard_k, shard_engine, latency = _resolve_shard_spec(
+        shard_k, shard_engine, latency, shard_plan = _resolve_shard_spec(
             spec,
             index,
             system_k=system_k,
@@ -813,18 +1024,20 @@ def build_federation_from_store(
             latency_jitter=latency_jitter,
             latency_seed=latency_seed,
             latency_sleep=latency_sleep,
+            fault_plan=fault_plan,
         )
-        databases.append(
-            HiddenWebDatabase.from_columnar(
-                columnar,
-                schema,
-                system_ranking,
-                system_k=shard_k,
-                latency=latency,
-                name=f"{name}#{index}",
-                engine=shard_engine,
-            )
+        database: TopKInterface = HiddenWebDatabase.from_columnar(
+            columnar,
+            schema,
+            system_ranking,
+            system_k=shard_k,
+            latency=latency,
+            name=f"{name}#{index}",
+            engine=shard_engine,
         )
+        if shard_plan is not None:
+            database = FaultInjector(database, shard_plan)
+        databases.append(database)
     del columns
     return FederatedInterface(
         databases,

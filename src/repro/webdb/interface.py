@@ -54,6 +54,17 @@ class SearchResult:
         The interface's ``k`` at the time of the query.
     elapsed_seconds:
         Simulated (or real, for the HTTP adapter) round-trip time.
+    degraded:
+        True when the answer is known-incomplete: one or more federated
+        shards could not be reached (``missing_shards`` names them) or the
+        answer was served from a generation-stale cache entry.  Degraded
+        results are always classified ``OVERFLOW`` — they never claim to
+        cover their query — and are never stored in the result cache.
+    missing_shards:
+        Names of the shards that contributed nothing to a degraded scatter.
+    stale:
+        True when the rows came from a generation-stale cache entry served
+        while the live source was unavailable.
     """
 
     query: SearchQuery
@@ -61,6 +72,9 @@ class SearchResult:
     outcome: Outcome
     system_k: int
     elapsed_seconds: float = 0.0
+    degraded: bool = False
+    missing_shards: Tuple[str, ...] = ()
+    stale: bool = False
 
     @property
     def is_overflow(self) -> bool:

@@ -1,0 +1,599 @@
+"""Resilience policies for unreliable sources: retries, breakers, deadlines.
+
+:mod:`repro.webdb.faults` makes sources fail on a deterministic schedule;
+this module is the other half — the policies that keep a federation serving
+through those faults:
+
+* :class:`RetryPolicy` — capped exponential backoff with *decorrelated
+  jitter* (the AWS architecture-blog variant: each delay is drawn uniformly
+  from ``[base, 3 * previous]`` and capped), seeded so the delay sequence is
+  replayable, plus an optional cumulative retry budget so a dying source
+  cannot consume unbounded retry work;
+* :class:`CircuitBreaker` — the classic closed → open → half-open automaton
+  per source/shard.  While open, calls are rejected *without* paying the
+  source's round trip; after ``recovery_seconds`` a single half-open probe is
+  admitted, and its outcome closes or re-opens the circuit;
+* :class:`Deadline` — a per-query budget of *simulated* seconds threaded
+  through scatter-gather: every round trip, timeout, and backoff wait is
+  charged against it, and once exhausted the remaining shards are skipped
+  (partial answer) or the query fails with
+  :class:`~repro.exceptions.DeadlineExceededError`.
+* :class:`SourceGuard` — one source/shard's retry loop wired through its
+  breaker, the unit the federation and the query engine call.
+
+Delays are charged in simulated time (and against the deadline), never slept:
+the chaos benchmarks gate on deterministic counters, not wall clock.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, List, Optional
+
+from repro.exceptions import (
+    CircuitOpenError,
+    DeadlineExceededError,
+    SourceUnavailableError,
+)
+from repro.webdb.interface import SearchResult, TopKInterface
+from repro.webdb.query import SearchQuery
+
+_TOKEN_HASH = 2654435761
+
+
+@dataclass(frozen=True)
+class ResilienceConfig:
+    """Resilience knobs for one reranker's sources.
+
+    With perfectly reliable sources the defaults change nothing: no fault
+    means no retry, a breaker that never sees a failure never opens, and the
+    default deadline is unlimited — which is why this config can be on by
+    default.
+
+    Parameters
+    ----------
+    max_attempts:
+        Attempts per query (1 initial + ``max_attempts - 1`` retries).
+    backoff_base_seconds / backoff_cap_seconds:
+        Bounds of the decorrelated-jitter backoff; delays are charged to the
+        query's deadline in simulated time.
+    backoff_seed:
+        Seed of the replayable jitter stream.
+    retry_budget:
+        Optional cumulative cap on retries across a guard's lifetime; once
+        spent, failures are not retried (fail fast).  ``None`` = unlimited.
+    breaker_failure_threshold:
+        Consecutive failures that trip the breaker open.
+    breaker_recovery_seconds:
+        Wall-clock seconds an open breaker waits before admitting one
+        half-open probe.
+    deadline_seconds:
+        Per-query budget of simulated seconds across the whole scatter
+        (round trips + timeouts + backoff waits); ``None`` = unlimited.
+    serve_stale_on_error:
+        Whether a generation-stale cache entry may answer for a source whose
+        live query failed (the answer is marked degraded + stale).
+    """
+
+    max_attempts: int = 3
+    backoff_base_seconds: float = 0.05
+    backoff_cap_seconds: float = 2.0
+    backoff_seed: int = 17
+    retry_budget: Optional[int] = None
+    breaker_failure_threshold: int = 5
+    breaker_recovery_seconds: float = 30.0
+    deadline_seconds: Optional[float] = None
+    serve_stale_on_error: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        if self.breaker_failure_threshold < 1:
+            raise ValueError("breaker_failure_threshold must be at least 1")
+
+    def with_deadline(self, seconds: Optional[float]) -> "ResilienceConfig":
+        """Copy of this configuration with a per-query deadline set."""
+        return replace(self, deadline_seconds=seconds)
+
+    def with_breaker(
+        self, failure_threshold: int, recovery_seconds: Optional[float] = None
+    ) -> "ResilienceConfig":
+        """Copy of this configuration with breaker knobs set."""
+        updated = replace(self, breaker_failure_threshold=failure_threshold)
+        if recovery_seconds is not None:
+            updated = replace(updated, breaker_recovery_seconds=recovery_seconds)
+        return updated
+
+    def with_retries(
+        self, max_attempts: int, retry_budget: Optional[int] = None
+    ) -> "ResilienceConfig":
+        """Copy of this configuration with retry knobs set."""
+        return replace(self, max_attempts=max_attempts, retry_budget=retry_budget)
+
+    def without_stale_serving(self) -> "ResilienceConfig":
+        """Copy of this configuration with stale-on-error serving disabled."""
+        return replace(self, serve_stale_on_error=False)
+
+
+class RetryPolicy:
+    """Capped exponential backoff with seeded decorrelated jitter."""
+
+    def __init__(
+        self,
+        max_attempts: int = 3,
+        base_seconds: float = 0.05,
+        cap_seconds: float = 2.0,
+        seed: int = 17,
+    ) -> None:
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        self.max_attempts = max_attempts
+        self.base_seconds = base_seconds
+        self.cap_seconds = cap_seconds
+        self.seed = seed
+
+    @classmethod
+    def from_config(cls, config: ResilienceConfig) -> "RetryPolicy":
+        return cls(
+            max_attempts=config.max_attempts,
+            base_seconds=config.backoff_base_seconds,
+            cap_seconds=config.backoff_cap_seconds,
+            seed=config.backoff_seed,
+        )
+
+    def delays(self, token: int = 0) -> List[float]:
+        """The backoff delays between the attempts of one call (length
+        ``max_attempts - 1``).  Deterministic per ``(seed, token)``: replaying
+        a call sequence replays its waits."""
+        rng = random.Random(self.seed * _TOKEN_HASH + token)
+        delays: List[float] = []
+        previous = self.base_seconds
+        for _ in range(self.max_attempts - 1):
+            previous = min(self.cap_seconds, rng.uniform(self.base_seconds, previous * 3))
+            delays.append(previous)
+        return delays
+
+
+class BreakerState:
+    """String constants for the breaker automaton."""
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Closed → open → half-open circuit breaker for one source/shard.
+
+    ``clock`` is injectable (tests drive recovery without sleeping).  All
+    transitions are recorded so statistics panels can show the breaker's
+    history, and :meth:`seconds_until_probe` feeds ``Retry-After`` hints.
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        recovery_seconds: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+        name: str = "",
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be at least 1")
+        self.name = name
+        self._failure_threshold = failure_threshold
+        self._recovery_seconds = recovery_seconds
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = BreakerState.CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._probe_in_flight = False
+        self._transitions: Dict[str, int] = {"opened": 0, "half_opened": 0, "closed": 0}
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            self._maybe_half_open_locked()
+            return self._state
+
+    @property
+    def is_open(self) -> bool:
+        """True while calls would be rejected (open, before the probe window)."""
+        with self._lock:
+            self._maybe_half_open_locked()
+            return self._state == BreakerState.OPEN
+
+    def allow(self) -> bool:
+        """Whether a call may proceed now.  In half-open state exactly one
+        probe is admitted at a time; its success/failure settles the state."""
+        with self._lock:
+            self._maybe_half_open_locked()
+            if self._state == BreakerState.CLOSED:
+                return True
+            if self._state == BreakerState.HALF_OPEN and not self._probe_in_flight:
+                self._probe_in_flight = True
+                return True
+            return False
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._consecutive_failures = 0
+            self._probe_in_flight = False
+            if self._state != BreakerState.CLOSED:
+                self._state = BreakerState.CLOSED
+                self._transitions["closed"] += 1
+
+    def abandon_probe(self) -> None:
+        """Release a half-open probe slot without settling the state (the
+        probe died on a non-availability error that says nothing about the
+        source being up)."""
+        with self._lock:
+            self._probe_in_flight = False
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self._probe_in_flight = False
+            self._consecutive_failures += 1
+            if self._state == BreakerState.HALF_OPEN:
+                self._open_locked()  # failed probe: back to open, timer restarts
+            elif (
+                self._state == BreakerState.CLOSED
+                and self._consecutive_failures >= self._failure_threshold
+            ):
+                self._open_locked()
+
+    def seconds_until_probe(self) -> float:
+        """Wall-clock seconds until the breaker would admit a probe (0 when
+        it is not open)."""
+        with self._lock:
+            self._maybe_half_open_locked()
+            if self._state != BreakerState.OPEN:
+                return 0.0
+            return max(0.0, self._opened_at + self._recovery_seconds - self._clock())
+
+    def transitions(self) -> Dict[str, int]:
+        """Cumulative transition counts (``opened``/``half_opened``/``closed``)."""
+        with self._lock:
+            return dict(self._transitions)
+
+    def describe(self) -> Dict[str, object]:
+        with self._lock:
+            self._maybe_half_open_locked()
+            return {
+                "name": self.name,
+                "state": self._state,
+                "consecutive_failures": self._consecutive_failures,
+                "transitions": dict(self._transitions),
+            }
+
+    def _open_locked(self) -> None:
+        self._state = BreakerState.OPEN
+        self._opened_at = self._clock()
+        self._transitions["opened"] += 1
+
+    def _maybe_half_open_locked(self) -> None:
+        if (
+            self._state == BreakerState.OPEN
+            and self._clock() >= self._opened_at + self._recovery_seconds
+        ):
+            self._state = BreakerState.HALF_OPEN
+            self._probe_in_flight = False
+            self._transitions["half_opened"] += 1
+
+
+class Deadline:
+    """A per-query budget of simulated seconds.
+
+    The scatter loop charges every source round trip, injected timeout, and
+    backoff wait against the deadline.  Charging is *conservative-serial*:
+    even round trips that overlap in wall clock are summed, so a deadline is
+    a deterministic property of the query/fault schedule, never of thread
+    scheduling.
+    """
+
+    def __init__(self, seconds: Optional[float]) -> None:
+        self._limit = seconds
+        self._spent = 0.0
+        self._lock = threading.Lock()
+
+    @property
+    def limit(self) -> Optional[float]:
+        return self._limit
+
+    @property
+    def spent(self) -> float:
+        with self._lock:
+            return self._spent
+
+    def charge(self, seconds: float) -> None:
+        """Account ``seconds`` of simulated waiting against the deadline."""
+        if seconds <= 0:
+            return
+        with self._lock:
+            self._spent += seconds
+
+    def remaining(self) -> float:
+        if self._limit is None:
+            return float("inf")
+        with self._lock:
+            return max(0.0, self._limit - self._spent)
+
+    @property
+    def expired(self) -> bool:
+        return self.remaining() <= 0.0
+
+    def require(self, context: str) -> None:
+        """Raise :class:`DeadlineExceededError` when the budget is spent."""
+        if self._limit is not None and self.remaining() <= 0.0:
+            raise DeadlineExceededError(
+                f"deadline of {self._limit:.3f}s exhausted {context} "
+                f"(spent {self.spent:.3f}s)",
+                elapsed_seconds=self.spent,
+            )
+
+
+class ResilienceStatistics:
+    """Thread-safe counters shared by every guard of one source/reranker."""
+
+    _FIELDS = (
+        "attempts",
+        "retries",
+        "failed_attempts",
+        "short_circuits",
+        "breaker_opens",
+        "breaker_half_opens",
+        "breaker_closes",
+        "timeouts_paid",
+        "deadline_hits",
+        "retry_budget_exhausted",
+        "degraded_results",
+        "stale_serves",
+    )
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counts: Dict[str, int] = {name: 0 for name in self._FIELDS}
+        self._simulated_wait_seconds = 0.0
+
+    def record(self, field: str, count: int = 1) -> None:
+        with self._lock:
+            self._counts[field] += count
+
+    def record_wait(self, seconds: float) -> None:
+        with self._lock:
+            self._simulated_wait_seconds += seconds
+
+    def snapshot(self) -> Dict[str, object]:
+        with self._lock:
+            snapshot: Dict[str, object] = dict(self._counts)
+            snapshot["simulated_wait_seconds"] = self._simulated_wait_seconds
+            return snapshot
+
+
+class SourceGuard:
+    """One source/shard's retry loop wired through its circuit breaker.
+
+    :meth:`call` is designed to wrap the *remote compute* closure inside a
+    result-cache fetch: cache hits never reach the guard (a cached answer
+    keeps serving while the breaker is open), and breaker state reflects only
+    real round trips.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        policy: RetryPolicy,
+        breaker: CircuitBreaker,
+        statistics: Optional[ResilienceStatistics] = None,
+        retry_budget: Optional[int] = None,
+    ) -> None:
+        self.name = name
+        self.policy = policy
+        self.breaker = breaker
+        self.statistics = statistics or ResilienceStatistics()
+        self._retry_budget = retry_budget
+        self._retries_spent = 0
+        self._calls = 0
+        self._lock = threading.Lock()
+
+    @classmethod
+    def from_config(
+        cls,
+        name: str,
+        config: ResilienceConfig,
+        statistics: Optional[ResilienceStatistics] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> "SourceGuard":
+        return cls(
+            name=name,
+            policy=RetryPolicy.from_config(config),
+            breaker=CircuitBreaker(
+                failure_threshold=config.breaker_failure_threshold,
+                recovery_seconds=config.breaker_recovery_seconds,
+                clock=clock,
+                name=name,
+            ),
+            statistics=statistics,
+            retry_budget=config.retry_budget,
+        )
+
+    def call(
+        self,
+        supply: Callable[[], SearchResult],
+        deadline: Optional[Deadline] = None,
+    ) -> SearchResult:
+        """Run ``supply`` under the guard's breaker + retry policy.
+
+        Raises :class:`CircuitOpenError` without invoking ``supply`` while
+        the breaker is open; otherwise retries retryable failures up to the
+        policy's attempt count, charging every failed attempt's elapsed time
+        and backoff wait to ``deadline``.
+        """
+        stats = self.statistics
+        before = self.breaker.transitions()
+        if not self.breaker.allow():
+            stats.record("short_circuits")
+            raise CircuitOpenError(
+                f"{self.name}: circuit open, call rejected without paying the "
+                f"source round trip",
+                source=self.name,
+                retry_after_seconds=self.breaker.seconds_until_probe(),
+            )
+        with self._lock:
+            token = self._calls
+            self._calls += 1
+        delays = self.policy.delays(token)
+        last_error: Optional[SourceUnavailableError] = None
+        for attempt in range(self.policy.max_attempts):
+            if deadline is not None:
+                try:
+                    deadline.require(f"before attempt {attempt + 1} on {self.name}")
+                except DeadlineExceededError:
+                    stats.record("deadline_hits")
+                    self._fold_transitions(before)
+                    raise
+            stats.record("attempts")
+            try:
+                result = supply()
+            except SourceUnavailableError as exc:
+                last_error = exc
+            except BaseException:
+                # A non-availability error (malformed query, crawl error, ...)
+                # says nothing about the source being up: release any probe
+                # slot and let it propagate without touching breaker state.
+                self.breaker.abandon_probe()
+                self._fold_transitions(before)
+                raise
+            else:
+                self.breaker.record_success()
+                self._fold_transitions(before)
+                return result
+            stats.record("failed_attempts")
+            if last_error.elapsed_seconds:
+                stats.record("timeouts_paid")
+                stats.record_wait(last_error.elapsed_seconds)
+                if deadline is not None:
+                    deadline.charge(last_error.elapsed_seconds)
+            self.breaker.record_failure()
+            if self.breaker.is_open:
+                break  # tripping the breaker ends the retry loop
+            if attempt >= self.policy.max_attempts - 1:
+                break
+            if not self._spend_retry():
+                stats.record("retry_budget_exhausted")
+                break
+            wait = delays[attempt]
+            stats.record("retries")
+            stats.record_wait(wait)
+            if deadline is not None:
+                deadline.charge(wait)
+        self._fold_transitions(before)
+        assert last_error is not None
+        raise last_error
+
+    def _spend_retry(self) -> bool:
+        if self._retry_budget is None:
+            return True
+        with self._lock:
+            if self._retries_spent >= self._retry_budget:
+                return False
+            self._retries_spent += 1
+            return True
+
+    def _fold_transitions(self, before: Dict[str, int]) -> None:
+        after = self.breaker.transitions()
+        stats = self.statistics
+        for key, field in (
+            ("opened", "breaker_opens"),
+            ("half_opened", "breaker_half_opens"),
+            ("closed", "breaker_closes"),
+        ):
+            delta = after[key] - before[key]
+            if delta > 0:
+                stats.record(field, delta)
+
+    def describe(self) -> Dict[str, object]:
+        with self._lock:
+            retries_spent = self._retries_spent
+            calls = self._calls
+        description = self.breaker.describe()
+        description.update({"calls": calls, "retries_spent": retries_spent})
+        return description
+
+
+class ResilientInterface(TopKInterface):
+    """Retry/breaker wrapper for a single (unsharded) source.
+
+    Sits *outside* any fault injector so scheduled faults are retried, and
+    *inside* the query engine's result cache so cached answers bypass the
+    guard entirely.  Transparent for every attribute it does not implement.
+    """
+
+    def __init__(
+        self,
+        inner: TopKInterface,
+        config: Optional[ResilienceConfig] = None,
+        statistics: Optional[ResilienceStatistics] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self._inner = inner
+        self._config = config or ResilienceConfig()
+        name = getattr(inner, "name", "source")
+        self._guard = SourceGuard.from_config(
+            name, self._config, statistics=statistics, clock=clock
+        )
+
+    @property
+    def schema(self):
+        return self._inner.schema
+
+    @property
+    def system_k(self) -> int:
+        return self._inner.system_k
+
+    @property
+    def key_column(self) -> str:
+        return self._inner.key_column
+
+    @property
+    def supports_batched_search(self) -> bool:
+        # Each query must pass through the guard individually.
+        return False
+
+    def search(self, query: SearchQuery) -> SearchResult:
+        deadline = Deadline(self._config.deadline_seconds)
+        return self._guard.call(lambda: self._inner.search(query), deadline)
+
+    def search_many(self, queries):
+        return [self.search(query) for query in queries]
+
+    def queries_issued(self) -> int:
+        return self._inner.queries_issued()
+
+    @property
+    def guard(self) -> SourceGuard:
+        """The source's guard (breaker + retry accounting)."""
+        return self._guard
+
+    @property
+    def resilience_statistics(self) -> ResilienceStatistics:
+        return self._guard.statistics
+
+    def resilience_snapshot(self) -> Dict[str, object]:
+        """Counters plus the single breaker's state, shaped exactly like
+        :meth:`~repro.webdb.federation.FederatedInterface.resilience_snapshot`
+        so the statistics panel treats both source kinds uniformly."""
+        payload = self._guard.statistics.snapshot()
+        payload["breakers"] = [self._guard.describe()]
+        return payload
+
+    @property
+    def inner(self) -> TopKInterface:
+        """The wrapped interface."""
+        return self._inner
+
+    def __getattr__(self, name: str):
+        return getattr(self._inner, name)

@@ -214,8 +214,9 @@ class TestBudgetOnGroupFailure:
         ]
         with pytest.raises(RuntimeError):
             engine.search_group(queries)
-        # The first two round trips were attempted; the tail was refunded.
-        assert engine.budget.used == 2
+        # Only the answered round trip stays charged: the failed attempt and
+        # the unissued tail are both refunded.
+        assert engine.budget.used == 1
 
     def test_failure_refunds_coalesced_and_hit_charges(self, bluenile_db):
         flaky = _FlakyInterface(bluenile_db, poison_upper=2000.0)
@@ -234,8 +235,9 @@ class TestBudgetOnGroupFailure:
             engine.search_group(
                 [shared, SearchQuery.build(ranges={"price": (300.0, 2000.0)})]
             )
-        # The hit cost nothing; only the failed attempt stays charged.
-        assert engine.budget.used == 1
+        # The hit cost nothing and the failed attempt was refunded: the
+        # budget only ever counts answered round trips.
+        assert engine.budget.used == 0
 
 
 class TestLatencyAccounting:

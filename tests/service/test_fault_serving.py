@@ -1,0 +1,267 @@
+"""Tests for fault serving at the HTTP boundary: structured 503s, deadline
+timeouts, maintenance-thread error surfacing, and client-side retries."""
+
+import threading
+import time
+
+import pytest
+
+from repro.config import DatabaseConfig, RerankConfig, ServiceConfig
+from repro.dataset.diamonds import DiamondCatalogConfig
+from repro.dataset.housing import HousingCatalogConfig
+from repro.exceptions import (
+    CircuitOpenError,
+    DeadlineExceededError,
+    QueryError,
+    RemoteInterfaceError,
+)
+from repro.httpsim.client import HttpClient, Transport
+from repro.httpsim.messages import HttpRequest, HttpResponse
+from repro.service.app import QR2Service
+from repro.service.concurrent import ConcurrentQR2Application, ConcurrentServingTier
+from repro.service.httpapp import QR2HttpApplication
+from repro.service.sources import build_default_registry
+
+
+@pytest.fixture(scope="module")
+def registry():
+    return build_default_registry(
+        diamond_config=DiamondCatalogConfig(size=250, seed=41),
+        housing_config=HousingCatalogConfig(size=250, seed=42),
+        database_config=DatabaseConfig(system_k=10),
+        rerank_config=RerankConfig(),
+    )
+
+
+def make_service(registry, **config_kwargs) -> QR2Service:
+    config_kwargs.setdefault("default_page_size", 5)
+    return QR2Service(registry=registry, config=ServiceConfig(**config_kwargs))
+
+
+class TestAvailability503s:
+    def test_circuit_open_maps_to_503_with_retry_after(self, registry, monkeypatch):
+        application = QR2HttpApplication(make_service(registry))
+
+        def tripped(name):
+            raise CircuitOpenError(
+                "breaker open", source="bluenile#1", retry_after_seconds=6.2
+            )
+
+        monkeypatch.setattr(application.service, "describe_source", tripped)
+        response = application.handle(HttpRequest.get("/qr2/sources/bluenile"))
+        assert response.status == 503
+        assert response.headers["retry-after"] == "7"  # ceil(6.2)
+        payload = response.json()
+        assert payload["unavailable"] is True
+        assert payload["retry"] is True
+        assert payload["exception"] == "CircuitOpenError"
+        assert payload["source"] == "bluenile#1"
+
+    def test_deadline_exceeded_maps_to_503(self, registry, monkeypatch):
+        application = QR2HttpApplication(make_service(registry))
+
+        def too_slow(name):
+            raise DeadlineExceededError("deadline spent", elapsed_seconds=1.2)
+
+        monkeypatch.setattr(application.service, "describe_source", too_slow)
+        response = application.handle(HttpRequest.get("/qr2/sources/bluenile"))
+        assert response.status == 503
+        assert "retry-after" not in response.headers
+        assert response.json()["exception"] == "DeadlineExceededError"
+
+    def test_plain_query_errors_stay_400(self, registry, monkeypatch):
+        application = QR2HttpApplication(make_service(registry))
+        monkeypatch.setattr(
+            application.service,
+            "describe_source",
+            lambda name: (_ for _ in ()).throw(QueryError("bad query")),
+        )
+        assert application.handle(HttpRequest.get("/qr2/sources/x")).status == 400
+
+
+class TestConcurrentTierDeadlines:
+    def test_overload_429_carries_backoff_hint(self, registry):
+        service = make_service(registry, serving_workers=1, admission_queue_depth=1)
+        app = ConcurrentQR2Application(service)
+        release = threading.Event()
+        started = threading.Event()
+
+        def blocker():
+            started.set()
+            release.wait(timeout=10.0)
+            return "ok"
+
+        try:
+            app.tier.submit(blocker, key="hold")
+            assert started.wait(timeout=5.0)
+            response = app.handle(HttpRequest.get("/qr2/sources"))
+            assert response.status == 429
+            assert response.headers["retry-after"] == "1"
+        finally:
+            release.set()
+            app.close(close_service=False)
+
+    def test_slow_request_times_out_as_503_not_429(self, registry, monkeypatch):
+        service = make_service(registry, request_deadline_seconds=0.05)
+        app = ConcurrentQR2Application(service)
+
+        def crawl():
+            time.sleep(0.5)
+            return []
+
+        monkeypatch.setattr(service, "list_sources", crawl)
+        try:
+            response = app.handle(HttpRequest.get("/qr2/sources"))
+            assert response.status == 503
+            payload = response.json()
+            assert payload["unavailable"] is True
+            assert payload["deadline_seconds"] == pytest.approx(0.05)
+            assert app.tier.snapshot()["deadline_timeouts"] == 1
+        finally:
+            app.close(close_service=False)
+
+
+class TestMaintenanceErrorSurfacing:
+    def test_reaper_errors_are_counted_not_swallowed(self, registry, monkeypatch):
+        service = make_service(registry)
+        monkeypatch.setattr(
+            service,
+            "expire_idle_sessions",
+            lambda: (_ for _ in ()).throw(RuntimeError("reaper boom")),
+        )
+        tier = ConcurrentServingTier(
+            service, workers=1, queue_depth=4, reaper_interval_seconds=0.01
+        )
+        try:
+            deadline = time.time() + 5.0
+            while time.time() < deadline:
+                if tier.snapshot()["reaper_errors"] >= 1:
+                    break
+                time.sleep(0.01)
+            snapshot = tier.snapshot()
+            assert snapshot["reaper_errors"] >= 1
+            assert snapshot["reaper_last_error"] == "RuntimeError: reaper boom"
+            # The timer survived its error and the tier still serves.
+            assert tier.execute(lambda: 21 * 2, key="x") == 42
+        finally:
+            tier.close()
+
+    def test_warmer_errors_are_counted_not_swallowed(self, registry, monkeypatch):
+        service = make_service(registry)
+        monkeypatch.setattr(
+            service.warmer,
+            "warm_once",
+            lambda: (_ for _ in ()).throw(ValueError("cold feed")),
+        )
+        tier = ConcurrentServingTier(
+            service,
+            workers=1,
+            queue_depth=4,
+            reaper_interval_seconds=0.0,
+            warming_interval_seconds=0.01,
+        )
+        try:
+            deadline = time.time() + 5.0
+            while time.time() < deadline:
+                if tier.snapshot()["warming_errors"] >= 1:
+                    break
+                time.sleep(0.01)
+            snapshot = tier.snapshot()
+            assert snapshot["warming_errors"] >= 1
+            assert snapshot["warming_last_error"] == "ValueError: cold feed"
+        finally:
+            tier.close()
+
+
+class ScriptedTransport(Transport):
+    """Transport that plays back a fixed list of responses/errors."""
+
+    def __init__(self, outcomes):
+        self.outcomes = list(outcomes)
+        self.sent = 0
+
+    def send(self, request):
+        self.sent += 1
+        outcome = self.outcomes.pop(0)
+        if isinstance(outcome, Exception):
+            raise outcome
+        return outcome
+
+
+def ok(body="{}"):
+    return HttpResponse(status=200, headers={}, body=body)
+
+
+class TestHttpClientRetries:
+    def test_retry_after_header_overrides_the_jittered_delay(self):
+        transport = ScriptedTransport(
+            [HttpResponse(status=429, headers={"Retry-After": "3"}, body=""), ok()]
+        )
+        sleeps = []
+        client = HttpClient(
+            transport, max_retries=2, backoff_seconds=0.05, sleeper=sleeps.append
+        )
+        response = client.get("/search")
+        assert response.status == 200
+        assert sleeps == [3.0]
+        assert client.rate_limited == 1
+        assert client.retries == 1
+        assert client.backoff_waited_seconds == pytest.approx(3.0)
+
+    def test_server_errors_retry_with_backoff(self):
+        transport = ScriptedTransport(
+            [HttpResponse(status=503, headers={}, body=""), ok()]
+        )
+        sleeps = []
+        client = HttpClient(
+            transport,
+            max_retries=2,
+            backoff_seconds=0.05,
+            backoff_cap_seconds=1.0,
+            sleeper=sleeps.append,
+        )
+        assert client.get("/search").status == 200
+        assert len(sleeps) == 1
+        assert 0.05 <= sleeps[0] <= 1.0
+
+    def test_equal_seeds_replay_identical_delay_schedules(self):
+        def drive(seed):
+            sleeps = []
+            client = HttpClient(
+                ScriptedTransport(
+                    [RemoteInterfaceError("down")] * 3
+                    + [RemoteInterfaceError("down")] * 3
+                ),
+                max_retries=2,
+                backoff_seconds=0.05,
+                backoff_seed=seed,
+                sleeper=sleeps.append,
+            )
+            for _ in range(2):
+                with pytest.raises(RemoteInterfaceError):
+                    client.get("/search")
+            return sleeps
+
+        assert drive(17) == drive(17)
+        assert drive(17) != drive(18)
+
+    def test_exhausted_rate_limit_returns_the_last_429(self):
+        responses = [
+            HttpResponse(status=429, headers={"retry-after": "0"}, body="slow down")
+        ] * 3
+        client = HttpClient(
+            ScriptedTransport(responses), max_retries=2, sleeper=lambda _: None
+        )
+        response = client.get("/search")
+        assert response.status == 429
+        assert response.body == "slow down"
+        assert client.rate_limited == 3
+
+    def test_exhausted_transport_errors_raise(self):
+        client = HttpClient(
+            ScriptedTransport([RemoteInterfaceError("down")] * 2),
+            max_retries=1,
+            sleeper=lambda _: None,
+        )
+        with pytest.raises(RemoteInterfaceError):
+            client.get("/search")

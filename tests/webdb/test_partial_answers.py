@@ -1,0 +1,277 @@
+"""Tests for partial-answer serving: degraded scatters, stale serving, and
+the degraded-result cache exclusion."""
+
+import pytest
+
+from repro.core.federated import FederatedGetNext
+from repro.core.functions import SingleAttributeRanking
+from repro.core.session import Session
+from repro.exceptions import SourceUnavailableError
+from repro.webdb.cache import FetchStatus, QueryResultCache
+from repro.webdb.delta import CatalogDelta
+from repro.webdb.faults import FaultPlan
+from repro.webdb.federation import build_federation
+from repro.webdb.interface import Outcome, SearchResult
+from repro.webdb.query import SearchQuery
+from repro.webdb.ranking import FeaturedScoreRanking
+from repro.webdb.resilience import ResilienceConfig
+
+
+RANKING = FeaturedScoreRanking("price", boost_weight=2500.0)
+QUERY = SearchQuery.build(ranges={"price": (300.0, 6000.0)})
+
+
+def make_federation(catalog, schema, shards=3, **kwargs):
+    kwargs.setdefault("system_k", 10)
+    kwargs.setdefault("name", "partial")
+    return build_federation(
+        catalog=catalog,
+        schema=schema,
+        system_ranking=RANKING,
+        shards=shards,
+        by="rank",
+        **kwargs,
+    )
+
+
+def kill_shard(federation, index):
+    """Put shard ``index`` into a permanent fail-stop outage."""
+    injector = federation.fault_injectors()[index]
+    assert injector is not None
+    injector.set_plan(injector.plan.with_fail_window(0))
+
+
+@pytest.fixture()
+def faulted_federation(diamond_catalog, diamond_schema_fixture):
+    """3-shard federation carrying (noop-rate) injectors on every shard so
+    tests can schedule outages per shard."""
+    return make_federation(
+        diamond_catalog,
+        diamond_schema_fixture,
+        fault_plan=FaultPlan(seed=31, transient_rate=0.0001),
+    )
+
+
+class TestDegradedScatter:
+    def test_dead_shard_degrades_instead_of_failing(self, faulted_federation):
+        kill_shard(faulted_federation, 1)
+        result = faulted_federation.search(QUERY)
+        assert result.degraded
+        assert result.missing_shards == ("partial#1",)
+        # Degraded answers never claim coverage.
+        assert result.outcome is Outcome.OVERFLOW
+
+    def test_degraded_merge_keeps_live_shards_in_merged_order(
+        self, faulted_federation, diamond_schema_fixture
+    ):
+        kill_shard(faulted_federation, 1)
+        degraded = faulted_federation.search(QUERY)
+        live = [
+            faulted_federation.shard_interfaces[index].search(QUERY)
+            for index in (0, 2)
+        ]
+        expected = [row for result in live for row in result.rows]
+        expected.sort(key=RANKING.sort_key(diamond_schema_fixture.key))
+        assert [row["id"] for row in degraded.rows] == [
+            row["id"] for row in expected[:10]
+        ]
+
+    def test_all_shards_dead_raises(self, faulted_federation):
+        for index in range(faulted_federation.shard_count):
+            kill_shard(faulted_federation, index)
+        with pytest.raises(SourceUnavailableError):
+            faulted_federation.search(QUERY)
+
+    def test_heal_restores_byte_identical_answers(
+        self, faulted_federation, diamond_catalog, diamond_schema_fixture
+    ):
+        reference = make_federation(diamond_catalog, diamond_schema_fixture)
+        queries = [
+            SearchQuery.build(ranges={"price": (300.0, 1500.0 + 100.0 * i)})
+            for i in range(8)
+        ]
+        kill_shard(faulted_federation, 2)
+        degraded_pages = [faulted_federation.search(q) for q in queries]
+        assert all(page.degraded for page in degraded_pages)
+        # Heal: deactivate every injector, then replay the same trace.
+        for injector in faulted_federation.fault_injectors():
+            if injector is not None:
+                injector.deactivate()
+        for query in queries:
+            healed = faulted_federation.search(query)
+            clean = reference.search(query)
+            assert not healed.degraded
+            assert healed.outcome == clean.outcome
+            assert [row["id"] for row in healed.rows] == [
+                row["id"] for row in clean.rows
+            ]
+
+    def test_resilient_scatter_retries_transients_clean(
+        self, diamond_catalog, diamond_schema_fixture
+    ):
+        federation = make_federation(
+            diamond_catalog,
+            diamond_schema_fixture,
+            fault_plan=FaultPlan(seed=47, transient_rate=0.25),
+        )
+        federation.configure_resilience(
+            ResilienceConfig(max_attempts=8, breaker_failure_threshold=100)
+        )
+        for i in range(20):
+            query = SearchQuery.build(ranges={"price": (300.0, 900.0 + 50.0 * i)})
+            result = federation.search(query)
+            assert not result.degraded
+        snapshot = federation.resilience_snapshot()
+        assert snapshot["retries"] > 0
+        assert snapshot["degraded_scatters"] == 0
+
+
+class TestDegradedNeverCached:
+    def test_fetch_does_not_store_degraded_results(self, bluenile_db):
+        cache = QueryResultCache()
+        clean = bluenile_db.search(QUERY)
+        degraded = SearchResult(
+            query=QUERY,
+            rows=clean.rows,
+            outcome=Outcome.OVERFLOW,
+            system_k=clean.system_k,
+            degraded=True,
+            missing_shards=("partial#1",),
+        )
+        result, status = cache.fetch("ns", QUERY, 10, lambda: degraded)
+        assert status is FetchStatus.MISS
+        assert result.degraded
+        # Nothing was memoized: the next fetch pays the round trip again.
+        _, second_status = cache.fetch("ns", QUERY, 10, lambda: clean)
+        assert second_status is FetchStatus.MISS
+        # The clean answer, in contrast, was stored.
+        assert cache.probe("ns", QUERY, 10) is not None
+
+
+class TestStaleServing:
+    def make_warm_cache(self, bluenile_db):
+        cache = QueryResultCache()
+        result, _ = cache.fetch(
+            "ns", QUERY, 10, lambda: bluenile_db.search(QUERY)
+        )
+        return cache, result
+
+    def test_invalidate_parks_then_serve_stale_answers(self, bluenile_db):
+        cache, fresh = self.make_warm_cache(bluenile_db)
+        cache.invalidate("ns")
+        assert cache.probe("ns", QUERY, 10) is None
+        stale = cache.serve_stale("ns", QUERY, 10)
+        assert stale is not None
+        assert stale.stale and stale.degraded
+        assert stale.outcome is Outcome.OVERFLOW
+        assert [row["id"] for row in stale.rows] == [
+            row["id"] for row in fresh.rows
+        ]
+
+    def test_stale_serve_never_crosses_apply_delta(self, bluenile_db):
+        cache, fresh = self.make_warm_cache(bluenile_db)
+        cache.invalidate("ns")
+        assert cache.serve_stale("ns", QUERY, 10) is not None
+        # A delta touching a row the query may match retires the parked copy:
+        # stale serving must never resurrect data across an apply_delta.
+        victim = dict(fresh.rows[0])
+        delta = CatalogDelta.from_rows("ns", "id", [victim], upserts=1)
+        cache.invalidate_delta("ns", delta)
+        assert cache.serve_stale("ns", QUERY, 10) is None
+
+    def test_fresh_store_supersedes_parked_stale_copy(self, bluenile_db):
+        cache, _ = self.make_warm_cache(bluenile_db)
+        cache.invalidate("ns")
+        result, status = cache.fetch(
+            "ns", QUERY, 10, lambda: bluenile_db.search(QUERY)
+        )
+        assert status is FetchStatus.MISS and not result.stale
+        stats = cache.statistics.snapshot()
+        assert stats["stale_kept"] >= 1
+
+
+class FailingStream:
+    """Get-Next stream stub that is dark until told otherwise."""
+
+    def __init__(self, rows=(), dark=True):
+        self.rows = list(rows)
+        self.dark = dark
+        self._cursor = 0
+
+    def get_next(self):
+        if self.dark:
+            raise SourceUnavailableError("shard dark")
+        if self._cursor >= len(self.rows):
+            return None
+        row = self.rows[self._cursor]
+        self._cursor += 1
+        return row
+
+
+class HealthyStream(FailingStream):
+    def __init__(self, rows):
+        super().__init__(rows, dark=False)
+
+
+class TestMergeModeSkipsDarkShards:
+    def test_merge_skips_dark_shard_and_marks_degraded(self):
+        session = Session("merge-skip")
+        live = HealthyStream([{"id": "a", "price": 1.0}, {"id": "c", "price": 3.0}])
+        dark = FailingStream([{"id": "b", "price": 2.0}])
+        merge = FederatedGetNext(
+            [live, dark],
+            SingleAttributeRanking("price", ascending=True),
+            session,
+            "id",
+        )
+        assert merge.next()["id"] == "a"
+        assert merge.degraded_emissions == 1
+        assert session.statistics.degraded_results == 1
+
+    def test_healed_shard_rejoins_the_merge(self):
+        session = Session("merge-heal")
+        live = HealthyStream([{"id": "a", "price": 1.0}, {"id": "d", "price": 4.0}])
+        dark = FailingStream([{"id": "b", "price": 2.0}])
+        merge = FederatedGetNext(
+            [live, dark],
+            SingleAttributeRanking("price", ascending=True),
+            session,
+            "id",
+        )
+        assert merge.next()["id"] == "a"
+        dark.dark = False
+        # Late, never lost: the healed shard's better tuple arrives next.
+        assert merge.next()["id"] == "b"
+        assert merge.next()["id"] == "d"
+
+    def test_skip_callback_avoids_paying_the_dead_shard(self):
+        session = Session("merge-callback")
+        live = HealthyStream([{"id": "a", "price": 1.0}])
+        dead = HealthyStream([{"id": "b", "price": 2.0}])
+        calls = []
+        original = dead.get_next
+
+        def counting():
+            calls.append(1)
+            return original()
+
+        dead.get_next = counting
+        merge = FederatedGetNext(
+            [live, dead],
+            SingleAttributeRanking("price", ascending=True),
+            session,
+            "id",
+            skip_shard=lambda index: index == 1,
+        )
+        assert merge.next()["id"] == "a"
+        assert calls == []
+
+    def test_all_dark_raises_instead_of_claiming_exhaustion(self):
+        merge = FederatedGetNext(
+            [FailingStream([{"id": "a", "price": 1.0}])],
+            SingleAttributeRanking("price", ascending=True),
+            Session("merge-dead"),
+            "id",
+        )
+        with pytest.raises(SourceUnavailableError):
+            merge.next()

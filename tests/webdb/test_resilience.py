@@ -1,0 +1,272 @@
+"""Tests for retries, circuit breakers, deadlines, and the source guard."""
+
+import pytest
+
+from repro.exceptions import (
+    CircuitOpenError,
+    DeadlineExceededError,
+    SourceTimeoutError,
+    SourceUnavailableError,
+)
+from repro.webdb.faults import FaultInjector, FaultPlan
+from repro.webdb.interface import Outcome, SearchResult
+from repro.webdb.query import SearchQuery
+from repro.webdb.resilience import (
+    BreakerState,
+    CircuitBreaker,
+    Deadline,
+    ResilienceConfig,
+    ResilienceStatistics,
+    ResilientInterface,
+    RetryPolicy,
+    SourceGuard,
+)
+
+
+QUERY = SearchQuery.build(ranges={"price": (300.0, 5000.0)})
+RESULT = SearchResult(query=QUERY, rows=(), outcome=Outcome.UNDERFLOW, system_k=10)
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def make_guard(
+    failure_threshold=2,
+    recovery_seconds=30.0,
+    max_attempts=3,
+    retry_budget=None,
+    clock=None,
+):
+    clock = clock or FakeClock()
+    statistics = ResilienceStatistics()
+    guard = SourceGuard(
+        name="shard#0",
+        policy=RetryPolicy(max_attempts=max_attempts, base_seconds=0.01, seed=5),
+        breaker=CircuitBreaker(
+            failure_threshold=failure_threshold,
+            recovery_seconds=recovery_seconds,
+            clock=clock,
+            name="shard#0",
+        ),
+        statistics=statistics,
+        retry_budget=retry_budget,
+    )
+    return guard, clock, statistics
+
+
+class Flaky:
+    """Callable failing the first ``failures`` calls, then succeeding."""
+
+    def __init__(self, failures, error=None):
+        self.failures = failures
+        self.calls = 0
+        self.error = error or SourceUnavailableError("transient")
+
+    def __call__(self):
+        self.calls += 1
+        if self.calls <= self.failures:
+            raise self.error
+        return RESULT
+
+
+class TestRetryPolicy:
+    def test_delays_are_deterministic_per_token(self):
+        policy = RetryPolicy(max_attempts=4, base_seconds=0.05, seed=3)
+        assert policy.delays(0) == policy.delays(0)
+        assert policy.delays(0) != policy.delays(1)
+
+    def test_delays_respect_base_and_cap(self):
+        policy = RetryPolicy(
+            max_attempts=8, base_seconds=0.5, cap_seconds=1.0, seed=1
+        )
+        for delay in policy.delays(0):
+            assert 0.5 <= delay <= 1.0
+
+    def test_single_attempt_has_no_delays(self):
+        assert RetryPolicy(max_attempts=1).delays(0) == []
+
+
+class TestCircuitBreaker:
+    def test_full_automaton_cycle(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=2, recovery_seconds=10.0, clock=clock)
+        assert breaker.state == BreakerState.CLOSED
+        breaker.record_failure()
+        assert breaker.state == BreakerState.CLOSED
+        breaker.record_failure()
+        assert breaker.state == BreakerState.OPEN
+        assert not breaker.allow()
+        clock.advance(10.0)
+        assert breaker.state == BreakerState.HALF_OPEN
+        assert breaker.allow()  # the probe slot
+        assert not breaker.allow()  # only one probe at a time
+        breaker.record_success()
+        assert breaker.state == BreakerState.CLOSED
+        transitions = breaker.transitions()
+        assert transitions == {"opened": 1, "half_opened": 1, "closed": 1}
+
+    def test_failed_probe_reopens_and_restarts_timer(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, recovery_seconds=5.0, clock=clock)
+        breaker.record_failure()
+        clock.advance(5.0)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == BreakerState.OPEN
+        assert breaker.seconds_until_probe() == pytest.approx(5.0)
+
+    def test_abandoned_probe_frees_the_slot(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, recovery_seconds=5.0, clock=clock)
+        breaker.record_failure()
+        clock.advance(5.0)
+        assert breaker.allow()
+        breaker.abandon_probe()
+        # The state did not settle, but the next probe may proceed.
+        assert breaker.allow()
+
+
+class TestDeadline:
+    def test_charges_accumulate(self):
+        deadline = Deadline(1.0)
+        deadline.charge(0.4)
+        assert deadline.remaining() == pytest.approx(0.6)
+        deadline.charge(0.7)
+        assert deadline.expired
+        with pytest.raises(DeadlineExceededError):
+            deadline.require("in the test")
+
+    def test_unlimited_never_expires(self):
+        deadline = Deadline(None)
+        deadline.charge(1e9)
+        assert not deadline.expired
+        deadline.require("never raises")
+
+
+class TestSourceGuard:
+    def test_retries_until_success(self):
+        guard, _, stats = make_guard(failure_threshold=5, max_attempts=3)
+        flaky = Flaky(failures=2)
+        assert guard.call(flaky) is RESULT
+        snapshot = stats.snapshot()
+        assert snapshot["attempts"] == 3
+        assert snapshot["retries"] == 2
+        assert snapshot["failed_attempts"] == 2
+
+    def test_exhausted_attempts_raise_last_error(self):
+        guard, _, _ = make_guard(failure_threshold=10, max_attempts=2)
+        with pytest.raises(SourceUnavailableError):
+            guard.call(Flaky(failures=5))
+
+    def test_breaker_opens_then_short_circuits(self):
+        guard, _, stats = make_guard(failure_threshold=2, max_attempts=2)
+        with pytest.raises(SourceUnavailableError):
+            guard.call(Flaky(failures=5))
+        supply = Flaky(failures=5)
+        with pytest.raises(CircuitOpenError) as excinfo:
+            guard.call(supply)
+        # The open breaker rejected the call without paying a round trip.
+        assert supply.calls == 0
+        assert excinfo.value.retry_after_seconds == pytest.approx(30.0)
+        assert stats.snapshot()["short_circuits"] == 1
+
+    def test_breaker_heals_through_half_open_probe(self):
+        guard, clock, stats = make_guard(
+            failure_threshold=2, recovery_seconds=10.0, max_attempts=2
+        )
+        with pytest.raises(SourceUnavailableError):
+            guard.call(Flaky(failures=5))
+        clock.advance(10.0)
+        assert guard.call(Flaky(failures=0)) is RESULT
+        assert guard.breaker.state == BreakerState.CLOSED
+        snapshot = stats.snapshot()
+        assert snapshot["breaker_opens"] == 1
+        assert snapshot["breaker_half_opens"] == 1
+        assert snapshot["breaker_closes"] == 1
+
+    def test_retry_budget_exhaustion_fails_fast(self):
+        guard, _, stats = make_guard(
+            failure_threshold=100, max_attempts=3, retry_budget=1
+        )
+        with pytest.raises(SourceUnavailableError):
+            guard.call(Flaky(failures=5))
+        supply = Flaky(failures=5)
+        with pytest.raises(SourceUnavailableError):
+            guard.call(supply)
+        # Budget spent: the second call stopped after its first attempt.
+        assert supply.calls == 1
+        assert stats.snapshot()["retry_budget_exhausted"] >= 1
+
+    def test_timeout_cost_charges_the_deadline(self):
+        guard, _, stats = make_guard(failure_threshold=10, max_attempts=3)
+        deadline = Deadline(1.0)
+        with pytest.raises((SourceUnavailableError, DeadlineExceededError)):
+            guard.call(
+                Flaky(
+                    failures=5,
+                    error=SourceTimeoutError("slow shard", elapsed_seconds=0.6),
+                ),
+                deadline,
+            )
+        assert deadline.spent >= 0.6
+        assert stats.snapshot()["timeouts_paid"] >= 1
+
+    def test_expired_deadline_stops_before_the_attempt(self):
+        guard, _, stats = make_guard(failure_threshold=10, max_attempts=3)
+        deadline = Deadline(0.1)
+        deadline.charge(0.2)
+        supply = Flaky(failures=0)
+        with pytest.raises(DeadlineExceededError):
+            guard.call(supply, deadline)
+        assert supply.calls == 0
+        assert stats.snapshot()["deadline_hits"] == 1
+
+    def test_non_availability_error_passes_through_untouched(self):
+        guard, _, _ = make_guard(failure_threshold=1, max_attempts=3)
+
+        def supply():
+            raise KeyError("bug, not an outage")
+
+        with pytest.raises(KeyError):
+            guard.call(supply)
+        # Programming errors never trip the breaker.
+        assert guard.breaker.state == BreakerState.CLOSED
+
+
+class TestResilientInterface:
+    def test_retries_ride_over_scheduled_transients(self, bluenile_db):
+        # ~30% transient faults; three attempts per query almost always find
+        # a clean draw, so every query answers and the counters show retries.
+        injector = FaultInjector(bluenile_db, FaultPlan(seed=13, transient_rate=0.3))
+        resilient = ResilientInterface(
+            injector,
+            ResilienceConfig(max_attempts=6, breaker_failure_threshold=50),
+        )
+        for i in range(40):
+            query = SearchQuery.build(ranges={"price": (300.0, 1000.0 + i)})
+            result = resilient.search(query)
+            assert result.rows is not None
+        snapshot = resilient.resilience_statistics.snapshot()
+        assert snapshot["retries"] > 0
+        assert snapshot["attempts"] >= 40
+
+    def test_snapshot_shape_matches_federation(self, bluenile_db):
+        resilient = ResilientInterface(bluenile_db)
+        snapshot = resilient.resilience_snapshot()
+        assert "retries" in snapshot
+        assert len(snapshot["breakers"]) == 1
+        assert snapshot["breakers"][0]["state"] == BreakerState.CLOSED
+
+    def test_proxies_inner_attributes(self, bluenile_db):
+        resilient = ResilientInterface(bluenile_db)
+        assert resilient.name == bluenile_db.name
+        assert resilient.system_k == bluenile_db.system_k
+        assert not resilient.supports_batched_search
